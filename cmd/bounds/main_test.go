@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunBounds(t *testing.T) {
+	if err := run([]string{"-seed", "2", "-duration", "2m"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBoundsBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

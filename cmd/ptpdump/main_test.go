@@ -1,0 +1,28 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunPtpdumpCaptureAndDecode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := run([]string{"-capture", path, "-vm", "c32", "-duration", "5s"}); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if err := run([]string{"-in", path, "-summary"}); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+}
+
+func TestRunPtpdumpErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run([]string{"-capture", "/tmp/x.bin", "-vm", "nope"}); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	if err := run([]string{"-in", "/no/such/trace.bin"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Command resilience reproduces the paper's cyber-resilience experiment
+// (Fig. 3a / Fig. 3b): a 1 h run during which an attacker exploits
+// CVE-2018-18955 on the virtual grandmasters c41 (at 00:21:42) and c11
+// (at 00:31:52). With identical kernels both exploits succeed and the
+// measured precision violates the bound after the second compromise; with
+// diversified kernels the second exploit fails and the FTA masks the
+// single Byzantine grandmaster.
+//
+// Usage:
+//
+//	resilience [-seed N] [-duration 1h] [-diverse] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gptpfta/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master random seed")
+	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
+	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
+	series := fs.Bool("series", true, "print the ASCII precision series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := experiments.CyberResilience(experiments.CyberResilienceConfig{
+		Seed:           *seed,
+		Duration:       *duration,
+		DiverseKernels: *diverse,
+	})
+	if err != nil {
+		return err
+	}
+
+	figure := "Fig. 3a (identical kernels)"
+	if *diverse {
+		figure = "Fig. 3b (diverse kernels)"
+	}
+	fmt.Printf("=== %s — seed %d, duration %v ===\n", figure, *seed, *duration)
+	fmt.Printf("bound parameters: E = %v, Gamma = %v, Pi = %v, gamma = %v\n",
+		res.ReadingError, res.DriftOffset, res.Bound, res.Gamma)
+	fmt.Printf("attack schedule: first %v, second %v\n", res.FirstAttackAt, res.SecondAttackAt)
+	for _, r := range res.ExploitResults {
+		fmt.Println("  ", r)
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("samples: %d before second attack (%d violations), %d after (%d violations, max %.0f ns)\n",
+		res.SamplesBeforeSecond, res.ViolationsBeforeSecond,
+		res.SamplesAfterSecond, res.ViolationsAfterSecond, res.MaxAfterSecondNS)
+	if *series {
+		fmt.Println()
+		fmt.Print(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 18))
+	}
+	return nil
+}

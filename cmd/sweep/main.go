@@ -1,0 +1,118 @@
+// Command sweep runs the design-space studies beyond the paper's headline
+// figures: synchronization-interval and domain-count sweeps, the BMCA
+// re-election ablation, the 2f+1 fail-consistent voting variant, and the
+// §IV future-work recovery comparison (GNU/Linux vs unikernel reboot).
+//
+// Usage:
+//
+//	sweep [-seed N] [-which all|interval|domains|bmca|voting|recovery]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gptpfta/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master random seed")
+	which := fs.String("which", "all", "sweep selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+
+	if want("interval") {
+		fmt.Println("=== synchronization-interval sweep (Γ = 2·r_max·S) ===")
+		points, err := experiments.SyncIntervalSweep(*seed, nil, 0)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Println("  " + p.String())
+		}
+		fmt.Println()
+	}
+	if want("domains") {
+		fmt.Println("=== domain-count sweep under one Byzantine grandmaster ===")
+		points, err := experiments.DomainCountSweep(*seed, nil, 0)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Println("  " + p.String())
+		}
+		fmt.Println("  (M = 2 cannot mask any Byzantine fault: N < 2f+1)")
+		fmt.Println()
+	}
+	if want("dynamic") {
+		fmt.Println("=== fully dynamic 802.1AS over the redundant mesh ===")
+		res, err := experiments.DynamicMeshStudy(experiments.DynamicMeshConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + res.Summary())
+		fmt.Println()
+	}
+	if want("bmca") {
+		fmt.Println("=== BMCA re-election vs static external port configuration ===")
+		for _, interval := range []time.Duration{time.Second, 500 * time.Millisecond, 250 * time.Millisecond} {
+			res, err := experiments.BMCAReconvergence(experiments.BMCAReconvergenceConfig{
+				Seed:             *seed,
+				AnnounceInterval: interval,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println("  " + res.Summary())
+		}
+		fmt.Println()
+	}
+	if want("voting") {
+		fmt.Println("=== 2f+1 fail-consistent monitor voting (§II-A) ===")
+		res, err := experiments.VotingFailover(experiments.VotingConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + res.Summary())
+		fmt.Println()
+	}
+	if want("tas") {
+		fmt.Println("=== TSN egress (802.1Qbv + preemption) vs commodity FIFO ===")
+		res, err := experiments.TASStudy(experiments.TASStudyConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + res.Summary())
+		fmt.Printf("  fifo:      Sync latency %v..%v over %d Syncs, %d BE frames\n",
+			res.FIFO.SyncLatencyMin, res.FIFO.SyncLatencyMax, res.FIFO.SyncsObserved, res.FIFO.BEFramesSent)
+		fmt.Printf("  802.1Qbv:  Sync latency %v..%v over %d Syncs, %d BE frames\n",
+			res.Protected.SyncLatencyMin, res.Protected.SyncLatencyMax, res.Protected.SyncsObserved, res.Protected.BEFramesSent)
+		fmt.Println()
+	}
+	if want("recovery") {
+		fmt.Println("=== §IV future work: GNU/Linux vs unikernel recovery ===")
+		res, err := experiments.RecoveryComparison(experiments.RecoveryConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + res.Summary())
+		fmt.Printf("  linux:     %d failures, %.0f s GM-domain downtime, mean precision %.0f ns\n",
+			res.Linux.Failures, res.Linux.StaleDomainSeconds, res.Linux.MeanPrecisionNS)
+		fmt.Printf("  unikernel: %d failures, %.0f s GM-domain downtime, mean precision %.0f ns\n",
+			res.Unikernel.Failures, res.Unikernel.StaleDomainSeconds, res.Unikernel.MeanPrecisionNS)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Command topology prints the wired testbed — the textual form of the
+// paper's Fig. 2 — and optionally writes or reads a JSON configuration so
+// that experiment setups can be version-controlled and shared.
+//
+// Usage:
+//
+//	topology [-seed N] [-config file.json] [-save file.json] [-diverse]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gptpfta/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master random seed")
+	configPath := fs.String("config", "", "load the configuration from this JSON file")
+	savePath := fs.String("save", "", "write the effective configuration to this JSON file")
+	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg core.Config
+	if *configPath != "" {
+		loaded, err := core.LoadConfigFile(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	} else {
+		cfg = core.NewConfig(*seed)
+		if *diverse {
+			cfg.DiversifyKernels("c41")
+		}
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sys.DescribeTopology())
+
+	if *savePath != "" {
+		if err := cfg.SaveConfigFile(*savePath); err != nil {
+			return err
+		}
+		fmt.Printf("\nconfiguration written to %s\n", *savePath)
+	}
+	return nil
+}

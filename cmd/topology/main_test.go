@@ -1,0 +1,25 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTopology(t *testing.T) {
+	if err := run([]string{"-seed", "3", "-diverse"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTopologySaveAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := run([]string{"-save", path}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := run([]string{"-config", "/no/such/config.json"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Time-triggered application demo — the workload the paper's introduction
+// motivates. A distributed control task runs on every node, released at
+// global 10 ms boundaries of CLOCK_SYNCTIME; the cross-node release jitter
+// IS the application-visible clock synchronization quality. A fail-silent
+// grandmaster barely registers (FTA + dependent-clock failover); two
+// Byzantine grandmasters destroy the time-triggered schedule.
+//
+//	go run ./examples/timetriggered
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gptpfta/internal/attack"
+	"gptpfta/internal/core"
+	"gptpfta/internal/ttapp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "timetriggered:", err)
+		os.Exit(1)
+	}
+}
+
+func measureJitter(sys *core.System, d time.Duration, label string) (ttapp.JitterStats, error) {
+	var tasks []*ttapp.Task
+	for i, node := range sys.Nodes() {
+		task, err := ttapp.NewTask(core.NodeName(i), sys.Scheduler(), node, ttapp.TaskConfig{
+			Name:   label,
+			Period: 10 * time.Millisecond,
+		})
+		if err != nil {
+			return ttapp.JitterStats{}, err
+		}
+		if err := task.Start(); err != nil {
+			return ttapp.JitterStats{}, err
+		}
+		tasks = append(tasks, task)
+	}
+	if err := sys.RunFor(d); err != nil {
+		return ttapp.JitterStats{}, err
+	}
+	for _, t := range tasks {
+		t.Stop()
+	}
+	return ttapp.SummarizeJitter(ttapp.CrossNodeJitter(tasks)), nil
+}
+
+func run() error {
+	sys, err := core.NewSystem(core.NewConfig(33))
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	fmt.Println("synchronizing the four-node testbed...")
+	if err := sys.RunFor(2 * time.Minute); err != nil {
+		return err
+	}
+
+	healthy, err := measureJitter(sys, time.Minute, "ctrl")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healthy:                 %s\n", healthy)
+
+	// A fail-silent grandmaster: the FTA and the dependent clock absorb it.
+	if err := sys.Node(2).FailVM(0); err != nil {
+		return err
+	}
+	failSilent, err := measureJitter(sys, time.Minute, "ctrl-failsilent")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one fail-silent GM:      %s\n", failSilent)
+	if err := sys.Node(2).RebootVM(0); err != nil {
+		return err
+	}
+	if err := sys.RunFor(time.Minute); err != nil {
+		return err
+	}
+
+	// Two Byzantine grandmasters: beyond f = 1, the schedule collapses.
+	for _, name := range []string{"c11", "c41"} {
+		vm, _ := sys.VM(name)
+		vm.Stack.Compromise(attack.MaliciousOriginOffsetNS)
+	}
+	attacked, err := measureJitter(sys, 3*time.Minute, "ctrl-attacked")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("two Byzantine GMs:       %s\n", attacked)
+
+	fmt.Println("\nthe time-triggered schedule holds exactly as long as the clock architecture's")
+	fmt.Println("fault hypothesis does — the paper's motivation, observed at the application.")
+	return nil
+}

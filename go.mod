@@ -1,0 +1,3 @@
+module gptpfta
+
+go 1.22

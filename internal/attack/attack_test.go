@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeTarget struct {
+	name      string
+	kernel    string
+	installed float64
+	calls     int
+}
+
+func (t *fakeTarget) TargetName() string    { return t.name }
+func (t *fakeTarget) KernelVersion() string { return t.kernel }
+func (t *fakeTarget) InstallMaliciousPTP4L(offsetNS float64) {
+	t.installed = offsetNS
+	t.calls++
+}
+
+func TestDefaultVulnDB(t *testing.T) {
+	db := DefaultVulnDB()
+	if !db.Vulnerable(CVE20181895, VulnerableKernel) {
+		t.Fatal("v4.19.1 must be vulnerable to the paper's CVE")
+	}
+	if db.Vulnerable(CVE20181895, "v5.10.0") {
+		t.Fatal("patched kernel reported vulnerable")
+	}
+	if db.Vulnerable("CVE-0000-0000", VulnerableKernel) {
+		t.Fatal("unknown CVE reported vulnerable")
+	}
+}
+
+func TestAddVulnerability(t *testing.T) {
+	db := VulnDB{}
+	db.AddVulnerability("CVE-X", "v1")
+	if !db.Vulnerable("CVE-X", "v1") {
+		t.Fatal("added vulnerability not found")
+	}
+}
+
+func TestSharedVulnerabilities(t *testing.T) {
+	db := VulnDB{}
+	db.AddVulnerability("CVE-A", "v1")
+	db.AddVulnerability("CVE-A", "v2")
+	db.AddVulnerability("CVE-B", "v1")
+	if got := db.SharedVulnerabilities("v1", "v2"); got != 1 {
+		t.Fatalf("shared = %d, want 1", got)
+	}
+	if got := db.SharedVulnerabilities("v1", "v3"); got != 0 {
+		t.Fatalf("shared with unknown = %d, want 0", got)
+	}
+}
+
+func TestExploitSucceedsOnVulnerableKernel(t *testing.T) {
+	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11", "c41")
+	tgt := &fakeTarget{name: "c41", kernel: VulnerableKernel}
+	r := a.Exploit(tgt, MaliciousOriginOffsetNS)
+	if !r.Success {
+		t.Fatal("exploit failed on a vulnerable kernel with credentials")
+	}
+	if tgt.installed != MaliciousOriginOffsetNS || tgt.calls != 1 {
+		t.Fatalf("malicious ptp4l not installed: %+v", tgt)
+	}
+	if !strings.Contains(r.String(), "root obtained") {
+		t.Fatalf("result string: %s", r)
+	}
+}
+
+func TestExploitFailsOnDiversifiedKernel(t *testing.T) {
+	// The Fig. 3b scenario: same attacker, but the target runs a kernel
+	// the exploit does not affect.
+	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11")
+	tgt := &fakeTarget{name: "c11", kernel: "v5.4.0"}
+	r := a.Exploit(tgt, MaliciousOriginOffsetNS)
+	if r.Success {
+		t.Fatal("exploit succeeded on a patched kernel")
+	}
+	if tgt.calls != 0 {
+		t.Fatal("malicious ptp4l installed despite failed exploit")
+	}
+	if !strings.Contains(r.String(), "failed") {
+		t.Fatalf("result string: %s", r)
+	}
+}
+
+func TestExploitFailsWithoutCredentials(t *testing.T) {
+	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11")
+	tgt := &fakeTarget{name: "c21", kernel: VulnerableKernel}
+	if r := a.Exploit(tgt, -24000); r.Success {
+		t.Fatal("exploit succeeded without credentials")
+	}
+	if a.HasCredentials("c21") {
+		t.Fatal("HasCredentials wrong")
+	}
+	if !a.HasCredentials("c11") {
+		t.Fatal("HasCredentials wrong for held credential")
+	}
+}
+
+func TestResultsAndCompromised(t *testing.T) {
+	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11", "c41")
+	a.Exploit(&fakeTarget{name: "c41", kernel: VulnerableKernel}, -24000)
+	a.Exploit(&fakeTarget{name: "c11", kernel: "v5.4.0"}, -24000)
+	if got := len(a.Results()); got != 2 {
+		t.Fatalf("results = %d, want 2", got)
+	}
+	comp := a.Compromised()
+	if len(comp) != 1 || comp[0] != "c41" {
+		t.Fatalf("compromised = %v, want [c41]", comp)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := NewConfig(99)
+	cfg.DiversifyKernels("c41")
+	cfg.LinkLossProb = 0.001
+	cfg.DomainCount = 3
+	cfg.BaselineClientsOnly = true
+
+	var b strings.Builder
+	if err := cfg.WriteJSON(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadConfigJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(cfg, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", cfg, got)
+	}
+}
+
+func TestConfigJSONFlagPolicyNames(t *testing.T) {
+	cfg := NewConfig(1)
+	cfg.FlagPolicy = 0 // zero value serialises as "monitor"
+	var b strings.Builder
+	if err := cfg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"flagPolicy": "monitor"`) {
+		t.Fatalf("output: %s", b.String())
+	}
+	if _, err := ReadConfigJSON(strings.NewReader(strings.Replace(b.String(), "monitor", "bogus", 1))); err == nil {
+		t.Fatal("bogus flag policy accepted")
+	}
+}
+
+func TestConfigJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadConfigJSON(strings.NewReader(`{"bogusField": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := NewConfig(7)
+	if err := cfg.SaveConfigFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Seed != 7 || got.SyncInterval != cfg.SyncInterval {
+		t.Fatalf("loaded config differs: %+v", got)
+	}
+	// A loaded config builds a working system.
+	if _, err := NewSystem(got); err != nil {
+		t.Fatalf("system from loaded config: %v", err)
+	}
+	if _, err := LoadConfigFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDescribeTopology(t *testing.T) {
+	sys, err := NewSystem(NewConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sys.DescribeTopology()
+	for _, want := range []string{
+		"4 nodes", "grandmaster of dom1", "sw4", "measurement VLAN",
+		"slave port", "c42", "external port configuration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topology output missing %q:\n%s", want, out)
+		}
+	}
+}

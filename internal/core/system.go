@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/fta"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/hypervisor"
+	"gptpfta/internal/measure"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/phc2sys"
+	"gptpfta/internal/ptp4l"
+	"gptpfta/internal/sim"
+)
+
+// System is one fully wired testbed instance.
+type System struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	streams *sim.Streams
+
+	bridges []*netsim.Bridge
+	relays  []*gptp.Relay
+	nodes   []*hypervisor.Node
+	vms     map[string]*hypervisor.CSVM
+	agents  map[string]*measure.Agent
+
+	collector *measure.Collector
+	log       *EventLog
+	syncLat   *measure.LatencyTracker
+
+	started bool
+}
+
+// NewSystem builds the testbed described by cfg. Nothing runs until Start.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.VMsPerNode < 1 {
+		return nil, fmt.Errorf("core: need at least 1 VM per node, got %d", cfg.VMsPerNode)
+	}
+	if cfg.MeasurementNode < 0 || cfg.MeasurementNode >= cfg.Nodes ||
+		cfg.MeasurementVM < 0 || cfg.MeasurementVM >= cfg.VMsPerNode {
+		return nil, fmt.Errorf("core: measurement VM c%d%d out of range",
+			cfg.MeasurementNode+1, cfg.MeasurementVM+1)
+	}
+
+	s := &System{
+		cfg:     cfg,
+		sched:   sim.NewScheduler(),
+		streams: sim.NewStreams(cfg.Seed),
+		vms:     make(map[string]*hypervisor.CSVM),
+		agents:  make(map[string]*measure.Agent),
+		log:     NewEventLog(),
+		syncLat: measure.NewLatencyTracker(),
+	}
+	if err := s.buildBridges(); err != nil {
+		return nil, err
+	}
+	if err := s.buildNodes(); err != nil {
+		return nil, err
+	}
+	if err := s.buildRelays(); err != nil {
+		return nil, err
+	}
+	s.buildForwarding()
+	return s, nil
+}
+
+// meshPort returns the port index on bridge i that faces bridge j.
+func (s *System) meshPort(i, j int) int {
+	p := 0
+	for k := 0; k < s.cfg.Nodes; k++ {
+		if k == i {
+			continue
+		}
+		if k == j {
+			return p
+		}
+		p++
+	}
+	return -1
+}
+
+// vmPort returns the port index on a bridge for local VM vm.
+func (s *System) vmPort(vm int) int { return s.cfg.Nodes - 1 + vm }
+
+func (s *System) newPHC(name string, staticPPB, bootOffset float64) *clock.PHC {
+	osc := clock.NewOscillator(clock.OscillatorConfig{
+		StaticPPB:           staticPPB,
+		WanderPPBPerSqrtSec: s.cfg.WanderPPBPerSqrtSec,
+	}, s.streams.Stream("osc/"+name), s.sched.Now())
+	return clock.NewPHC(s.sched, osc, s.streams.Stream("ts/"+name), clock.PHCConfig{
+		TimestampJitterNS: s.cfg.TimestampJitterNS,
+		InitialOffsetNS:   bootOffset,
+	})
+}
+
+func (s *System) buildBridges() error {
+	ports := s.cfg.Nodes - 1 + s.cfg.VMsPerNode
+	residence := map[int]netsim.ResidenceModel{
+		netsim.PriorityBestEffort: s.cfg.ResidenceBE,
+		netsim.PriorityPTP:        s.cfg.ResidencePTP,
+		netsim.PriorityMeasure:    s.cfg.ResidenceMeas,
+	}
+	for i := 0; i < s.cfg.Nodes; i++ {
+		name := "sw" + itoa(i+1)
+		static := clock.UniformPPB(s.streams.Stream("static/"+name), s.cfg.MaxStaticPPB)
+		br := netsim.NewBridge(name, s.sched, s.streams.Stream("br/"+name),
+			s.newPHC(name, static, 0), netsim.BridgeConfig{Ports: ports, Residence: residence})
+		s.bridges = append(s.bridges, br)
+	}
+	// Full mesh between the integrated switches.
+	for i := 0; i < s.cfg.Nodes; i++ {
+		for j := i + 1; j < s.cfg.Nodes; j++ {
+			_, err := netsim.Connect(s.sched,
+				s.streams.Stream(fmt.Sprintf("link/sw%d-sw%d", i+1, j+1)),
+				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
+				s.bridges[i].Port(s.meshPort(i, j)), s.bridges[j].Port(s.meshPort(j, i)))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) buildNodes() error {
+	for i := 0; i < s.cfg.Nodes; i++ {
+		nodeName := NodeName(i)
+		tscOsc := clock.NewOscillator(clock.OscillatorConfig{
+			StaticPPB:           clock.UniformPPB(s.streams.Stream("tsc/"+nodeName), s.cfg.MaxStaticPPB),
+			WanderPPBPerSqrtSec: s.cfg.WanderPPBPerSqrtSec,
+		}, s.streams.Stream("tscosc/"+nodeName), s.sched.Now())
+		tsc := clock.NewTSC(s.sched, tscOsc, s.streams.Stream("tscrd/"+nodeName), s.cfg.TSCReadNoiseNS)
+		node := hypervisor.NewNode(nodeName, s.sched, tsc, s.cfg.VMsPerNode,
+			hypervisor.MonitorConfig{
+				Period:          s.cfg.MonitorPeriod,
+				StaleAfter:      4 * s.cfg.Phc2sysInterval,
+				VoteThresholdNS: s.cfg.VoteThresholdNS,
+			},
+			func(e hypervisor.Event) {
+				s.log.Append(Event{At: s.sched.Now(), Node: e.Node, VM: e.VM, Kind: e.Kind, Detail: e.Detail})
+			})
+		s.nodes = append(s.nodes, node)
+
+		domains := make([]int, s.cfg.NumDomains())
+		for d := range domains {
+			domains[d] = d
+		}
+		for v := 0; v < s.cfg.VMsPerNode; v++ {
+			vmName := VMName(i, v)
+			static := clock.UniformPPB(s.streams.Stream("static/"+vmName), s.cfg.MaxStaticPPB)
+			boot := s.streams.Stream("boot/"+vmName).Float64() * s.cfg.BootOffsetMaxNS
+			nic := netsim.NewNIC(vmName, s.sched, s.newPHC(vmName, static, boot))
+			if _, err := netsim.Connect(s.sched, s.streams.Stream("link/"+vmName),
+				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
+				nic.Port(), s.bridges[i].Port(s.vmPort(v))); err != nil {
+				return err
+			}
+			gmDomain := -1
+			if v == 0 && i < s.cfg.NumDomains() {
+				gmDomain = i
+			}
+			nodeNameCopy, vmNameCopy := nodeName, vmName
+			stack, err := ptp4l.New(nic, s.sched, s.streams.Stream("stack/"+vmName), ptp4l.Config{
+				Name:                   vmName,
+				Domains:                domains,
+				GMDomain:               gmDomain,
+				InitialDomain:          0,
+				F:                      s.cfg.F,
+				SyncInterval:           s.cfg.SyncInterval,
+				StartupThresholdNS:     s.cfg.StartupThresholdNS,
+				ValidityThresholdNS:    s.cfg.ValidityThresholdNS,
+				FlagPolicy:             s.cfg.FlagPolicy,
+				TxTimestampTimeoutProb: s.cfg.TxTimestampTimeoutProb,
+				DeadlineMissProb:       s.cfg.DeadlineMissProb,
+				SkipStartup:            s.cfg.BaselineClientsOnly,
+				DisableDiscipline:      s.cfg.BaselineClientsOnly && gmDomain >= 0,
+			}, func(e ptp4l.Event) {
+				s.log.Append(Event{At: s.sched.Now(), Node: nodeNameCopy, VM: vmNameCopy, Kind: e.Kind, Detail: e.Detail})
+			})
+			if err != nil {
+				return err
+			}
+			stack.SetSyncObserver(func(domain int, latency time.Duration) {
+				s.syncLat.Observe(fmt.Sprintf("dom%d->%s", domain+1, vmNameCopy), latency)
+			})
+			p2s := phc2sys.New(s.sched, nic.PHC(), tsc, node.STSHMEM(),
+				s.streams.Stream("phc2sys/"+vmName),
+				phc2sys.Config{
+					Interval: s.cfg.Phc2sysInterval,
+					Slot:     v,
+					// vCPU preemption between the non-atomic TSC/PHC reads:
+					// frequent short slices plus rare long deschedules. This
+					// is the calibrated source of the µs-scale precision
+					// spikes of Fig. 4a (the paper's "feedback control of
+					// software clocks" instability).
+					PreemptProb:     0.015,
+					PreemptMin:      100 * time.Nanosecond,
+					PreemptMax:      1500 * time.Nanosecond,
+					LongPreemptProb: 1.2e-4,
+					LongPreemptMin:  2500 * time.Nanosecond,
+					LongPreemptMax:  9500 * time.Nanosecond,
+				})
+			vm := &hypervisor.CSVM{
+				Name:    vmName,
+				Slot:    v,
+				Kernel:  s.cfg.KernelFor(vmName),
+				Stack:   stack,
+				Phc2sys: p2s,
+			}
+			if err := node.AddVM(vm); err != nil {
+				return err
+			}
+			s.vms[vmName] = vm
+			s.installMeasurement(node, vm, i, v)
+		}
+	}
+	return nil
+}
+
+// installMeasurement attaches the probe agent or the collector to the VM.
+func (s *System) installMeasurement(node *hypervisor.Node, vm *hypervisor.CSVM, nodeIdx, vmIdx int) {
+	if nodeIdx == s.cfg.MeasurementNode && vmIdx == s.cfg.MeasurementVM {
+		excluded := VMName(s.cfg.MeasurementNode, 0) // c_m1, asymmetric path
+		s.collector = measure.NewCollector(vm.Name, s.sched, vm.Stack.NIC(), measure.CollectorConfig{
+			Exclude: []string{excluded},
+		})
+		vm.Stack.SetAuxHandler(s.collector.Handle)
+		return
+	}
+	agent := measure.NewAgent(vm.Name, s.sched, vm.Stack.NIC(), node.SyncTimeNow)
+	vm.Stack.SetAuxHandler(agent.Handle)
+	s.agents[vm.Name] = agent
+}
+
+func (s *System) buildRelays() error {
+	for b := 0; b < s.cfg.Nodes; b++ {
+		domainPorts := make(map[int]gptp.DomainPorts, s.cfg.NumDomains())
+		for d := 0; d < s.cfg.NumDomains(); d++ {
+			if b == d {
+				// The domain's grandmaster is local: relay from the GM's
+				// VM port to the mesh and the redundant VM.
+				masters := make([]int, 0, s.cfg.Nodes-1+s.cfg.VMsPerNode-1)
+				for k := 0; k < s.cfg.Nodes-1; k++ {
+					masters = append(masters, k)
+				}
+				for v := 1; v < s.cfg.VMsPerNode; v++ {
+					masters = append(masters, s.vmPort(v))
+				}
+				domainPorts[d] = gptp.DomainPorts{SlavePort: s.vmPort(0), MasterPorts: masters}
+				continue
+			}
+			masters := make([]int, 0, s.cfg.VMsPerNode)
+			for v := 0; v < s.cfg.VMsPerNode; v++ {
+				masters = append(masters, s.vmPort(v))
+			}
+			domainPorts[d] = gptp.DomainPorts{SlavePort: s.meshPort(b, d), MasterPorts: masters}
+		}
+		relay, err := gptp.NewRelay(s.bridges[b], s.sched, s.streams.Stream("relay/"+itoa(b+1)),
+			gptp.RelayConfig{Domains: domainPorts, DefaultLinkDelayNS: float64(s.cfg.LinkPropagation)})
+		if err != nil {
+			return err
+		}
+		s.relays = append(s.relays, relay)
+	}
+	return nil
+}
+
+// buildForwarding installs static unicast routes for every VM NIC and the
+// measurement VLAN's multicast tree rooted at the measurement node.
+func (s *System) buildForwarding() {
+	for b := 0; b < s.cfg.Nodes; b++ {
+		for n := 0; n < s.cfg.Nodes; n++ {
+			for v := 0; v < s.cfg.VMsPerNode; v++ {
+				addr := netsim.Address("nic/" + VMName(n, v))
+				if n == b {
+					s.bridges[b].AddRoute(addr, s.vmPort(v))
+				} else {
+					s.bridges[b].AddRoute(addr, s.meshPort(b, n))
+				}
+			}
+		}
+		if b == s.cfg.MeasurementNode {
+			// Root switch: flood to every mesh port and both local VMs.
+			for k := 0; k < s.cfg.Nodes-1; k++ {
+				s.bridges[b].AddGroupMember(measure.MulticastAddr, k)
+			}
+			for v := 0; v < s.cfg.VMsPerNode; v++ {
+				s.bridges[b].AddGroupMember(measure.MulticastAddr, s.vmPort(v))
+			}
+		} else {
+			// Leaf switches: local VM ports only (loop-free static VLAN).
+			for v := 0; v < s.cfg.VMsPerNode; v++ {
+				s.bridges[b].AddGroupMember(measure.MulticastAddr, s.vmPort(v))
+			}
+		}
+	}
+}
+
+// Start boots relays, nodes and the measurement collector.
+func (s *System) Start() error {
+	if s.started {
+		return fmt.Errorf("core: system already started")
+	}
+	for _, r := range s.relays {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.nodes {
+		if err := n.Start(); err != nil {
+			return err
+		}
+	}
+	if err := s.collector.Start(); err != nil {
+		return err
+	}
+	s.started = true
+	return nil
+}
+
+// Stop shuts down every periodic activity: relays, monitors, VM stacks,
+// phc2sys services and the measurement collector. The scheduler can still
+// drain in-flight events afterwards; accumulated results stay readable.
+func (s *System) Stop() {
+	if !s.started {
+		return
+	}
+	s.collector.Stop()
+	for _, n := range s.nodes {
+		n.Stop()
+		for _, vm := range n.VMs() {
+			if !vm.Failed() {
+				vm.Stack.Fail()
+				vm.Phc2sys.Stop()
+			}
+		}
+	}
+	for _, r := range s.relays {
+		r.Stop()
+	}
+	s.started = false
+}
+
+// RunFor advances the simulation by d.
+func (s *System) RunFor(d time.Duration) error { return s.sched.RunFor(d) }
+
+// RunUntil advances the simulation to absolute instant t.
+func (s *System) RunUntil(t sim.Time) error { return s.sched.RunUntil(t) }
+
+// Now reports the current simulation instant.
+func (s *System) Now() sim.Time { return s.sched.Now() }
+
+// Scheduler exposes the event scheduler (fault-injection drivers, tests).
+func (s *System) Scheduler() *sim.Scheduler { return s.sched }
+
+// Streams exposes the seeded random stream factory.
+func (s *System) Streams() *sim.Streams { return s.streams }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Node returns node i.
+func (s *System) Node(i int) *hypervisor.Node { return s.nodes[i] }
+
+// Nodes returns all nodes.
+func (s *System) Nodes() []*hypervisor.Node {
+	return append([]*hypervisor.Node(nil), s.nodes...)
+}
+
+// VM looks up a clock-synchronization VM by name (e.g. "c41").
+func (s *System) VM(name string) (*hypervisor.CSVM, bool) {
+	vm, ok := s.vms[name]
+	return vm, ok
+}
+
+// Collector returns the measurement collector.
+func (s *System) Collector() *measure.Collector { return s.collector }
+
+// EventLog returns the experiment event log.
+func (s *System) EventLog() *EventLog { return s.log }
+
+// SyncLatencies returns the tracker of observed Sync path latencies.
+func (s *System) SyncLatencies() *measure.LatencyTracker { return s.syncLat }
+
+// DriftOffset computes Γ = 2·r_max·S for the configured drift bound.
+func (s *System) DriftOffset() time.Duration {
+	return clock.DriftOffset(s.cfg.MaxStaticPPB*1e-9, s.cfg.SyncInterval)
+}
+
+// ReadingError reports E = d_max − d_min from the Sync latencies observed
+// so far (the paper extracts the same quantity from ptp4l's data).
+func (s *System) ReadingError() (time.Duration, bool) {
+	return s.syncLat.ReadingError()
+}
+
+// PrecisionBound instantiates Π(N, f, E, Γ) = u(N, f)(E + Γ) from the
+// measured reading error.
+func (s *System) PrecisionBound() (time.Duration, bool) {
+	e, ok := s.ReadingError()
+	if !ok {
+		return 0, false
+	}
+	return fta.Bound(s.cfg.Nodes, s.cfg.F, e, s.DriftOffset()), true
+}
+
+// AllInFTOperation reports whether every running stack reached
+// fault-tolerant operation.
+func (s *System) AllInFTOperation() bool {
+	for _, vm := range s.vms {
+		if vm.Stack.Running() && vm.Stack.Mode() != ptp4l.ModeFTOperation {
+			return false
+		}
+	}
+	return true
+}
+
+// TruePrecision is the simulator-omniscient max pairwise CLOCK_SYNCTIME
+// disagreement across nodes right now — ground truth for tests,
+// unavailable on the real testbed.
+func (s *System) TruePrecision() (float64, bool) {
+	var vals []float64
+	for _, n := range s.nodes {
+		if v, ok := n.SyncTimeNow(); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 2 {
+		return 0, false
+	}
+	var worst float64
+	for i := range vals {
+		for j := i + 1; j < len(vals); j++ {
+			d := vals[i] - vals[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, true
+}
+
+// nodeControl adapts a node for the faultinject package.
+type nodeControl struct {
+	sys *System
+	idx int
+}
+
+// NodeControls returns fault-injection adapters for every node.
+func (s *System) NodeControls() []NodeControlAdapter {
+	out := make([]NodeControlAdapter, len(s.nodes))
+	for i := range s.nodes {
+		out[i] = NodeControlAdapter{&nodeControl{sys: s, idx: i}}
+	}
+	return out
+}
+
+// NodeControlAdapter wraps the unexported adapter so callers outside the
+// package can pass it to faultinject.New.
+type NodeControlAdapter struct{ *nodeControl }
+
+// ControlName implements faultinject.NodeControl.
+func (c *nodeControl) ControlName() string { return c.sys.nodes[c.idx].Name() }
+
+// NumVMs implements faultinject.NodeControl.
+func (c *nodeControl) NumVMs() int { return len(c.sys.nodes[c.idx].VMs()) }
+
+// VMFailed implements faultinject.NodeControl.
+func (c *nodeControl) VMFailed(i int) bool { return c.sys.nodes[c.idx].VM(i).Failed() }
+
+// InjectFail implements faultinject.NodeControl.
+func (c *nodeControl) InjectFail(i int) error { return c.sys.nodes[c.idx].FailVM(i) }
+
+// InjectReboot implements faultinject.NodeControl.
+func (c *nodeControl) InjectReboot(i int) error { return c.sys.nodes[c.idx].RebootVM(i) }

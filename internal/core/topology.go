@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DescribeTopology renders the wired testbed — the textual form of the
+// paper's Fig. 2: per-node switches with their port assignments, the
+// switch mesh, the per-domain static spanning trees (external port
+// configuration), and the measurement VLAN.
+func (s *System) DescribeTopology() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "testbed: %d nodes, %d gPTP domains, %d clock-sync VMs per node (f = %d)\n",
+		s.cfg.Nodes, s.cfg.NumDomains(), s.cfg.VMsPerNode, s.cfg.F)
+	fmt.Fprintf(&b, "sync interval S = %v, drift bound r_max = %.0f ppb, Gamma = %v\n\n",
+		s.cfg.SyncInterval, s.cfg.MaxStaticPPB, s.DriftOffset())
+
+	for i := 0; i < s.cfg.Nodes; i++ {
+		fmt.Fprintf(&b, "%s (switch sw%d):\n", NodeName(i), i+1)
+		for j := 0; j < s.cfg.Nodes; j++ {
+			if j == i {
+				continue
+			}
+			fmt.Fprintf(&b, "  port %d -> sw%d (mesh)\n", s.meshPort(i, j), j+1)
+		}
+		for v := 0; v < s.cfg.VMsPerNode; v++ {
+			role := "redundant clock-sync VM"
+			if v == 0 && i < s.cfg.NumDomains() {
+				role = fmt.Sprintf("grandmaster of dom%d", i+1)
+			}
+			vmName := VMName(i, v)
+			fmt.Fprintf(&b, "  port %d -> %s (%s, kernel %s)\n",
+				s.vmPort(v), vmName, role, s.cfg.KernelFor(vmName))
+		}
+	}
+
+	fmt.Fprintf(&b, "\nper-domain spanning trees (IEEE 802.1AS external port configuration):\n")
+	for d := 0; d < s.cfg.NumDomains(); d++ {
+		fmt.Fprintf(&b, "  dom%d (GM %s):\n", d+1, VMName(d, 0))
+		for brIdx, relay := range s.relays {
+			ports, ok := relay.DomainPortsFor(d)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "    sw%d: slave port %d, master ports %v\n",
+				brIdx+1, ports.SlavePort, ports.MasterPorts)
+		}
+	}
+
+	fmt.Fprintf(&b, "\nmeasurement VLAN: rooted at sw%d; measurement VM %s (excluded from Pi*: %s)\n",
+		s.cfg.MeasurementNode+1,
+		VMName(s.cfg.MeasurementNode, s.cfg.MeasurementVM),
+		VMName(s.cfg.MeasurementNode, 0))
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// BMCAReconvergenceConfig parameterises the BMCA ablation: how long a
+// BMCA-managed single-domain network is without an agreed grandmaster
+// after the elected one fails silently. The paper's architecture avoids
+// this gap entirely — static external port configuration plus the FTA mask
+// a fail-silent grandmaster continuously.
+type BMCAReconvergenceConfig struct {
+	Seed             int64
+	Systems          int           // chain length; default 4
+	AnnounceInterval time.Duration // default 1 s (802.1AS)
+	TimeoutCount     int           // announce receipt timeout; default 3
+}
+
+func (c BMCAReconvergenceConfig) withDefaults() BMCAReconvergenceConfig {
+	if c.Systems <= 1 {
+		c.Systems = 4
+	}
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = time.Second
+	}
+	if c.TimeoutCount <= 0 {
+		c.TimeoutCount = 3
+	}
+	return c
+}
+
+// BMCAReconvergenceResult reports the election timings.
+type BMCAReconvergenceResult struct {
+	Config BMCAReconvergenceConfig
+	// InitialElection is the time from cold start until every system
+	// agrees on the grandmaster.
+	InitialElection time.Duration
+	// ReelectionGap is the time from the grandmaster's silent failure
+	// until every surviving system agrees on the successor — the window
+	// during which BMCA-based networks have no synchronized time source.
+	ReelectionGap time.Duration
+	Successor     string
+}
+
+// Summary renders the verdict.
+func (r BMCAReconvergenceResult) Summary() string {
+	return fmt.Sprintf(
+		"BMCA (announce %v, timeout %d): initial election %v; re-election gap after GM failure %v (successor %s) — the paper's static configuration + FTA masks the same failure with zero gap",
+		r.Config.AnnounceInterval, r.Config.TimeoutCount, r.InitialElection, r.ReelectionGap, r.Successor)
+}
+
+type bmcaAblationHook struct{ engine *gptp.BMCA }
+
+func (h *bmcaAblationHook) Handle(_ *netsim.Bridge, ingress int, f *netsim.Frame, _ float64) bool {
+	if a, ok := f.Payload.(*gptp.Announce); ok {
+		h.engine.HandleAnnounce(ingress, a)
+	}
+	return true
+}
+
+// BMCAReconvergence builds a single-domain chain of time-aware systems
+// under BMCA control, measures the initial election, fails the elected
+// grandmaster (the chain's best clock sits at one end so the survivors
+// stay connected), and measures the re-election gap.
+func BMCAReconvergence(cfg BMCAReconvergenceConfig) (*BMCAReconvergenceResult, error) {
+	cfg = cfg.withDefaults()
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(cfg.Seed)
+
+	n := cfg.Systems
+	engines := make([]*gptp.BMCA, n)
+	bridges := make([]*netsim.Bridge, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("sys%d", i)
+		osc := clock.NewOscillator(clock.OscillatorConfig{}, streams.Stream("osc/"+name), 0)
+		phc := clock.NewPHC(sched, osc, streams.Stream("ts/"+name), clock.PHCConfig{})
+		br := netsim.NewBridge(name, sched, streams.Stream("br/"+name), phc,
+			netsim.BridgeConfig{Ports: 2, Residence: map[int]netsim.ResidenceModel{
+				netsim.PriorityBestEffort: {Base: time.Microsecond, JitterNS: 100},
+			}})
+		bridges[i] = br
+
+		tx := make([]gptp.TxFunc, 2)
+		for p := 0; p < 2; p++ {
+			p := p
+			brCopy := br
+			tx[p] = func(f *netsim.Frame) (float64, bool) { return brCopy.Transmit(p, f), true }
+		}
+		priority := uint8(128)
+		switch i {
+		case n - 1:
+			priority = 50 // the elected grandmaster, at the chain's end
+		case 0:
+			priority = 60 // the successor
+		}
+		engine, err := gptp.NewBMCA(sched, tx, gptp.BMCAConfig{
+			Domain: 0,
+			Self: gptp.SystemIdentity{
+				Priority1: priority, ClockClass: 248, Priority2: 128, ClockID: name,
+			},
+			AnnounceInterval:    cfg.AnnounceInterval,
+			ReceiptTimeoutCount: cfg.TimeoutCount,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		br.SetHook(&bmcaAblationHook{engine: engine})
+		engines[i] = engine
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := netsim.Connect(sched, streams.Stream(fmt.Sprintf("link/%d", i)),
+			netsim.LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 20},
+			bridges[i].Port(1), bridges[i+1].Port(0)); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range engines {
+		if err := e.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	gmName := fmt.Sprintf("sys%d", n-1)
+	agreedOn := func(name string, exclude int) bool {
+		for i, e := range engines {
+			if i == exclude {
+				continue
+			}
+			if e.GM().ClockID != name {
+				return false
+			}
+		}
+		return true
+	}
+	waitAgreement := func(name string, exclude int, limit time.Duration) (time.Duration, error) {
+		start := sched.Now()
+		deadline := start.Add(limit)
+		for sched.Now() < deadline {
+			if agreedOn(name, exclude) {
+				return sched.Now().Sub(start), nil
+			}
+			if err := sched.RunFor(10 * time.Millisecond); err != nil {
+				return 0, err
+			}
+		}
+		return 0, fmt.Errorf("experiments: no agreement on %s within %v", name, limit)
+	}
+
+	res := &BMCAReconvergenceResult{Config: cfg}
+	elect, err := waitAgreement(gmName, -1, time.Duration(n)*10*cfg.AnnounceInterval)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialElection = elect
+
+	engines[n-1].Stop() // fail-silent grandmaster
+	successor := "sys0"
+	gap, err := waitAgreement(successor, n-1, time.Duration(cfg.TimeoutCount+n)*10*cfg.AnnounceInterval)
+	if err != nil {
+		return nil, err
+	}
+	res.ReelectionGap = gap
+	res.Successor = successor
+	return res, nil
+}

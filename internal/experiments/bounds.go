@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/core"
+	"gptpfta/internal/fta"
+)
+
+// BoundsConfig parameterises the §III-A3 methodology run.
+type BoundsConfig struct {
+	Seed     int64
+	Duration time.Duration // fault-free observation window
+}
+
+func (c BoundsConfig) withDefaults() BoundsConfig {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Minute
+	}
+	return c
+}
+
+// BoundsResult reproduces the paper's bound-instantiation numbers:
+// d_min, d_max, E, Γ, Π and γ (§III-B quotes d_min = 4120 ns,
+// d_max = 9188 ns, E = 5068 ns, Π = 12.636 µs, γ = 1313 ns).
+type BoundsResult struct {
+	Config BoundsConfig
+
+	DMin, DMax   time.Duration
+	ReadingError time.Duration // E = d_max − d_min
+	DriftOffset  time.Duration // Γ = 2·r_max·S
+	U            float64       // u(N, f)
+	Bound        time.Duration // Π = u·(E+Γ)
+	Gamma        time.Duration // measurement error over the VLAN paths
+	SyncPaths    int
+}
+
+// Table renders the methodology numbers as the rows the paper reports.
+func (r BoundsResult) Table() []string {
+	return []string{
+		fmt.Sprintf("d_min (min observed path latency)        %12v", r.DMin),
+		fmt.Sprintf("d_max (max observed path latency)        %12v", r.DMax),
+		fmt.Sprintf("E = d_max - d_min (reading error)        %12v", r.ReadingError),
+		fmt.Sprintf("Gamma = 2*r_max*S (drift offset)         %12v", r.DriftOffset),
+		fmt.Sprintf("u(N,f)                                   %12.2f", r.U),
+		fmt.Sprintf("Pi = u(N,f)*(E+Gamma) (precision bound)  %12v", r.Bound),
+		fmt.Sprintf("gamma (measurement error, eq. 3.2)       %12v", r.Gamma),
+		fmt.Sprintf("observed sync paths                      %12d", r.SyncPaths),
+	}
+}
+
+// Bounds runs the fault-free methodology experiment and instantiates the
+// convergence-function bound from measured latencies.
+func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
+	cfg = cfg.withDefaults()
+	sysCfg := core.NewConfig(cfg.Seed)
+	sys, err := core.NewSystem(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	if err := sys.RunFor(cfg.Duration); err != nil {
+		return nil, err
+	}
+	res := &BoundsResult{Config: cfg}
+	res.DMin, res.DMax, _ = sys.SyncLatencies().Extrema()
+	res.ReadingError = res.DMax - res.DMin
+	res.DriftOffset = sys.DriftOffset()
+	res.U = fta.U(sysCfg.Nodes, sysCfg.F)
+	res.Bound = fta.Bound(sysCfg.Nodes, sysCfg.F, res.ReadingError, res.DriftOffset)
+	res.Gamma = sys.Collector().Gamma()
+	res.SyncPaths = sys.SyncLatencies().Paths()
+	return res, nil
+}

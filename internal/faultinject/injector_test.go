@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// fakeNode records injections and enforces nothing itself — the injector
+// must uphold the fault hypothesis.
+type fakeNode struct {
+	name    string
+	vms     []bool // true = failed
+	history []string
+}
+
+func newFakeNode(name string) *fakeNode { return &fakeNode{name: name, vms: make([]bool, 2)} }
+
+func (n *fakeNode) ControlName() string { return n.name }
+func (n *fakeNode) NumVMs() int         { return len(n.vms) }
+func (n *fakeNode) VMFailed(i int) bool { return n.vms[i] }
+
+func (n *fakeNode) InjectFail(i int) error {
+	if n.vms[i] {
+		return fmt.Errorf("already failed")
+	}
+	n.vms[i] = true
+	n.history = append(n.history, fmt.Sprintf("fail:%d", i))
+	return nil
+}
+
+func (n *fakeNode) InjectReboot(i int) error {
+	if !n.vms[i] {
+		return fmt.Errorf("not failed")
+	}
+	n.vms[i] = false
+	n.history = append(n.history, fmt.Sprintf("reboot:%d", i))
+	return nil
+}
+
+func run24h(t *testing.T, cfg Config, seed int64) ([]*fakeNode, Stats) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(seed)
+	nodes := []*fakeNode{newFakeNode("dev1"), newFakeNode("dev2"), newFakeNode("dev3"), newFakeNode("dev4")}
+	ctl := make([]NodeControl, len(nodes))
+	for i, n := range nodes {
+		ctl[i] = n
+	}
+	inj, err := New(sched, streams.Stream("inject"), ctl, cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := inj.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := sched.RunUntil(sim.Time(24 * time.Hour)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	inj.Stop()
+	return nodes, inj.Stats()
+}
+
+func TestGMRotationCount(t *testing.T) {
+	_, stats := run24h(t, Config{GMPeriod: time.Hour, RedundantMinPerHour: 0.25, RedundantMaxPerHour: 1}, 1)
+	// One GM shutdown per hour, rotating: ~24 over 24 h, minus guard
+	// suppressions and the warm-up delay.
+	if stats.GMFailures < 20 || stats.GMFailures > 24 {
+		t.Fatalf("GM failures = %d, want ≈ 24 slots - suppressions", stats.GMFailures)
+	}
+	if stats.TotalFailures != stats.GMFailures+stats.RedundantFailures {
+		t.Fatalf("stats inconsistent: %+v", stats)
+	}
+}
+
+func TestFaultHypothesisNeverViolated(t *testing.T) {
+	nodes, stats := run24h(t, Config{
+		GMPeriod:            30 * time.Minute,
+		RedundantMinPerHour: 6,
+		RedundantMaxPerHour: 12,
+		Downtime:            90 * time.Second,
+	}, 2)
+	// Replay every node's history and assert both VMs were never down
+	// simultaneously.
+	for _, n := range nodes {
+		down := map[int]bool{}
+		for _, h := range n.history {
+			var vm int
+			var op string
+			if _, err := fmt.Sscanf(h, "fail:%d", &vm); err == nil {
+				op = "fail"
+			} else if _, err := fmt.Sscanf(h, "reboot:%d", &vm); err == nil {
+				op = "reboot"
+			}
+			if op == "fail" {
+				if down[1-vm] {
+					t.Fatalf("%s: fault hypothesis violated: both VMs down (history %v)", n.name, n.history)
+				}
+				down[vm] = true
+			} else {
+				down[vm] = false
+			}
+		}
+	}
+	if stats.SkippedByGuard == 0 {
+		t.Fatal("high-rate run should have exercised the guard at least once")
+	}
+}
+
+func TestRebootsFollowFailures(t *testing.T) {
+	_, stats := run24h(t, Config{GMPeriod: time.Hour, RedundantMinPerHour: 1, RedundantMaxPerHour: 2}, 3)
+	// Every failure eventually reboots (the run is much longer than the
+	// downtime); the last few may still be down at cutoff.
+	if stats.Reboots < stats.TotalFailures-4 {
+		t.Fatalf("reboots = %d for %d failures", stats.Reboots, stats.TotalFailures)
+	}
+}
+
+func TestPaperScaleInjection(t *testing.T) {
+	// The §III-C campaign: ~48 GM failures and a few dozen redundant
+	// failures over 24 h.
+	_, stats := run24h(t, Config{
+		GMPeriod:            30 * time.Minute,
+		RedundantMinPerHour: 0.25,
+		RedundantMaxPerHour: 1,
+	}, 4)
+	if stats.GMFailures < 40 || stats.GMFailures > 48 {
+		t.Fatalf("GM failures = %d, want ≈ 48", stats.GMFailures)
+	}
+	if stats.RedundantFailures < 20 || stats.RedundantFailures > 120 {
+		t.Fatalf("redundant failures = %d, want a few dozen", stats.RedundantFailures)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestNewRequiresNodes(t *testing.T) {
+	if _, err := New(sim.NewScheduler(), nil, nil, Config{}); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+}

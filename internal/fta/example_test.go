@@ -1,0 +1,60 @@
+package fta_test
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/fta"
+)
+
+// The paper's configuration: four gPTP domains, one Byzantine grandmaster
+// distributing timestamps falsified by −24 µs. The fault-tolerant average
+// drops the extremes and the result stays inside the honest window.
+func ExampleAverage() {
+	offsets := []float64{120, -80, 40, -24000} // ns; the last one lies
+	masked, err := fta.Average(offsets, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("FTA offset: %.0f ns\n", masked)
+	// Output:
+	// FTA offset: -20 ns
+}
+
+// Instantiating the precision bound of §III-B: E = 5068 ns, Γ = 1.25 µs,
+// N = 4 domains, f = 1 → Π = 2(E+Γ) = 12.636 µs.
+func ExampleBound() {
+	pi := fta.Bound(4, 1, 5068*time.Nanosecond, 1250*time.Nanosecond)
+	fmt.Println("Pi =", pi)
+	// Output:
+	// Pi = 12.636µs
+}
+
+// The amortisation factor u(N, f) = (N−2f)/(N−3f) of the convergence
+// function.
+func ExampleU() {
+	fmt.Println(fta.U(4, 1))
+	fmt.Println(fta.U(7, 2))
+	// Output:
+	// 2
+	// 3
+}
+
+// A full FTSHMEM aggregation step: freshness, validity flags, FTA.
+func ExampleAggregate() {
+	readings := []fta.Reading{
+		{Domain: 0, OffsetNS: 15, Fresh: true},
+		{Domain: 1, OffsetNS: -10, Fresh: true},
+		{Domain: 2, OffsetNS: 20, Fresh: true},
+		{Domain: 3, OffsetNS: -24000, Fresh: true}, // Byzantine
+	}
+	offset, flags, err := fta.Aggregate(readings, 1, 1000, fta.FlagMonitor)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("aggregated: %.1f ns, flags: %v\n", offset, flags)
+	// Output:
+	// aggregated: 2.5 ns, flags: [true true true false]
+}

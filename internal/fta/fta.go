@@ -1,0 +1,173 @@
+// Package fta implements the fault-tolerant average (FTA) convergence
+// function of Kopetz and Ochsenreiter ("Clock Synchronization in Distributed
+// Real-Time Systems", IEEE ToC 1987) that the paper's extended ptp4l uses to
+// aggregate the master offsets of M gPTP domains, together with the
+// convergence-function precision bound Π(N, f, E, Γ) = u(N, f)·(E + Γ) used
+// in §III-A3 of the paper.
+package fta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrInsufficientClocks is returned when fewer than 2f+1 readings are
+// available: the FTA cannot mask f Byzantine faults below that count.
+var ErrInsufficientClocks = errors.New("fta: fewer than 2f+1 clock readings")
+
+// Average sorts the readings, discards the f smallest and f largest, and
+// returns the arithmetic mean of the remainder. It does not modify the
+// input slice. With at least 2f+1 readings of which at most f are arbitrary
+// (Byzantine) and the rest lie within a window Π, the result is guaranteed
+// to lie within that window — the masking property the paper relies on for
+// Byzantine grandmaster tolerance.
+func Average(readings []float64, f int) (float64, error) {
+	if f < 0 {
+		return 0, fmt.Errorf("fta: negative fault count %d", f)
+	}
+	n := len(readings)
+	if n < 2*f+1 {
+		return 0, fmt.Errorf("%w: n=%d f=%d", ErrInsufficientClocks, n, f)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, readings)
+	sort.Float64s(sorted)
+	kept := sorted[f : n-f]
+	var sum float64
+	for _, v := range kept {
+		sum += v
+	}
+	return sum / float64(len(kept)), nil
+}
+
+// U computes the amortisation factor u(N, f) = (N − 2f) / (N − 3f) of the
+// FTA convergence function. For the paper's configuration N = 4, f = 1 it
+// evaluates to 2, yielding the bound Π = 2(E + Γ). It returns +Inf when
+// N ≤ 3f (the algorithm does not converge).
+func U(n, f int) float64 {
+	if n <= 3*f {
+		return math.Inf(1)
+	}
+	return float64(n-2*f) / float64(n-3*f)
+}
+
+// Bound instantiates the convergence-function precision bound
+// Π(N, f, E, Γ) = u(N, f)·(E + Γ), where E is the reading error (max minus
+// min network latency between any two nodes) and Γ = 2·r_max·S is the drift
+// offset for maximum drift rate r_max over resynchronisation interval S.
+func Bound(n, f int, readingError, driftOffset time.Duration) time.Duration {
+	u := U(n, f)
+	if math.IsInf(u, 1) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(u * float64(readingError+driftOffset))
+}
+
+// Reading is one domain's grandmaster offset sample as stored in FTSHMEM.
+type Reading struct {
+	// Domain is the gPTP domain number the offset was derived from.
+	Domain int
+	// OffsetNS is the grandmaster offset in nanoseconds (local minus GM).
+	OffsetNS float64
+	// At is the local PHC time the offset was computed at; stale readings
+	// (no Sync received, fail-silent GM) are excluded from aggregation.
+	At float64
+	// Fresh reports whether the reading is recent enough to use.
+	Fresh bool
+}
+
+// ValidityFlags computes, for each fresh reading, whether its offset lies
+// within threshold of the median of the other fresh readings — the array of
+// M booleans the paper keeps in FTSHMEM to expose which grandmaster clocks
+// disagree with the rest. Stale readings are flagged false.
+func ValidityFlags(readings []Reading, threshold float64) []bool {
+	flags := make([]bool, len(readings))
+	for i, r := range readings {
+		if !r.Fresh {
+			continue
+		}
+		others := make([]float64, 0, len(readings)-1)
+		for j, o := range readings {
+			if j == i || !o.Fresh {
+				continue
+			}
+			others = append(others, o.OffsetNS)
+		}
+		if len(others) == 0 {
+			flags[i] = true // nothing to compare against
+			continue
+		}
+		flags[i] = math.Abs(r.OffsetNS-median(others)) <= threshold
+	}
+	return flags
+}
+
+func median(v []float64) float64 {
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// FlagPolicy selects how validity flags influence aggregation.
+type FlagPolicy int
+
+const (
+	// FlagMonitor computes the flags for monitoring only; the FTA runs
+	// over all fresh readings (the masking property handles up to f
+	// faults). This is the paper's configuration.
+	FlagMonitor FlagPolicy = iota + 1
+	// FlagExclude removes flagged-invalid readings before the FTA when
+	// enough readings remain; an ablation studied in the benchmarks.
+	FlagExclude
+)
+
+// Aggregate runs the full FTSHMEM aggregation step: freshness filtering,
+// validity flags, optional exclusion, and the FTA. It returns the
+// aggregated master offset, the flags (indexed like readings), and an error
+// if fewer than 2f+1 usable readings remain.
+func Aggregate(readings []Reading, f int, threshold float64, policy FlagPolicy) (float64, []bool, error) {
+	flags := ValidityFlags(readings, threshold)
+	usable := make([]float64, 0, len(readings))
+	for i, r := range readings {
+		if !r.Fresh {
+			continue
+		}
+		if policy == FlagExclude && !flags[i] {
+			continue
+		}
+		usable = append(usable, r.OffsetNS)
+	}
+	if policy == FlagExclude && len(usable) < 2*f+1 {
+		// Exclusion starved the quorum; fall back to all fresh readings
+		// so that a burst of disagreement cannot halt synchronisation.
+		usable = usable[:0]
+		for _, r := range readings {
+			if r.Fresh {
+				usable = append(usable, r.OffsetNS)
+			}
+		}
+	}
+	// Degrade f when too few domains remain (e.g. a fail-silent GM during
+	// reboot): with n fresh readings the largest maskable fault count is
+	// floor((n-1)/2).
+	eff := f
+	if maxF := (len(usable) - 1) / 2; eff > maxF {
+		eff = maxF
+	}
+	if eff < 0 {
+		eff = 0
+	}
+	avg, err := Average(usable, eff)
+	if err != nil {
+		return 0, flags, err
+	}
+	return avg, flags, nil
+}

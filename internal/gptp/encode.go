@@ -1,0 +1,117 @@
+package gptp
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// ClockIDFromName derives a stable EUI-64-style clock identity from a
+// simulator entity name ("c11", "sw3"), for encoding simulated traffic
+// into wire format.
+func ClockIDFromName(name string) [8]byte {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	v := h.Sum64()
+	var id [8]byte
+	for i := 0; i < 8; i++ {
+		id[i] = byte(v >> uint(56-8*i))
+	}
+	// Mark as locally administered, like MAC-derived EUI-64s.
+	id[0] |= 0x02
+	return id
+}
+
+// sourceName strips the "nic/" prefix from a frame source address.
+func sourceName(addr string) string {
+	return strings.TrimPrefix(addr, "nic/")
+}
+
+// EncodeWire encodes a simulated gPTP payload into IEEE 1588/802.1AS wire
+// bytes. src is the frame's source address ("nic/c11"). It reports false
+// for payloads that have no wire form (non-gPTP traffic) or whose values
+// cannot be represented (e.g. negative timestamps during early start-up).
+func EncodeWire(src string, payload any) ([]byte, bool) {
+	identity := PortIdentity{ClockID: ClockIDFromName(sourceName(src)), Port: 1}
+	switch m := payload.(type) {
+	case *Sync:
+		b, err := MarshalSync(uint8(m.Domain), m.Seq, identity)
+		return b, err == nil
+	case *FollowUp:
+		origin, err := WireTimestampFromNS(m.PreciseOrigin)
+		if err != nil {
+			return nil, false
+		}
+		b, err := MarshalFollowUp(WireFollowUp{
+			Domain:                     uint8(m.Domain),
+			SequenceID:                 m.Seq,
+			Source:                     identity,
+			PreciseOrigin:              origin,
+			CorrectionNS:               m.Correction,
+			CumulativeScaledRateOffset: ScaledRateOffset(m.RateRatio),
+		})
+		return b, err == nil
+	case *PdelayReq:
+		b, err := MarshalPdelayReq(0, m.Seq, identity)
+		return b, err == nil
+	case *PdelayResp:
+		t2, err := WireTimestampFromNS(m.T2)
+		if err != nil {
+			return nil, false
+		}
+		b, err := MarshalPdelayResp(WirePdelayResp{
+			SequenceID: m.Seq,
+			Source:     identity,
+			Timestamp:  t2,
+			Requesting: PortIdentity{ClockID: ClockIDFromName(m.Requester), Port: 1},
+		})
+		return b, err == nil
+	case *PdelayRespFollowUp:
+		t3, err := WireTimestampFromNS(m.T3)
+		if err != nil {
+			return nil, false
+		}
+		b, err := MarshalPdelayResp(WirePdelayResp{
+			SequenceID: m.Seq,
+			Source:     identity,
+			Timestamp:  t3,
+			Requesting: PortIdentity{ClockID: ClockIDFromName(m.Requester), Port: 1},
+			FollowUp:   true,
+		})
+		return b, err == nil
+	case *Announce:
+		path := make([][8]byte, 0, len(m.Path))
+		for _, hop := range m.Path {
+			path = append(path, ClockIDFromName(hop))
+		}
+		b, err := MarshalAnnounce(WireAnnounce{
+			Domain:       uint8(m.Domain),
+			SequenceID:   m.Seq,
+			Source:       identity,
+			Priority1:    m.GM.Priority1,
+			ClockClass:   m.GM.ClockClass,
+			Accuracy:     m.GM.Accuracy,
+			Variance:     m.GM.Variance,
+			Priority2:    m.GM.Priority2,
+			GMIdentity:   ClockIDFromName(m.GM.ClockID),
+			StepsRemoved: uint16(m.StepsRemoved),
+			Path:         path,
+		})
+		return b, err == nil
+	default:
+		return nil, false
+	}
+}
+
+// ScaledRateOffset converts a cumulative rate ratio into the 802.1AS
+// cumulativeScaledRateOffset: (ratio − 1)·2^41.
+func ScaledRateOffset(ratio float64) int32 {
+	v := (ratio - 1) * (1 << 41)
+	switch {
+	case v > 2147483647:
+		return 2147483647
+	case v < -2147483648:
+		return -2147483648
+	default:
+		return int32(v)
+	}
+}

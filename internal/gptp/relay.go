@@ -1,0 +1,281 @@
+package gptp
+
+import (
+	"fmt"
+
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// DomainPorts is the static per-domain port-role configuration of one
+// time-aware bridge (IEEE 802.1AS external port configuration — the paper
+// disables the BMCA entirely).
+type DomainPorts struct {
+	// SlavePort faces the domain's grandmaster.
+	SlavePort int
+	// MasterPorts are the downstream ports Sync is relayed to.
+	MasterPorts []int
+}
+
+// RelayConfig configures the per-domain spanning tree on a bridge.
+type RelayConfig struct {
+	Domains map[int]DomainPorts
+	// DefaultLinkDelayNS is used for correction-field accumulation before
+	// the first pdelay measurement completes on the slave port.
+	DefaultLinkDelayNS float64
+}
+
+// Relay implements IEEE 802.1AS time-aware bridge behaviour as a
+// netsim.RelayHook: peer delay on every port, Sync relaying along the
+// static per-domain trees, and residence-time + link-delay accumulation in
+// the FollowUp correction field, measured with the bridge's own
+// free-running clock.
+type Relay struct {
+	bridge *netsim.Bridge
+	sched  *sim.Scheduler
+	cfg    RelayConfig
+
+	linkDelays []*LinkDelay
+	domains    map[int]*relayDomain
+	// onAnnounce receives Announce messages per ingress port (the BMCA
+	// engine in dynamic operation); Announce is link-local and always
+	// consumed.
+	onAnnounce func(ingress int, a *Announce)
+}
+
+type relayDomain struct {
+	cfg     DomainPorts
+	pending map[uint16]*relaySync
+	lastSeq uint16
+}
+
+type relaySync struct {
+	rxTS float64
+	// txTS is the measured egress timestamp per master port.
+	txTS map[int]float64
+	// fu holds the upstream FollowUp until all egress timestamps exist.
+	fu *FollowUp
+	// done marks master ports whose FollowUp has been forwarded.
+	done map[int]bool
+}
+
+// NewRelay installs 802.1AS relaying on a bridge and returns the relay. rng
+// seeds the per-port pdelay phase.
+func NewRelay(bridge *netsim.Bridge, sched *sim.Scheduler, rng sim.RNG, cfg RelayConfig) (*Relay, error) {
+	r := &Relay{
+		bridge:  bridge,
+		sched:   sched,
+		cfg:     cfg,
+		domains: make(map[int]*relayDomain, len(cfg.Domains)),
+	}
+	for d, ports := range cfg.Domains {
+		if ports.SlavePort < 0 || ports.SlavePort >= bridge.NumPorts() {
+			return nil, fmt.Errorf("gptp: relay %s domain %d: bad slave port %d", bridge.DeviceName(), d, ports.SlavePort)
+		}
+		r.domains[d] = &relayDomain{cfg: ports, pending: make(map[uint16]*relaySync)}
+	}
+	r.linkDelays = make([]*LinkDelay, bridge.NumPorts())
+	for i := range r.linkDelays {
+		port := i
+		name := fmt.Sprintf("%s/p%d", bridge.DeviceName(), i)
+		r.linkDelays[i] = NewLinkDelay(name, sched, rng, func(f *netsim.Frame) (float64, bool) {
+			return bridge.Transmit(port, f), true
+		}, LinkDelayConfig{})
+	}
+	bridge.SetHook(r)
+	return r, nil
+}
+
+// Start begins pdelay measurement on all connected ports.
+func (r *Relay) Start() error {
+	for i, ld := range r.linkDelays {
+		if !r.bridge.Port(i).Connected() {
+			continue
+		}
+		if err := ld.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop halts pdelay measurement.
+func (r *Relay) Stop() {
+	for _, ld := range r.linkDelays {
+		ld.Stop()
+	}
+}
+
+// LinkDelay exposes the pdelay endpoint of a port (tests, diagnostics).
+func (r *Relay) LinkDelay(port int) *LinkDelay { return r.linkDelays[port] }
+
+// SetDomainPorts installs or replaces a domain's port-role configuration at
+// runtime — how a BMCA engine's role decisions are applied to the relay
+// when dynamic operation is wanted instead of the paper's static external
+// port configuration. In-flight Sync state for the domain is dropped.
+func (r *Relay) SetDomainPorts(domain int, ports DomainPorts) error {
+	if ports.SlavePort < 0 || ports.SlavePort >= r.bridge.NumPorts() {
+		return fmt.Errorf("gptp: relay %s domain %d: bad slave port %d",
+			r.bridge.DeviceName(), domain, ports.SlavePort)
+	}
+	for _, m := range ports.MasterPorts {
+		if m < 0 || m >= r.bridge.NumPorts() {
+			return fmt.Errorf("gptp: relay %s domain %d: bad master port %d",
+				r.bridge.DeviceName(), domain, m)
+		}
+	}
+	r.domains[domain] = &relayDomain{cfg: ports, pending: make(map[uint16]*relaySync)}
+	return nil
+}
+
+// RemoveDomain stops relaying a domain (its grandmaster disappeared and no
+// successor exists on this side of the network).
+func (r *Relay) RemoveDomain(domain int) {
+	delete(r.domains, domain)
+}
+
+// DomainPortsFor reports a domain's current configuration.
+func (r *Relay) DomainPortsFor(domain int) (DomainPorts, bool) {
+	d, ok := r.domains[domain]
+	if !ok {
+		return DomainPorts{}, false
+	}
+	return DomainPorts{
+		SlavePort:   d.cfg.SlavePort,
+		MasterPorts: append([]int(nil), d.cfg.MasterPorts...),
+	}, true
+}
+
+// Handle implements netsim.RelayHook. All gPTP frames are consumed (they
+// are link-local); everything else falls through to generic forwarding.
+func (r *Relay) Handle(_ *netsim.Bridge, ingress int, f *netsim.Frame, rxTS float64) bool {
+	switch m := f.Payload.(type) {
+	case *PdelayReq, *PdelayResp, *PdelayRespFollowUp:
+		r.linkDelays[ingress].HandleFrame(f.Payload, rxTS)
+		return true
+	case *Sync:
+		r.handleSync(ingress, f, m, rxTS)
+		return true
+	case *FollowUp:
+		r.handleFollowUp(ingress, m)
+		return true
+	case *Announce:
+		if r.onAnnounce != nil {
+			r.onAnnounce(ingress, m)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// SetAnnounceHandler routes received Announce messages to a BMCA engine.
+func (r *Relay) SetAnnounceHandler(h func(ingress int, a *Announce)) {
+	r.onAnnounce = h
+}
+
+func (r *Relay) handleSync(ingress int, f *netsim.Frame, m *Sync, rxTS float64) {
+	d, ok := r.domains[m.Domain]
+	if !ok || ingress != d.cfg.SlavePort {
+		return // not part of this domain's tree here: drop
+	}
+	if m.OneStep {
+		r.relayOneStep(d, f, m, rxTS)
+		return
+	}
+	st := &relaySync{rxTS: rxTS, txTS: make(map[int]float64, len(d.cfg.MasterPorts)), done: make(map[int]bool)}
+	d.pending[m.Seq] = st
+	d.lastSeq = m.Seq
+	// Garbage-collect stale entries (a FollowUp that never arrived).
+	for seq := range d.pending {
+		if seqDelta(d.lastSeq, seq) > 4 {
+			delete(d.pending, seq)
+		}
+	}
+	for _, egress := range d.cfg.MasterPorts {
+		egress := egress
+		out := f.Clone()
+		residence := r.bridge.ResidenceFor(f)
+		r.bridge.TransmitAt(egress, residence, out, func(txTS float64) {
+			st.txTS[egress] = txTS
+			if st.fu != nil {
+				r.forwardFollowUp(d, m.Seq, st, egress)
+			}
+		})
+	}
+}
+
+// relayOneStep forwards a one-step Sync: each egress copy gets its own
+// payload whose correction field is updated at the moment of transmission
+// (residence + upstream link delay, in the grandmaster timebase) — the
+// on-the-fly field rewrite a one-step transparent clock performs in
+// hardware.
+func (r *Relay) relayOneStep(d *relayDomain, f *netsim.Frame, m *Sync, rxTS float64) {
+	slaveLD := r.linkDelays[d.cfg.SlavePort]
+	nrr := slaveLD.NeighborRateRatio()
+	cumRatio := m.RateRatio * nrr
+	linkDelay := slaveLD.DelayOrDefault(r.cfg.DefaultLinkDelayNS)
+	for _, egress := range d.cfg.MasterPorts {
+		out := f.Clone()
+		copySync := *m
+		copySync.RateRatio = cumRatio
+		out.Payload = &copySync
+		residence := r.bridge.ResidenceFor(f)
+		r.bridge.TransmitAt(egress, residence, out, func(txTS float64) {
+			copySync.Correction = m.Correction + (txTS-rxTS+linkDelay)*cumRatio
+		})
+	}
+}
+
+func (r *Relay) handleFollowUp(ingress int, m *FollowUp) {
+	d, ok := r.domains[m.Domain]
+	if !ok || ingress != d.cfg.SlavePort {
+		return
+	}
+	st, ok := d.pending[m.Seq]
+	if !ok {
+		return // Sync was lost or aged out
+	}
+	st.fu = m
+	for _, egress := range d.cfg.MasterPorts {
+		if _, have := st.txTS[egress]; have {
+			r.forwardFollowUp(d, m.Seq, st, egress)
+		}
+	}
+}
+
+// forwardFollowUp emits the FollowUp on one master port with the correction
+// field increased by this bridge's residence time and the upstream link
+// delay, both expressed in the grandmaster timebase via the cumulative rate
+// ratio (802.1AS clause 11.1.3).
+func (r *Relay) forwardFollowUp(d *relayDomain, seq uint16, st *relaySync, egress int) {
+	if st.done[egress] {
+		return
+	}
+	st.done[egress] = true
+
+	slaveLD := r.linkDelays[d.cfg.SlavePort]
+	nrr := slaveLD.NeighborRateRatio()
+	cumRatio := st.fu.RateRatio * nrr
+	residence := st.txTS[egress] - st.rxTS
+	linkDelay := slaveLD.DelayOrDefault(r.cfg.DefaultLinkDelayNS)
+
+	out := &FollowUp{
+		Domain:        st.fu.Domain,
+		Seq:           seq,
+		PreciseOrigin: st.fu.PreciseOrigin,
+		Correction:    st.fu.Correction + (residence+linkDelay)*cumRatio,
+		RateRatio:     cumRatio,
+		GMIdentity:    st.fu.GMIdentity,
+	}
+	frame := newFrame(netsim.Address("nic/"+r.bridge.DeviceName()), out)
+	r.bridge.TransmitAfterResidence(egress, frame)
+
+	if len(st.done) == len(d.cfg.MasterPorts) {
+		delete(d.pending, seq)
+	}
+}
+
+// seqDelta computes the forward distance between two uint16 sequence
+// numbers with wraparound.
+func seqDelta(newer, older uint16) uint16 { return newer - older }

@@ -1,0 +1,116 @@
+package gptp
+
+import "fmt"
+
+// OffsetSample is one grandmaster-offset measurement delivered to the
+// extended ptp4l instance, which stores it into FTSHMEM.
+type OffsetSample struct {
+	Domain int
+	// OffsetNS = local receive timestamp − (preciseOrigin + correction +
+	// meanLinkDelay): positive means the local PHC is ahead of the GM.
+	OffsetNS float64
+	// PreciseOrigin is the GM transmit timestamp from the FollowUp.
+	PreciseOrigin float64
+	// Correction is the accumulated path correction.
+	Correction float64
+	// RxTS is the local hardware receive timestamp of the Sync.
+	RxTS float64
+	// RateRatio is the cumulative GM-to-local rate ratio.
+	RateRatio  float64
+	GMIdentity string
+	Seq        uint16
+}
+
+// Slave computes grandmaster offsets for one domain on an end-station NIC.
+// It matches two-step Sync/FollowUp pairs and subtracts the NIC port's
+// measured mean link delay.
+type Slave struct {
+	domain    int
+	linkDelay *LinkDelay
+	onOffset  func(OffsetSample)
+
+	pending map[uint16]float64 // seq → rxTS
+	lastSeq uint16
+	matched uint64
+}
+
+// NewSlave creates a slave for the given domain. linkDelay is the NIC
+// port's pdelay endpoint; onOffset receives each completed measurement.
+func NewSlave(domain int, linkDelay *LinkDelay, onOffset func(OffsetSample)) *Slave {
+	return &Slave{
+		domain:    domain,
+		linkDelay: linkDelay,
+		onOffset:  onOffset,
+		pending:   make(map[uint16]float64),
+	}
+}
+
+// Domain reports the slave's gPTP domain.
+func (s *Slave) Domain() int { return s.domain }
+
+// Matched reports how many Sync/FollowUp pairs completed.
+func (s *Slave) Matched() uint64 { return s.matched }
+
+// HandleSync records the receive timestamp of a Sync for this domain. In
+// one-step operation the measurement completes immediately.
+func (s *Slave) HandleSync(m *Sync, rxTS float64) {
+	if m.Domain != s.domain {
+		return
+	}
+	if m.OneStep {
+		delay := s.linkDelay.DelayOrDefault(0)
+		s.matched++
+		if s.onOffset != nil {
+			s.onOffset(OffsetSample{
+				Domain:        s.domain,
+				OffsetNS:      rxTS - m.Origin - m.Correction - delay,
+				PreciseOrigin: m.Origin,
+				Correction:    m.Correction,
+				RxTS:          rxTS,
+				RateRatio:     m.RateRatio,
+				GMIdentity:    m.GMIdentity,
+				Seq:           m.Seq,
+			})
+		}
+		return
+	}
+	s.pending[m.Seq] = rxTS
+	s.lastSeq = m.Seq
+	for seq := range s.pending {
+		if seqDelta(s.lastSeq, seq) > 4 {
+			delete(s.pending, seq)
+		}
+	}
+}
+
+// HandleFollowUp completes a measurement if the matching Sync was seen.
+func (s *Slave) HandleFollowUp(m *FollowUp) {
+	if m.Domain != s.domain {
+		return
+	}
+	rxTS, ok := s.pending[m.Seq]
+	if !ok {
+		return // Sync lost (deadline miss upstream) or arrived out of order
+	}
+	delete(s.pending, m.Seq)
+	delay := s.linkDelay.DelayOrDefault(0)
+	offset := rxTS - m.PreciseOrigin - m.Correction - delay
+	s.matched++
+	if s.onOffset != nil {
+		s.onOffset(OffsetSample{
+			Domain:        s.domain,
+			OffsetNS:      offset,
+			PreciseOrigin: m.PreciseOrigin,
+			Correction:    m.Correction,
+			RxTS:          rxTS,
+			RateRatio:     m.RateRatio,
+			GMIdentity:    m.GMIdentity,
+			Seq:           m.Seq,
+		})
+	}
+}
+
+// String describes the slave for diagnostics.
+func (s *Slave) String() string {
+	return fmt.Sprintf("slave(domain=%d matched=%d)", s.domain, s.matched)
+}

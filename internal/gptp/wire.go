@@ -1,0 +1,487 @@
+package gptp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the binary wire format of the gPTP messages per
+// IEEE 1588-2019 clause 13 and IEEE 802.1AS-2020 clause 11, so that the
+// protocol engine's messages can be captured, replayed or exchanged with
+// real implementations. The simulator proper exchanges typed structs; the
+// codec is the interoperability boundary.
+
+// Wire message types (IEEE 1588-2019 Table 36).
+const (
+	WireTypeSync               = 0x0
+	WireTypePdelayReq          = 0x2
+	WireTypePdelayResp         = 0x3
+	WireTypeFollowUp           = 0x8
+	WireTypePdelayRespFollowUp = 0xA
+	WireTypeAnnounce           = 0xB
+)
+
+// majorSdoId for gPTP (802.1AS) is 0x1 (transportSpecific nibble).
+const gptpMajorSdoID = 0x1
+
+// Header lengths (IEEE 1588-2019 clause 13.3).
+const (
+	headerLen            = 34
+	timestampLen         = 10
+	portIdentityLen      = 10
+	syncBodyLen          = timestampLen
+	followUpBodyLen      = timestampLen
+	pdelayReqBodyLen     = timestampLen + portIdentityLen // reserved + reserved
+	pdelayRespBodyLen    = timestampLen + portIdentityLen
+	announceBodyLen      = timestampLen + 2 + 1 + 1 + 4 + 1 + 8 + 2 + 1
+	twoStepFlag          = 0x0200
+	ptpTimescaleFlag     = 0x0008
+	currentPTPVersion    = 0x02 // versionPTP 2, minorVersionPTP handled separately
+	logMessageIntervalNA = 0x7F
+	controlFieldOther    = 0x05
+	controlFieldSync     = 0x00
+	controlFieldFollowUp = 0x02
+)
+
+// Wire-format errors.
+var (
+	ErrShortMessage    = errors.New("gptp: message too short")
+	ErrBadMessageType  = errors.New("gptp: unexpected message type")
+	ErrBadVersion      = errors.New("gptp: unsupported PTP version")
+	ErrBadLengthField  = errors.New("gptp: messageLength mismatch")
+	ErrTimestampRange  = errors.New("gptp: timestamp out of 48-bit seconds range")
+	ErrCorrectionRange = errors.New("gptp: correction field out of range")
+)
+
+// PortIdentity is the 10-byte source port identity.
+type PortIdentity struct {
+	ClockID [8]byte
+	Port    uint16
+}
+
+// String formats like "0011223344556677-1".
+func (p PortIdentity) String() string {
+	return fmt.Sprintf("%02x%02x%02x%02x%02x%02x%02x%02x-%d",
+		p.ClockID[0], p.ClockID[1], p.ClockID[2], p.ClockID[3],
+		p.ClockID[4], p.ClockID[5], p.ClockID[6], p.ClockID[7], p.Port)
+}
+
+// WireTimestamp is the PTP 10-byte timestamp: 48-bit seconds + 32-bit ns.
+type WireTimestamp struct {
+	Seconds     uint64 // 48 bits
+	Nanoseconds uint32
+}
+
+// NS converts to nanoseconds on the simulation timescale. float64 carries
+// nanosecond resolution exactly up to ~2^52 ns (≈52 days); beyond that the
+// conversion rounds — irrelevant for the simulator's epochs but callers
+// bridging to wall-clock PTP epochs should work on WireTimestamp directly.
+func (t WireTimestamp) NS() float64 {
+	return float64(t.Seconds)*1e9 + float64(t.Nanoseconds)
+}
+
+// WireTimestampFromNS converts nanoseconds into the wire representation,
+// truncating sub-nanosecond fractions (they belong in the correction
+// field).
+func WireTimestampFromNS(ns float64) (WireTimestamp, error) {
+	if ns < 0 || ns >= float64(uint64(1)<<48)*1e9 {
+		return WireTimestamp{}, ErrTimestampRange
+	}
+	sec := uint64(ns / 1e9)
+	rem := ns - float64(sec)*1e9
+	n := uint32(rem)
+	if n >= 1e9 { // float rounding at the boundary
+		sec++
+		n = 0
+	}
+	return WireTimestamp{Seconds: sec, Nanoseconds: n}, nil
+}
+
+// WireHeader is the 34-byte PTP common header.
+type WireHeader struct {
+	MessageType    uint8
+	Domain         uint8
+	Flags          uint16
+	CorrectionNS   float64 // carries sub-ns resolution (scaled by 2^16)
+	SourceIdentity PortIdentity
+	SequenceID     uint16
+	Control        uint8
+	LogInterval    int8
+}
+
+func putTimestamp(b []byte, t WireTimestamp) {
+	b[0] = byte(t.Seconds >> 40)
+	b[1] = byte(t.Seconds >> 32)
+	binary.BigEndian.PutUint32(b[2:6], uint32(t.Seconds))
+	binary.BigEndian.PutUint32(b[6:10], t.Nanoseconds)
+}
+
+func getTimestamp(b []byte) WireTimestamp {
+	return WireTimestamp{
+		Seconds:     uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(binary.BigEndian.Uint32(b[2:6])),
+		Nanoseconds: binary.BigEndian.Uint32(b[6:10]),
+	}
+}
+
+func putPortIdentity(b []byte, p PortIdentity) {
+	copy(b[:8], p.ClockID[:])
+	binary.BigEndian.PutUint16(b[8:10], p.Port)
+}
+
+func getPortIdentity(b []byte) PortIdentity {
+	var p PortIdentity
+	copy(p.ClockID[:], b[:8])
+	p.Port = binary.BigEndian.Uint16(b[8:10])
+	return p
+}
+
+// marshalHeader writes the common header for a message with the given body
+// length.
+func marshalHeader(h WireHeader, bodyLen int) ([]byte, error) {
+	corr := h.CorrectionNS * 65536
+	if math.Abs(corr) >= math.MaxInt64 {
+		return nil, ErrCorrectionRange
+	}
+	buf := make([]byte, headerLen+bodyLen)
+	buf[0] = gptpMajorSdoID<<4 | (h.MessageType & 0x0F)
+	buf[1] = currentPTPVersion
+	binary.BigEndian.PutUint16(buf[2:4], uint16(headerLen+bodyLen))
+	buf[4] = h.Domain
+	// buf[5]: minorSdoId, zero for gPTP.
+	binary.BigEndian.PutUint16(buf[6:8], h.Flags)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(corr)))
+	// buf[16:20]: messageTypeSpecific, zero.
+	putPortIdentity(buf[20:30], h.SourceIdentity)
+	binary.BigEndian.PutUint16(buf[30:32], h.SequenceID)
+	buf[32] = h.Control
+	buf[33] = byte(h.LogInterval)
+	return buf, nil
+}
+
+// unmarshalHeader parses and validates the common header.
+func unmarshalHeader(b []byte) (WireHeader, int, error) {
+	if len(b) < headerLen {
+		return WireHeader{}, 0, ErrShortMessage
+	}
+	if b[1]&0x0F != currentPTPVersion {
+		return WireHeader{}, 0, fmt.Errorf("%w: versionPTP %d", ErrBadVersion, b[1]&0x0F)
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if msgLen < headerLen || msgLen > len(b) {
+		return WireHeader{}, 0, fmt.Errorf("%w: field %d, buffer %d", ErrBadLengthField, msgLen, len(b))
+	}
+	h := WireHeader{
+		MessageType:    b[0] & 0x0F,
+		Domain:         b[4],
+		Flags:          binary.BigEndian.Uint16(b[6:8]),
+		CorrectionNS:   float64(int64(binary.BigEndian.Uint64(b[8:16]))) / 65536,
+		SourceIdentity: getPortIdentity(b[20:30]),
+		SequenceID:     binary.BigEndian.Uint16(b[30:32]),
+		Control:        b[32],
+		LogInterval:    int8(b[33]),
+	}
+	return h, msgLen, nil
+}
+
+// MarshalSync encodes a two-step Sync event message.
+func MarshalSync(domain uint8, seq uint16, source PortIdentity) ([]byte, error) {
+	buf, err := marshalHeader(WireHeader{
+		MessageType:    WireTypeSync,
+		Domain:         domain,
+		Flags:          twoStepFlag | ptpTimescaleFlag,
+		SourceIdentity: source,
+		SequenceID:     seq,
+		Control:        controlFieldSync,
+		LogInterval:    -3, // 125 ms
+	}, syncBodyLen)
+	if err != nil {
+		return nil, err
+	}
+	// originTimestamp is zero in two-step operation.
+	return buf, nil
+}
+
+// UnmarshalSync decodes a Sync message.
+func UnmarshalSync(b []byte) (domain uint8, seq uint16, source PortIdentity, err error) {
+	h, msgLen, err := unmarshalHeader(b)
+	if err != nil {
+		return 0, 0, PortIdentity{}, err
+	}
+	if h.MessageType != WireTypeSync {
+		return 0, 0, PortIdentity{}, ErrBadMessageType
+	}
+	if msgLen < headerLen+syncBodyLen {
+		return 0, 0, PortIdentity{}, ErrShortMessage
+	}
+	return h.Domain, h.SequenceID, h.SourceIdentity, nil
+}
+
+// WireFollowUp is the decoded form of a Follow_Up message.
+type WireFollowUp struct {
+	Domain        uint8
+	SequenceID    uint16
+	Source        PortIdentity
+	PreciseOrigin WireTimestamp
+	CorrectionNS  float64
+	// CumulativeScaledRateOffset is (rateRatio − 1)·2^41, from the
+	// 802.1AS Follow_Up information TLV.
+	CumulativeScaledRateOffset int32
+}
+
+// RateRatio reconstructs the cumulative rate ratio.
+func (f WireFollowUp) RateRatio() float64 {
+	return 1 + float64(f.CumulativeScaledRateOffset)/math.Exp2(41)
+}
+
+// followUpTLVLen is the 802.1AS Follow_Up information TLV (organization
+// extension): type(2) + length(2) + orgId(3) + orgSubType(3) +
+// csro(4) + gmTimeBaseIndicator(2) + lastGmPhaseChange(12) +
+// scaledLastGmFreqChange(4).
+const followUpTLVLen = 2 + 2 + 3 + 3 + 4 + 2 + 12 + 4
+
+// MarshalFollowUp encodes a Follow_Up with the 802.1AS information TLV.
+func MarshalFollowUp(f WireFollowUp) ([]byte, error) {
+	buf, err := marshalHeader(WireHeader{
+		MessageType:    WireTypeFollowUp,
+		Domain:         f.Domain,
+		Flags:          ptpTimescaleFlag,
+		CorrectionNS:   f.CorrectionNS,
+		SourceIdentity: f.Source,
+		SequenceID:     f.SequenceID,
+		Control:        controlFieldFollowUp,
+		LogInterval:    -3,
+	}, followUpBodyLen+followUpTLVLen)
+	if err != nil {
+		return nil, err
+	}
+	putTimestamp(buf[headerLen:], f.PreciseOrigin)
+	tlv := buf[headerLen+followUpBodyLen:]
+	binary.BigEndian.PutUint16(tlv[0:2], 0x0003) // ORGANIZATION_EXTENSION
+	binary.BigEndian.PutUint16(tlv[2:4], followUpTLVLen-4)
+	copy(tlv[4:7], []byte{0x00, 0x80, 0xC2}) // IEEE 802.1 OUI
+	copy(tlv[7:10], []byte{0x00, 0x00, 0x01})
+	binary.BigEndian.PutUint32(tlv[10:14], uint32(f.CumulativeScaledRateOffset))
+	// gmTimeBaseIndicator, lastGmPhaseChange, scaledLastGmFreqChange: zero.
+	return buf, nil
+}
+
+// UnmarshalFollowUp decodes a Follow_Up message, including the 802.1AS
+// information TLV when present.
+func UnmarshalFollowUp(b []byte) (WireFollowUp, error) {
+	h, msgLen, err := unmarshalHeader(b)
+	if err != nil {
+		return WireFollowUp{}, err
+	}
+	if h.MessageType != WireTypeFollowUp {
+		return WireFollowUp{}, ErrBadMessageType
+	}
+	if msgLen < headerLen+followUpBodyLen {
+		return WireFollowUp{}, ErrShortMessage
+	}
+	f := WireFollowUp{
+		Domain:        h.Domain,
+		SequenceID:    h.SequenceID,
+		Source:        h.SourceIdentity,
+		PreciseOrigin: getTimestamp(b[headerLen : headerLen+timestampLen]),
+		CorrectionNS:  h.CorrectionNS,
+	}
+	rest := b[headerLen+followUpBodyLen : msgLen]
+	for len(rest) >= 4 {
+		tlvType := binary.BigEndian.Uint16(rest[0:2])
+		tlvLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if len(rest) < 4+tlvLen {
+			break
+		}
+		if tlvType == 0x0003 && tlvLen >= 10 &&
+			rest[4] == 0x00 && rest[5] == 0x80 && rest[6] == 0xC2 {
+			f.CumulativeScaledRateOffset = int32(binary.BigEndian.Uint32(rest[10:14]))
+		}
+		rest = rest[4+tlvLen:]
+	}
+	return f, nil
+}
+
+// WireAnnounce is the decoded form of an Announce message.
+type WireAnnounce struct {
+	Domain       uint8
+	SequenceID   uint16
+	Source       PortIdentity
+	Priority1    uint8
+	ClockClass   uint8
+	Accuracy     uint8
+	Variance     uint16
+	Priority2    uint8
+	GMIdentity   [8]byte
+	StepsRemoved uint16
+	TimeSource   uint8
+	// Path is the 802.1AS path trace TLV (type 0x0008): the clock
+	// identities the announce traversed.
+	Path [][8]byte
+}
+
+// MarshalAnnounce encodes an Announce message with the 802.1AS path trace
+// TLV when a path is present.
+func MarshalAnnounce(a WireAnnounce) ([]byte, error) {
+	tlvLen := 0
+	if len(a.Path) > 0 {
+		tlvLen = 4 + 8*len(a.Path)
+	}
+	buf, err := marshalHeader(WireHeader{
+		MessageType:    WireTypeAnnounce,
+		Domain:         a.Domain,
+		Flags:          ptpTimescaleFlag,
+		SourceIdentity: a.Source,
+		SequenceID:     a.SequenceID,
+		Control:        controlFieldOther,
+		LogInterval:    0, // 1 s
+	}, announceBodyLen+tlvLen)
+	if err != nil {
+		return nil, err
+	}
+	if tlvLen > 0 {
+		tlv := buf[headerLen+announceBodyLen:]
+		binary.BigEndian.PutUint16(tlv[0:2], 0x0008) // PATH_TRACE
+		binary.BigEndian.PutUint16(tlv[2:4], uint16(8*len(a.Path)))
+		for i, id := range a.Path {
+			copy(tlv[4+8*i:4+8*i+8], id[:])
+		}
+	}
+	body := buf[headerLen:]
+	// originTimestamp (10B, zero) + currentUtcOffset (2B, zero) + reserved.
+	body[13] = a.Priority1
+	body[14] = a.ClockClass
+	body[15] = a.Accuracy
+	binary.BigEndian.PutUint16(body[16:18], a.Variance)
+	body[18] = a.Priority2
+	copy(body[19:27], a.GMIdentity[:])
+	binary.BigEndian.PutUint16(body[27:29], a.StepsRemoved)
+	body[29] = a.TimeSource
+	return buf, nil
+}
+
+// UnmarshalAnnounce decodes an Announce message.
+func UnmarshalAnnounce(b []byte) (WireAnnounce, error) {
+	h, msgLen, err := unmarshalHeader(b)
+	if err != nil {
+		return WireAnnounce{}, err
+	}
+	if h.MessageType != WireTypeAnnounce {
+		return WireAnnounce{}, ErrBadMessageType
+	}
+	if msgLen < headerLen+announceBodyLen {
+		return WireAnnounce{}, ErrShortMessage
+	}
+	body := b[headerLen:]
+	a := WireAnnounce{
+		Domain:       h.Domain,
+		SequenceID:   h.SequenceID,
+		Source:       h.SourceIdentity,
+		Priority1:    body[13],
+		ClockClass:   body[14],
+		Accuracy:     body[15],
+		Variance:     binary.BigEndian.Uint16(body[16:18]),
+		Priority2:    body[18],
+		StepsRemoved: binary.BigEndian.Uint16(body[27:29]),
+		TimeSource:   body[29],
+	}
+	copy(a.GMIdentity[:], body[19:27])
+	rest := b[headerLen+announceBodyLen : msgLen]
+	for len(rest) >= 4 {
+		tlvType := binary.BigEndian.Uint16(rest[0:2])
+		tlvLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if len(rest) < 4+tlvLen {
+			break
+		}
+		if tlvType == 0x0008 {
+			for off := 0; off+8 <= tlvLen; off += 8 {
+				var id [8]byte
+				copy(id[:], rest[4+off:4+off+8])
+				a.Path = append(a.Path, id)
+			}
+		}
+		rest = rest[4+tlvLen:]
+	}
+	return a, nil
+}
+
+// MarshalPdelayReq encodes a Pdelay_Req event message.
+func MarshalPdelayReq(domain uint8, seq uint16, source PortIdentity) ([]byte, error) {
+	return marshalHeader(WireHeader{
+		MessageType:    WireTypePdelayReq,
+		Domain:         domain,
+		Flags:          ptpTimescaleFlag,
+		SourceIdentity: source,
+		SequenceID:     seq,
+		Control:        controlFieldOther,
+		LogInterval:    0,
+	}, pdelayReqBodyLen)
+}
+
+// WirePdelayResp is the decoded form of Pdelay_Resp /
+// Pdelay_Resp_Follow_Up (they share a layout: a timestamp plus the
+// requesting port identity).
+type WirePdelayResp struct {
+	Domain     uint8
+	SequenceID uint16
+	Source     PortIdentity
+	Timestamp  WireTimestamp // requestReceipt (resp) or responseOrigin (fu)
+	Requesting PortIdentity
+	FollowUp   bool
+}
+
+// MarshalPdelayResp encodes Pdelay_Resp or Pdelay_Resp_Follow_Up.
+func MarshalPdelayResp(r WirePdelayResp) ([]byte, error) {
+	msgType := uint8(WireTypePdelayResp)
+	flags := uint16(twoStepFlag | ptpTimescaleFlag)
+	if r.FollowUp {
+		msgType = WireTypePdelayRespFollowUp
+		flags = ptpTimescaleFlag
+	}
+	buf, err := marshalHeader(WireHeader{
+		MessageType:    msgType,
+		Domain:         r.Domain,
+		Flags:          flags,
+		SourceIdentity: r.Source,
+		SequenceID:     r.SequenceID,
+		Control:        controlFieldOther,
+		LogInterval:    logMessageIntervalNA,
+	}, pdelayRespBodyLen)
+	if err != nil {
+		return nil, err
+	}
+	putTimestamp(buf[headerLen:], r.Timestamp)
+	putPortIdentity(buf[headerLen+timestampLen:], r.Requesting)
+	return buf, nil
+}
+
+// UnmarshalPdelayResp decodes Pdelay_Resp or Pdelay_Resp_Follow_Up.
+func UnmarshalPdelayResp(b []byte) (WirePdelayResp, error) {
+	h, msgLen, err := unmarshalHeader(b)
+	if err != nil {
+		return WirePdelayResp{}, err
+	}
+	if h.MessageType != WireTypePdelayResp && h.MessageType != WireTypePdelayRespFollowUp {
+		return WirePdelayResp{}, ErrBadMessageType
+	}
+	if msgLen < headerLen+pdelayRespBodyLen {
+		return WirePdelayResp{}, ErrShortMessage
+	}
+	return WirePdelayResp{
+		Domain:     h.Domain,
+		SequenceID: h.SequenceID,
+		Source:     h.SourceIdentity,
+		Timestamp:  getTimestamp(b[headerLen : headerLen+timestampLen]),
+		Requesting: getPortIdentity(b[headerLen+timestampLen : headerLen+timestampLen+portIdentityLen]),
+		FollowUp:   h.MessageType == WireTypePdelayRespFollowUp,
+	}, nil
+}
+
+// MessageTypeOf peeks the wire message type without full decoding.
+func MessageTypeOf(b []byte) (uint8, error) {
+	if len(b) < 1 {
+		return 0, ErrShortMessage
+	}
+	return b[0] & 0x0F, nil
+}

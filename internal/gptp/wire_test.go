@@ -1,0 +1,319 @@
+package gptp
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testIdentity() PortIdentity {
+	return PortIdentity{ClockID: [8]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77}, Port: 1}
+}
+
+func TestWireTimestampRoundTrip(t *testing.T) {
+	// float64 nanoseconds are exact to <1 ns up to ~2^52 ns ≈ 52 days; the
+	// simulation timescale stays far below that, so the property is
+	// checked in that regime (NS() documents the limitation).
+	prop := func(secRaw uint32, ns uint32) bool {
+		sec := uint64(secRaw % (1 << 22))
+		w := WireTimestamp{Seconds: sec, Nanoseconds: ns % 1000000000}
+		got, err := WireTimestampFromNS(w.NS())
+		if err != nil {
+			return false
+		}
+		return got.Seconds == w.Seconds && absDiffU32(got.Nanoseconds, w.Nanoseconds) <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiffU32(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestWireTimestampRange(t *testing.T) {
+	if _, err := WireTimestampFromNS(-1); !errors.Is(err, ErrTimestampRange) {
+		t.Fatal("negative timestamp accepted")
+	}
+	if _, err := WireTimestampFromNS(float64(uint64(1)<<48) * 1e9); !errors.Is(err, ErrTimestampRange) {
+		t.Fatal("48-bit overflow accepted")
+	}
+}
+
+func TestSyncWireFormat(t *testing.T) {
+	b, err := MarshalSync(3, 0xBEEF, testIdentity())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if len(b) != 44 { // 34 header + 10 origin timestamp
+		t.Fatalf("sync length = %d, want 44", len(b))
+	}
+	// Golden header bytes: majorSdoId 1 | type 0, version 2, length 44,
+	// domain 3, flags 0x0208 (two-step | PTP timescale).
+	if b[0] != 0x10 {
+		t.Fatalf("byte0 = %#x, want 0x10 (gPTP Sync)", b[0])
+	}
+	if b[1] != 0x02 {
+		t.Fatalf("versionPTP = %#x", b[1])
+	}
+	if b[2] != 0x00 || b[3] != 44 {
+		t.Fatalf("messageLength bytes = %#x %#x", b[2], b[3])
+	}
+	if b[4] != 3 {
+		t.Fatalf("domain = %d", b[4])
+	}
+	if b[6] != 0x02 || b[7] != 0x08 {
+		t.Fatalf("flags = %#x%02x, want 0x0208", b[6], b[7])
+	}
+	id := testIdentity()
+	if !bytes.Equal(b[20:28], id.ClockID[:]) {
+		t.Fatal("source clock identity wrong")
+	}
+
+	domain, seq, src, err := UnmarshalSync(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if domain != 3 || seq != 0xBEEF || src != testIdentity() {
+		t.Fatalf("round trip: %d %x %v", domain, seq, src)
+	}
+}
+
+func TestFollowUpWireRoundTrip(t *testing.T) {
+	in := WireFollowUp{
+		Domain:                     2,
+		SequenceID:                 77,
+		Source:                     testIdentity(),
+		PreciseOrigin:              WireTimestamp{Seconds: 1234, Nanoseconds: 567890123},
+		CorrectionNS:               3141.5926, // sub-ns resolution survives
+		CumulativeScaledRateOffset: -4096,
+	}
+	b, err := MarshalFollowUp(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out, err := UnmarshalFollowUp(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Domain != in.Domain || out.SequenceID != in.SequenceID || out.Source != in.Source {
+		t.Fatalf("header fields: %+v", out)
+	}
+	if out.PreciseOrigin != in.PreciseOrigin {
+		t.Fatalf("origin: %+v vs %+v", out.PreciseOrigin, in.PreciseOrigin)
+	}
+	if math.Abs(out.CorrectionNS-in.CorrectionNS) > 1.0/65536 {
+		t.Fatalf("correction: %v vs %v", out.CorrectionNS, in.CorrectionNS)
+	}
+	if out.CumulativeScaledRateOffset != in.CumulativeScaledRateOffset {
+		t.Fatalf("csro: %d", out.CumulativeScaledRateOffset)
+	}
+	// Rate ratio reconstruction: csro = (r−1)·2^41.
+	wantRatio := 1 + float64(-4096)/math.Exp2(41)
+	if out.RateRatio() != wantRatio {
+		t.Fatalf("rate ratio %v, want %v", out.RateRatio(), wantRatio)
+	}
+}
+
+func TestFollowUpTLVPresent(t *testing.T) {
+	b, err := MarshalFollowUp(WireFollowUp{Domain: 0, Source: testIdentity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 802.1AS information TLV begins after header+timestamp with
+	// ORGANIZATION_EXTENSION (0x0003) and the IEEE 802.1 OUI.
+	tlv := b[44:]
+	if tlv[0] != 0x00 || tlv[1] != 0x03 {
+		t.Fatalf("TLV type = %#x%02x", tlv[0], tlv[1])
+	}
+	if tlv[4] != 0x00 || tlv[5] != 0x80 || tlv[6] != 0xC2 {
+		t.Fatalf("OUI = %x %x %x", tlv[4], tlv[5], tlv[6])
+	}
+}
+
+func TestAnnounceWireRoundTrip(t *testing.T) {
+	in := WireAnnounce{
+		Domain:       1,
+		SequenceID:   9,
+		Source:       testIdentity(),
+		Priority1:    50,
+		ClockClass:   248,
+		Accuracy:     0x22,
+		Variance:     0x4100,
+		Priority2:    128,
+		GMIdentity:   [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		StepsRemoved: 2,
+		TimeSource:   0xA0, // internal oscillator
+		Path:         [][8]byte{{1, 1, 1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2, 2, 2}},
+	}
+	b, err := MarshalAnnounce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalAnnounce(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	// The path trace TLV (0x0008) sits after the announce body.
+	tlv := b[34+30:]
+	if tlv[0] != 0x00 || tlv[1] != 0x08 {
+		t.Fatalf("path trace TLV type %#x%02x", tlv[0], tlv[1])
+	}
+}
+
+func TestPdelayRespWireRoundTrip(t *testing.T) {
+	for _, fu := range []bool{false, true} {
+		in := WirePdelayResp{
+			Domain:     0,
+			SequenceID: 4242,
+			Source:     testIdentity(),
+			Timestamp:  WireTimestamp{Seconds: 55, Nanoseconds: 123456789},
+			Requesting: PortIdentity{ClockID: [8]byte{9, 9, 9, 9, 9, 9, 9, 9}, Port: 2},
+			FollowUp:   fu,
+		}
+		b, err := MarshalPdelayResp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := UnmarshalPdelayResp(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip (fu=%v): %+v vs %+v", fu, out, in)
+		}
+		mt, err := MessageTypeOf(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint8(WireTypePdelayResp)
+		if fu {
+			want = WireTypePdelayRespFollowUp
+		}
+		if mt != want {
+			t.Fatalf("message type %d, want %d", mt, want)
+		}
+	}
+}
+
+func TestPdelayReqWire(t *testing.T) {
+	b, err := MarshalPdelayReq(0, 7, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 54 { // 34 + 10 reserved timestamp + 10 reserved
+		t.Fatalf("pdelay_req length = %d, want 54", len(b))
+	}
+	mt, _ := MessageTypeOf(b)
+	if mt != WireTypePdelayReq {
+		t.Fatalf("type = %d", mt)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	if _, _, _, err := UnmarshalSync([]byte{1, 2, 3}); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short: %v", err)
+	}
+	good, err := MarshalSync(0, 1, testIdentity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[1] = 0x01 // PTPv1
+	if _, _, _, err := UnmarshalSync(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[3] = 200 // messageLength beyond buffer
+	if _, _, _, err := UnmarshalSync(bad); !errors.Is(err, ErrBadLengthField) {
+		t.Fatalf("length: %v", err)
+	}
+	if _, err := UnmarshalFollowUp(good); !errors.Is(err, ErrBadMessageType) {
+		t.Fatalf("type confusion: %v", err)
+	}
+	if _, err := UnmarshalAnnounce(good); !errors.Is(err, ErrBadMessageType) {
+		t.Fatalf("announce type confusion: %v", err)
+	}
+	if _, err := UnmarshalPdelayResp(good); !errors.Is(err, ErrBadMessageType) {
+		t.Fatalf("pdelay type confusion: %v", err)
+	}
+	if _, err := MessageTypeOf(nil); !errors.Is(err, ErrShortMessage) {
+		t.Fatal("empty MessageTypeOf accepted")
+	}
+}
+
+func TestCorrectionFieldSubNanosecond(t *testing.T) {
+	// The correction field carries 2^-16 ns resolution: values separated
+	// by one LSB must round-trip distinctly.
+	a := WireFollowUp{Source: testIdentity(), CorrectionNS: 100}
+	b := WireFollowUp{Source: testIdentity(), CorrectionNS: 100 + 1.0/65536}
+	ba, err := MarshalFollowUp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := MarshalFollowUp(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba, bb) {
+		t.Fatal("sub-ns correction lost on the wire")
+	}
+	oa, err := UnmarshalFollowUp(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := UnmarshalFollowUp(bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oa.CorrectionNS >= ob.CorrectionNS {
+		t.Fatalf("ordering lost: %v vs %v", oa.CorrectionNS, ob.CorrectionNS)
+	}
+}
+
+// TestFollowUpWireProperty: arbitrary field values survive the wire.
+func TestFollowUpWireProperty(t *testing.T) {
+	prop := func(domain uint8, seq uint16, sec uint32, ns uint32, corr int32, csro int32) bool {
+		in := WireFollowUp{
+			Domain:                     domain,
+			SequenceID:                 seq,
+			Source:                     testIdentity(),
+			PreciseOrigin:              WireTimestamp{Seconds: uint64(sec), Nanoseconds: ns % 1000000000},
+			CorrectionNS:               float64(corr) / 7,
+			CumulativeScaledRateOffset: csro,
+		}
+		b, err := MarshalFollowUp(in)
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalFollowUp(b)
+		if err != nil {
+			return false
+		}
+		return out.Domain == in.Domain && out.SequenceID == in.SequenceID &&
+			out.PreciseOrigin == in.PreciseOrigin &&
+			math.Abs(out.CorrectionNS-in.CorrectionNS) <= 1.0/65536 &&
+			out.CumulativeScaledRateOffset == in.CumulativeScaledRateOffset
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortIdentityString(t *testing.T) {
+	s := testIdentity().String()
+	if !strings.HasPrefix(s, "0011223344556677-") {
+		t.Fatalf("identity string: %s", s)
+	}
+}

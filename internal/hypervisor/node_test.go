@@ -1,0 +1,340 @@
+package hypervisor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/phc2sys"
+	"gptpfta/internal/ptp4l"
+	"gptpfta/internal/sim"
+)
+
+// nodeFixture builds a single node with two clock-synchronization VMs whose
+// NICs are wired back-to-back (enough substrate for the dependent-clock
+// logic; full-network behaviour is covered in the core package tests).
+type nodeFixture struct {
+	sched   *sim.Scheduler
+	streams *sim.Streams
+	node    *Node
+	events  []Event
+}
+
+func newNodeFixture(t *testing.T) *nodeFixture {
+	t.Helper()
+	fx := &nodeFixture{sched: sim.NewScheduler(), streams: sim.NewStreams(33)}
+	tscOsc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: 2500, WanderPPBPerSqrtSec: 1},
+		fx.streams.Stream("tscosc"), fx.sched.Now())
+	tsc := clock.NewTSC(fx.sched, tscOsc, fx.streams.Stream("tscrd"), 30)
+	fx.node = NewNode("dev1", fx.sched, tsc, 2, MonitorConfig{}, func(e Event) {
+		fx.events = append(fx.events, e)
+	})
+
+	var peers []*netsim.NIC
+	for i := 0; i < 2; i++ {
+		name := []string{"c11", "c12"}[i]
+		osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: float64(1000 * (i + 1)), WanderPPBPerSqrtSec: 1},
+			fx.streams.Stream("osc/"+name), fx.sched.Now())
+		phc := clock.NewPHC(fx.sched, osc, fx.streams.Stream("ts/"+name),
+			clock.PHCConfig{TimestampJitterNS: 8, InitialOffsetNS: float64(100 * i)})
+		nic := netsim.NewNIC(name, fx.sched, phc)
+		peers = append(peers, nic)
+		stack, err := ptp4l.New(nic, fx.sched, fx.streams.Stream("stack/"+name), ptp4l.Config{
+			Name:    name,
+			Domains: []int{0},
+			GMDomain: func() int {
+				if i == 0 {
+					return 0
+				}
+				return -1
+			}(),
+		}, nil)
+		if err != nil {
+			t.Fatalf("stack: %v", err)
+		}
+		p2s := phc2sys.New(fx.sched, phc, tsc, fx.node.STSHMEM(), nil, phc2sys.Config{Slot: i})
+		if err := fx.node.AddVM(&CSVM{Name: name, Slot: i, Kernel: "v4.19.1", Stack: stack, Phc2sys: p2s}); err != nil {
+			t.Fatalf("add vm: %v", err)
+		}
+	}
+	// Wire the two NICs together so transmissions have somewhere to go.
+	if _, err := netsim.Connect(fx.sched, fx.streams.Stream("link"),
+		netsim.LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 10},
+		peers[0].Port(), peers[1].Port()); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	return fx
+}
+
+func (fx *nodeFixture) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	if err := fx.sched.RunUntil(fx.sched.Now().Add(d)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func (fx *nodeFixture) countEvents(kind string) int {
+	n := 0
+	for _, e := range fx.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNodeServesSyncTime(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	fx.run(t, 5*time.Second)
+	v, ok := fx.node.SyncTimeNow()
+	if !ok {
+		t.Fatal("no CLOCK_SYNCTIME after 5 s")
+	}
+	// The active slot is VM0's, so CLOCK_SYNCTIME must track VM0's PHC.
+	diff := math.Abs(v - fx.node.VM(0).Stack.NIC().PHC().Now())
+	if diff > 1000 {
+		t.Fatalf("CLOCK_SYNCTIME deviates %v ns from the active VM's PHC", diff)
+	}
+	if fx.node.HealthyVMs() != 2 {
+		t.Fatalf("healthy VMs = %d, want 2", fx.node.HealthyVMs())
+	}
+}
+
+func TestMonitorFailsOverOnFailSilentVM(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	fx.run(t, 5*time.Second)
+	if err := fx.node.FailVM(0); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	// Detection within monitor period + staleness window (≤ ~250 ms); give
+	// one extra period of slack.
+	fx.run(t, 500*time.Millisecond)
+	if fx.node.STSHMEM().Active() != 1 {
+		t.Fatalf("active slot = %d after failure, want takeover to slot 1", fx.node.STSHMEM().Active())
+	}
+	if fx.node.Takeovers() != 1 {
+		t.Fatalf("takeovers = %d, want 1", fx.node.Takeovers())
+	}
+	if fx.countEvents(EventTakeover) != 1 || fx.countEvents(EventVMFailed) != 1 {
+		t.Fatalf("events: %+v", fx.events)
+	}
+	// CLOCK_SYNCTIME now tracks VM1's PHC.
+	v, ok := fx.node.SyncTimeNow()
+	if !ok {
+		t.Fatal("no CLOCK_SYNCTIME after takeover")
+	}
+	if diff := math.Abs(v - fx.node.VM(1).Stack.NIC().PHC().Now()); diff > 1000 {
+		t.Fatalf("CLOCK_SYNCTIME deviates %v ns from the redundant VM's PHC", diff)
+	}
+	if fx.node.HealthyVMs() != 1 {
+		t.Fatalf("healthy VMs = %d, want 1", fx.node.HealthyVMs())
+	}
+}
+
+func TestRebootRestoresRedundancy(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	fx.run(t, 5*time.Second)
+	if err := fx.node.FailVM(0); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	fx.run(t, 2*time.Second)
+	if err := fx.node.RebootVM(0); err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	fx.run(t, 2*time.Second)
+	if fx.node.HealthyVMs() != 2 {
+		t.Fatalf("healthy VMs = %d after reboot, want 2", fx.node.HealthyVMs())
+	}
+	if fx.countEvents(EventVMRebooted) != 1 {
+		t.Fatal("missing reboot event")
+	}
+	// The monitor does not fail back automatically; slot 1 stays active.
+	if fx.node.STSHMEM().Active() != 1 {
+		t.Fatalf("active slot = %d, want 1 (no automatic failback)", fx.node.STSHMEM().Active())
+	}
+}
+
+func TestFailBothVMsKeepsLastActive(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	fx.run(t, 5*time.Second)
+	if err := fx.node.FailVM(0); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, time.Second)
+	if err := fx.node.FailVM(1); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, time.Second)
+	if fx.node.HealthyVMs() != 0 {
+		t.Fatalf("healthy VMs = %d, want 0", fx.node.HealthyVMs())
+	}
+	// No healthy candidate: the stale slot keeps serving (degraded).
+	if _, ok := fx.node.SyncTimeNow(); !ok {
+		t.Fatal("CLOCK_SYNCTIME unreadable; stale parameters should still serve")
+	}
+}
+
+func TestFailVMValidation(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.FailVM(7); err == nil {
+		t.Fatal("out-of-range VM accepted")
+	}
+	if err := fx.node.RebootVM(0); err == nil {
+		t.Fatal("reboot of a running VM accepted")
+	}
+	if err := fx.node.FailVM(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.node.FailVM(0); err == nil {
+		t.Fatal("double failure accepted")
+	}
+}
+
+func TestAddVMValidation(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.AddVM(&CSVM{Name: "x", Slot: 5}); err == nil {
+		t.Fatal("out-of-order slot accepted")
+	}
+}
+
+// TestMonitorVoting exercises the 2f+1 fail-consistent variant: with three
+// slots, a slot whose published parameters diverge is voted out.
+func TestMonitorVoting(t *testing.T) {
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(44)
+	tscOsc := clock.NewOscillator(clock.OscillatorConfig{}, streams.Stream("t"), 0)
+	tsc := clock.NewTSC(sched, tscOsc, streams.Stream("tr"), 10)
+	node := NewNode("dev1", sched, tsc, 3, MonitorConfig{VoteThresholdNS: 5000}, nil)
+
+	var services []*phc2sys.Service
+	for i := 0; i < 3; i++ {
+		name := []string{"c11", "c12", "c13"}[i]
+		osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: 100}, streams.Stream("o"+name), 0)
+		phc := clock.NewPHC(sched, osc, streams.Stream("p"+name), clock.PHCConfig{})
+		nic := netsim.NewNIC(name, sched, phc)
+		stack, err := ptp4l.New(nic, sched, streams.Stream("s"+name), ptp4l.Config{Name: name, Domains: []int{0}, GMDomain: -1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := phc2sys.New(sched, phc, tsc, node.STSHMEM(), nil, phc2sys.Config{Slot: i})
+		services = append(services, svc)
+		if err := node.AddVM(&CSVM{Name: name, Slot: i, Stack: stack, Phc2sys: svc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = services
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt VM0's clock (fail-consistent fault: wrong but fresh params).
+	node.VM(0).Stack.NIC().PHC().Step(1e6)
+	if err := sched.RunUntil(sched.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node.STSHMEM().Active() == 0 {
+		t.Fatal("monitor kept a voted-out slot active")
+	}
+}
+
+// TestMonitorNoFlapping: a healthy active slot must never be demoted; the
+// monitor only fails over on genuine staleness.
+func TestMonitorNoFlapping(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, 60*time.Second)
+	if fx.node.Takeovers() != 0 {
+		t.Fatalf("takeovers = %d on a healthy node (monitor flapping)", fx.node.Takeovers())
+	}
+	if fx.node.STSHMEM().Active() != 0 {
+		t.Fatal("active slot moved without a failure")
+	}
+}
+
+// TestFailoverChain: active fails → takeover to redundant; redundant fails
+// after the first reboots → takeover back.
+func TestFailoverChain(t *testing.T) {
+	fx := newNodeFixture(t)
+	if err := fx.node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, 5*time.Second)
+	if err := fx.node.FailVM(0); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, time.Second)
+	if fx.node.STSHMEM().Active() != 1 {
+		t.Fatal("first takeover missing")
+	}
+	if err := fx.node.RebootVM(0); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, 5*time.Second)
+	if err := fx.node.FailVM(1); err != nil {
+		t.Fatal(err)
+	}
+	fx.run(t, time.Second)
+	if fx.node.STSHMEM().Active() != 0 {
+		t.Fatal("failback takeover missing after the redundant VM failed")
+	}
+	if fx.node.Takeovers() != 2 {
+		t.Fatalf("takeovers = %d, want 2", fx.node.Takeovers())
+	}
+}
+
+// TestMonitorVotingRequiresQuorum: with only two healthy slots the vote is
+// skipped (no median majority), so a divergent clock is NOT voted out —
+// the fail-consistent hypothesis genuinely needs 2f+1.
+func TestMonitorVotingRequiresQuorum(t *testing.T) {
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(45)
+	tscOsc := clock.NewOscillator(clock.OscillatorConfig{}, streams.Stream("t"), 0)
+	tsc := clock.NewTSC(sched, tscOsc, streams.Stream("tr"), 10)
+	node := NewNode("dev1", sched, tsc, 2, MonitorConfig{VoteThresholdNS: 5000}, nil)
+	for i := 0; i < 2; i++ {
+		name := []string{"c11", "c12"}[i]
+		osc := clock.NewOscillator(clock.OscillatorConfig{}, streams.Stream("o"+name), 0)
+		phc := clock.NewPHC(sched, osc, streams.Stream("p"+name), clock.PHCConfig{})
+		nic := netsim.NewNIC(name, sched, phc)
+		stack, err := ptp4l.New(nic, sched, streams.Stream("s"+name),
+			ptp4l.Config{Name: name, Domains: []int{0}, GMDomain: -1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := phc2sys.New(sched, phc, tsc, node.STSHMEM(), nil, phc2sys.Config{Slot: i})
+		if err := node.AddVM(&CSVM{Name: name, Slot: i, Stack: stack, Phc2sys: svc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	node.VM(0).Stack.NIC().PHC().Step(1e6) // wrong but fresh
+	if err := sched.RunUntil(sched.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node.STSHMEM().Active() != 0 {
+		t.Fatal("vote fired without a 3-slot quorum")
+	}
+}

@@ -1,0 +1,213 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// Sample is one per-second precision measurement.
+type Sample struct {
+	Seq uint64
+	// AtSec is the simulation time of the probe, in seconds.
+	AtSec float64
+	// PiStarNS is Π*_s per eq. 3.1, nanoseconds.
+	PiStarNS float64
+	// Replies is the number of receivers that contributed.
+	Replies int
+}
+
+// CollectorConfig parameterises the measurement VM.
+type CollectorConfig struct {
+	// Interval between probes; the paper measures once per second.
+	Interval time.Duration
+	// CollectWindow is how long after a probe the replies are gathered.
+	CollectWindow time.Duration
+	// Exclude lists VM names omitted from Π* (the paper omits the VM
+	// co-located with the measurement VM, c_m1, to keep paths symmetric).
+	Exclude []string
+	// MinReplies below which a probe interval yields no sample (e.g.
+	// during simultaneous reboots).
+	MinReplies int
+}
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.CollectWindow <= 0 {
+		c.CollectWindow = 500 * time.Millisecond
+	}
+	if c.MinReplies <= 0 {
+		c.MinReplies = 2
+	}
+	return c
+}
+
+// Collector is the measurement VM's probe driver and Π* computer.
+type Collector struct {
+	cfg   CollectorConfig
+	sched *sim.Scheduler
+	nic   *netsim.NIC
+	name  string
+
+	exclude map[string]bool
+	ticker  *sim.Ticker
+	seq     uint64
+	pending map[uint64][]*Reply
+
+	samples []Sample
+	// per-path latency extrema for γ (eq. 3.2), keyed by replying VM.
+	pathMin map[string]time.Duration
+	pathMax map[string]time.Duration
+}
+
+// NewCollector creates the collector on the measurement VM's NIC.
+func NewCollector(name string, sched *sim.Scheduler, nic *netsim.NIC, cfg CollectorConfig) *Collector {
+	cfg = cfg.withDefaults()
+	ex := make(map[string]bool, len(cfg.Exclude)+1)
+	for _, e := range cfg.Exclude {
+		ex[e] = true
+	}
+	ex[name] = true // the sender never measures itself
+	return &Collector{
+		cfg:     cfg,
+		sched:   sched,
+		nic:     nic,
+		name:    name,
+		exclude: ex,
+		pending: make(map[uint64][]*Reply),
+		pathMin: make(map[string]time.Duration),
+		pathMax: make(map[string]time.Duration),
+	}
+}
+
+// Start begins probing.
+func (c *Collector) Start() error {
+	if c.ticker != nil {
+		return errors.New("measure: collector already started")
+	}
+	t, err := c.sched.Every(c.sched.Now().Add(c.cfg.Interval), c.cfg.Interval, c.probe)
+	if err != nil {
+		return err
+	}
+	c.ticker = t
+	return nil
+}
+
+// Stop halts probing.
+func (c *Collector) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+// Handle consumes measurement replies; install it alongside the Agent on
+// the measurement VM's frame demultiplexer.
+func (c *Collector) Handle(f *netsim.Frame, _ float64) {
+	r, ok := f.Payload.(*Reply)
+	if !ok {
+		return
+	}
+	if _, open := c.pending[r.Seq]; !open {
+		return // reply after the collect window closed
+	}
+	c.pending[r.Seq] = append(c.pending[r.Seq], r)
+}
+
+func (c *Collector) probe() {
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = nil
+	f := &netsim.Frame{
+		Src:      netsim.Address("nic/" + c.name),
+		Dst:      MulticastAddr,
+		Priority: netsim.PriorityMeasure,
+		Payload:  &Probe{Seq: seq, Origin: netsim.Address("nic/" + c.name)},
+	}
+	atSec := float64(c.sched.Now()) / 1e9
+	if _, err := c.nic.Send(f); err != nil {
+		delete(c.pending, seq)
+		return
+	}
+	c.sched.After(c.cfg.CollectWindow, func() { c.finalize(seq, atSec) })
+}
+
+func (c *Collector) finalize(seq uint64, atSec float64) {
+	replies := c.pending[seq]
+	delete(c.pending, seq)
+
+	var times []float64
+	for _, r := range replies {
+		if c.exclude[r.VM] || !r.Valid {
+			continue
+		}
+		times = append(times, r.SyncTimeNS)
+		if cur, ok := c.pathMin[r.VM]; !ok || r.PathLatency < cur {
+			c.pathMin[r.VM] = r.PathLatency
+		}
+		if cur, ok := c.pathMax[r.VM]; !ok || r.PathLatency > cur {
+			c.pathMax[r.VM] = r.PathLatency
+		}
+	}
+	if len(times) < c.cfg.MinReplies {
+		return
+	}
+	var worst float64
+	for i := range times {
+		for j := i + 1; j < len(times); j++ {
+			if d := math.Abs(times[i] - times[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	c.samples = append(c.samples, Sample{Seq: seq, AtSec: atSec, PiStarNS: worst, Replies: len(times)})
+}
+
+// Samples returns the per-second precision series.
+func (c *Collector) Samples() []Sample {
+	return append([]Sample(nil), c.samples...)
+}
+
+// Gamma computes the measurement error per eq. 3.2 over the measurement
+// paths observed so far: max per-path maximum latency minus min per-path
+// minimum latency.
+func (c *Collector) Gamma() time.Duration {
+	var haveAny bool
+	var maxMax, minMin time.Duration
+	for vm, lo := range c.pathMin {
+		hi := c.pathMax[vm]
+		if !haveAny {
+			minMin, maxMax = lo, hi
+			haveAny = true
+			continue
+		}
+		if lo < minMin {
+			minMin = lo
+		}
+		if hi > maxMax {
+			maxMax = hi
+		}
+	}
+	if !haveAny {
+		return 0
+	}
+	return maxMax - minMin
+}
+
+// PathExtrema reports the per-VM measurement-path latency extrema.
+func (c *Collector) PathExtrema() (min, max map[string]time.Duration) {
+	min = make(map[string]time.Duration, len(c.pathMin))
+	max = make(map[string]time.Duration, len(c.pathMax))
+	for k, v := range c.pathMin {
+		min[k] = v
+	}
+	for k, v := range c.pathMax {
+		max[k] = v
+	}
+	return min, max
+}

@@ -1,0 +1,47 @@
+package measure_test
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/measure"
+)
+
+// Summarising a measured precision series the way Fig. 4b's caption does.
+func ExampleComputeStats() {
+	samples := []measure.Sample{
+		{AtSec: 1, PiStarNS: 300},
+		{AtSec: 2, PiStarNS: 350},
+		{AtSec: 3, PiStarNS: 250},
+	}
+	fmt.Println(measure.ComputeStats(samples))
+	// Output:
+	// avg = 300ns, std = 41ns, min = 250ns, max = 350ns (n=3)
+}
+
+// Aggregating the per-second series into the 120 s windows Fig. 4a plots.
+func ExampleAggregate() {
+	var samples []measure.Sample
+	for i := 0; i < 240; i++ {
+		samples = append(samples, measure.Sample{AtSec: float64(i), PiStarNS: float64(200 + i%7)})
+	}
+	wins := measure.Aggregate(samples, 120*time.Second)
+	for _, w := range wins {
+		fmt.Printf("t=%.0fs avg %.1f ns (n=%d)\n", w.StartSec, w.AvgNS, w.Count)
+	}
+	// Output:
+	// t=0s avg 203.0 ns (n=120)
+	// t=120s avg 203.0 ns (n=120)
+}
+
+// Deriving the reading error E = d_max − d_min of §III-A3 from observed
+// path latencies.
+func ExampleLatencyTracker() {
+	lt := measure.NewLatencyTracker()
+	lt.Observe("dom1->c22", 4120*time.Nanosecond)
+	lt.Observe("dom2->c31", 9188*time.Nanosecond)
+	e, _ := lt.ReadingError()
+	fmt.Println("E =", e)
+	// Output:
+	// E = 5.068µs
+}

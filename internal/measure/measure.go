@@ -1,0 +1,83 @@
+// Package measure implements the paper's clock-synchronization precision
+// measurement methodology (§III-A2): a dedicated measurement VM multicasts
+// a probe once per second on a measurement VLAN; every other
+// clock-synchronization VM timestamps the probe's reception with its node's
+// CLOCK_SYNCTIME and returns the timestamp. The measured precision in
+// interval s is
+//
+//	Π*_s = max over receiver pairs |tn_c(rx_ps) − tn_c'(rx_ps)|   (eq. 3.1)
+//
+// and the measurement error γ is derived from the spread of observed
+// measurement-path latencies (eq. 3.2).
+package measure
+
+import (
+	"time"
+
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// MulticastAddr is the measurement VLAN multicast group.
+const MulticastAddr netsim.Address = "mc/measure"
+
+// Probe is the once-per-second multicast measurement packet.
+type Probe struct {
+	Seq    uint64
+	Origin netsim.Address
+}
+
+// Reply carries one receiver's CLOCK_SYNCTIME reception timestamp back to
+// the measurement VM. PathLatency is the probe's observed one-way latency
+// (the simulator's stand-in for the per-path latency data the paper
+// extracts from ptp4l).
+type Reply struct {
+	Seq         uint64
+	VM          string
+	SyncTimeNS  float64
+	Valid       bool
+	PathLatency time.Duration
+}
+
+// Agent answers measurement probes on one clock-synchronization VM. It is
+// installed as the ptp4l stack's auxiliary frame handler.
+type Agent struct {
+	name     string
+	sched    *sim.Scheduler
+	nic      *netsim.NIC
+	syncTime func() (float64, bool)
+	replies  uint64
+}
+
+// NewAgent creates an agent; syncTime reads the node's CLOCK_SYNCTIME.
+func NewAgent(name string, sched *sim.Scheduler, nic *netsim.NIC, syncTime func() (float64, bool)) *Agent {
+	return &Agent{name: name, sched: sched, nic: nic, syncTime: syncTime}
+}
+
+// Replies reports how many probes the agent answered.
+func (a *Agent) Replies() uint64 { return a.replies }
+
+// Handle processes a received frame; it consumes measurement probes.
+func (a *Agent) Handle(f *netsim.Frame, _ float64) {
+	probe, ok := f.Payload.(*Probe)
+	if !ok {
+		return
+	}
+	v, valid := a.syncTime()
+	reply := &Reply{
+		Seq:         probe.Seq,
+		VM:          a.name,
+		SyncTimeNS:  v,
+		Valid:       valid,
+		PathLatency: f.PathLatency(a.sched.Now()),
+	}
+	out := &netsim.Frame{
+		Src:      netsim.Address("nic/" + a.name),
+		Dst:      probe.Origin,
+		Priority: netsim.PriorityMeasure,
+		Payload:  reply,
+	}
+	if _, err := a.nic.Send(out); err == nil {
+		a.replies++
+	}
+}

@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/sim"
+)
+
+// ResidenceModel describes the queueing + store-and-forward delay a frame
+// experiences inside a bridge, per priority class. The distribution is a
+// base latency plus half-normal jitter plus a rare heavy tail (bursty
+// best-effort interference), which is what produces the multi-microsecond
+// spread between minimum and maximum path latencies (the paper's reading
+// error E ≈ 5 µs) while typical latencies remain tightly grouped.
+type ResidenceModel struct {
+	Base     time.Duration
+	JitterNS float64 // half-normal sigma
+	TailProb float64
+	TailMin  time.Duration
+	TailMax  time.Duration
+}
+
+// Draw samples a residence time.
+func (m ResidenceModel) Draw(rng sim.RNG) time.Duration {
+	d := float64(m.Base)
+	if rng != nil {
+		if m.JitterNS > 0 {
+			j := rng.NormFloat64() * m.JitterNS
+			if j < 0 {
+				j = -j
+			}
+			d += j
+		}
+		if m.TailProb > 0 && rng.Float64() < m.TailProb {
+			d += float64(m.TailMin) + rng.Float64()*float64(m.TailMax-m.TailMin)
+		}
+	}
+	return time.Duration(d)
+}
+
+// RelayHook lets a protocol layer (the gPTP time-aware bridge logic) claim
+// frames before generic forwarding. Handle returns true if the frame was
+// consumed.
+type RelayHook interface {
+	Handle(b *Bridge, ingress int, f *Frame, rxTS float64) bool
+}
+
+// BridgeConfig configures a TSN bridge.
+type BridgeConfig struct {
+	Ports int
+	// Residence maps priority class to residence model. Missing classes
+	// fall back to PriorityBestEffort's model.
+	Residence map[int]ResidenceModel
+}
+
+// Bridge is an integrated TSN switch: static unicast routes, static
+// multicast membership (the measurement VLAN), a free-running local clock
+// used for residence-time measurement, and a relay hook for gPTP.
+type Bridge struct {
+	name  string
+	sched *sim.Scheduler
+	rng   sim.RNG
+	cfg   BridgeConfig
+	clk   *clock.PHC
+	ports []Port
+
+	unicast map[Address]int
+	groups  map[Address][]int
+	hook    RelayHook
+	egress  map[int]EgressScheduler
+
+	forwarded uint64
+	dropped   uint64
+}
+
+// EgressScheduler computes frame departure instants for a shaped egress
+// port — the hook for an 802.1Qbv time-aware shaper. Enqueue returns when
+// the frame's transmission completes; an error drops the frame.
+type EgressScheduler interface {
+	Enqueue(now sim.Time, priority, bytes int) (sim.Time, error)
+}
+
+// NewBridge creates a bridge with cfg.Ports ports. clk is the bridge's own
+// free-running PHC used for ingress/egress timestamping.
+func NewBridge(name string, sched *sim.Scheduler, rng sim.RNG, clk *clock.PHC, cfg BridgeConfig) *Bridge {
+	b := &Bridge{
+		name:    name,
+		sched:   sched,
+		rng:     rng,
+		cfg:     cfg,
+		clk:     clk,
+		unicast: make(map[Address]int),
+		groups:  make(map[Address][]int),
+	}
+	b.ports = make([]Port, cfg.Ports)
+	for i := range b.ports {
+		b.ports[i] = Port{Name: fmt.Sprintf("%s/p%d", name, i), Owner: b, Index: i}
+	}
+	return b
+}
+
+// DeviceName implements Device.
+func (b *Bridge) DeviceName() string { return b.name }
+
+// Port returns port i for wiring.
+func (b *Bridge) Port(i int) *Port { return &b.ports[i] }
+
+// NumPorts reports the number of ports.
+func (b *Bridge) NumPorts() int { return len(b.ports) }
+
+// Clock returns the bridge's free-running PHC.
+func (b *Bridge) Clock() *clock.PHC { return b.clk }
+
+// SetHook installs the gPTP relay hook.
+func (b *Bridge) SetHook(h RelayHook) { b.hook = h }
+
+// SetEgressScheduler installs a time-aware shaper on one egress port;
+// frames leaving that port are scheduled by it instead of the stochastic
+// residence model.
+func (b *Bridge) SetEgressScheduler(port int, es EgressScheduler) {
+	if b.egress == nil {
+		b.egress = make(map[int]EgressScheduler)
+	}
+	b.egress[port] = es
+}
+
+// Dropped reports frames discarded by egress schedulers (no gate window).
+func (b *Bridge) Dropped() uint64 { return b.dropped }
+
+// AddRoute installs a static unicast route: frames for dst egress on port.
+func (b *Bridge) AddRoute(dst Address, port int) { b.unicast[dst] = port }
+
+// AddGroupMember adds a port to a multicast group's membership.
+func (b *Bridge) AddGroupMember(group Address, port int) {
+	b.groups[group] = append(b.groups[group], port)
+}
+
+// Forwarded reports how many frames the bridge has forwarded.
+func (b *Bridge) Forwarded() uint64 { return b.forwarded }
+
+// Receive implements Device: the relay hook gets first claim; otherwise the
+// frame is forwarded per static routes after a residence delay.
+func (b *Bridge) Receive(p *Port, f *Frame) {
+	rxTS := b.clk.Timestamp()
+	if b.hook != nil && b.hook.Handle(b, p.Index, f, rxTS) {
+		return
+	}
+	b.forward(p.Index, f)
+}
+
+// forward applies static unicast/multicast forwarding with residence delay.
+func (b *Bridge) forward(ingress int, f *Frame) {
+	if f.Dst.IsMulticast() {
+		for _, egress := range b.groups[f.Dst] {
+			if egress == ingress {
+				continue
+			}
+			b.TransmitAfterResidence(egress, f.Clone())
+		}
+		return
+	}
+	egress, ok := b.unicast[f.Dst]
+	if !ok || egress == ingress {
+		return // no route: drop (static config covers all legitimate traffic)
+	}
+	b.TransmitAfterResidence(egress, f)
+}
+
+// ResidenceFor samples a residence time for the frame's priority class.
+func (b *Bridge) ResidenceFor(f *Frame) time.Duration {
+	m, ok := b.cfg.Residence[f.Priority]
+	if !ok {
+		m = b.cfg.Residence[PriorityBestEffort]
+	}
+	return m.Draw(b.rng)
+}
+
+// TransmitAfterResidence schedules the frame on egress after a sampled
+// residence delay, or through the port's time-aware shaper when one is
+// installed (a fixed store-and-forward processing delay plus the shaper's
+// gate/queue schedule).
+func (b *Bridge) TransmitAfterResidence(egress int, f *Frame) {
+	if es, ok := b.egress[egress]; ok {
+		const processing = 600 * time.Nanosecond // lookup + store-and-forward
+		departAt, err := es.Enqueue(b.sched.Now().Add(processing), f.Priority, f.Bytes)
+		if err != nil {
+			b.dropped++
+			return
+		}
+		b.sched.At(departAt, func() { b.Transmit(egress, f) })
+		return
+	}
+	d := b.ResidenceFor(f)
+	b.sched.After(d, func() { b.Transmit(egress, f) })
+}
+
+// Transmit sends the frame out of the given port immediately, returning the
+// bridge-clock egress timestamp. Frames on unconnected ports are dropped.
+func (b *Bridge) Transmit(egress int, f *Frame) (txTS float64) {
+	txTS = b.clk.Timestamp()
+	p := &b.ports[egress]
+	if !p.Connected() {
+		return txTS
+	}
+	f.Hops++
+	b.forwarded++
+	p.link.Send(p, f)
+	return txTS
+}
+
+// TransmitAt schedules the frame on egress at true-time delay d and invokes
+// onTx with the egress timestamp when it leaves — used by the gPTP relay to
+// measure residence time on the egress side. On a shaped port the shaper's
+// schedule replaces d (the relay's residence draw): the measured egress
+// timestamp still captures the true departure, so the correction field
+// remains exact either way.
+func (b *Bridge) TransmitAt(egress int, d time.Duration, f *Frame, onTx func(txTS float64)) {
+	if es, ok := b.egress[egress]; ok {
+		const processing = 600 * time.Nanosecond
+		departAt, err := es.Enqueue(b.sched.Now().Add(processing), f.Priority, f.Bytes)
+		if err != nil {
+			b.dropped++
+			return
+		}
+		b.sched.At(departAt, func() {
+			ts := b.Transmit(egress, f)
+			if onTx != nil {
+				onTx(ts)
+			}
+		})
+		return
+	}
+	b.sched.After(d, func() {
+		ts := b.Transmit(egress, f)
+		if onTx != nil {
+			onTx(ts)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+// Package netsim models the experiment's physical network: NICs with
+// hardware timestamping and Earliest-TxTime-First (ETF) launch-time queues,
+// links with propagation jitter, and integrated TSN bridges with static
+// forwarding, priority-dependent residence times, and a relay hook through
+// which the gPTP layer implements IEEE 802.1AS bridge behaviour.
+package netsim
+
+import (
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// Address identifies a frame endpoint: a NIC ("nic/dev1/1") or a multicast
+// group ("mc/measure"). Addressing is static — the testbed uses external
+// port configuration and a dedicated measurement VLAN, so there is no
+// learning or spanning-tree protocol.
+type Address string
+
+// IsMulticast reports whether the address names a multicast group.
+func (a Address) IsMulticast() bool {
+	return len(a) > 3 && a[:3] == "mc/"
+}
+
+// Traffic priorities, mirroring the testbed's TSN configuration: gPTP event
+// messages ride the highest priority, the measurement VLAN uses an express
+// queue, everything else is best effort.
+const (
+	PriorityBestEffort = 0
+	PriorityMeasure    = 6
+	PriorityPTP        = 7
+)
+
+// Frame is a network frame. Payload carries a protocol message (gPTP or
+// measurement probe). SentAt records the true transmission instant of the
+// original sender and survives forwarding; the measurement subsystem uses
+// it to derive observed path latencies (standing in for the latency data
+// the paper extracted from ptp4l).
+type Frame struct {
+	Src      Address
+	Dst      Address
+	VLAN     uint16
+	Priority int
+	// Bytes is the frame size for serialization-time computation in
+	// shaped egress ports; zero means a protocol-typical default.
+	Bytes   int
+	Payload any
+
+	SentAt sim.Time // true instant of original transmission
+	Hops   int      // bridges traversed
+}
+
+// Clone returns a shallow copy for fan-out across egress ports. Payloads
+// are treated as immutable once transmitted.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	return &c
+}
+
+// PathLatency reports the frame's true end-to-end latency if delivered at
+// instant now.
+func (f *Frame) PathLatency(now sim.Time) time.Duration {
+	return now.Sub(f.SentAt)
+}
+
+// Device is anything with ports: a NIC or a bridge.
+type Device interface {
+	// DeviceName identifies the device in logs and diagnostics.
+	DeviceName() string
+	// Receive is invoked by a link when a frame arrives at one of the
+	// device's ports, at the current simulation instant.
+	Receive(p *Port, f *Frame)
+}
+
+// Port is one attachment point of a device.
+type Port struct {
+	Name  string
+	Owner Device
+	Index int // index within the owner (bridge port number; 0 for NICs)
+	link  *Link
+}
+
+// Link reports the attached link, or nil.
+func (p *Port) Link() *Link { return p.link }
+
+// Connected reports whether the port is attached to a link.
+func (p *Port) Connected() bool { return p.link != nil }

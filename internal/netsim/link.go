@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// LinkConfig describes a full-duplex point-to-point link.
+type LinkConfig struct {
+	// Propagation is the nominal one-way latency (cable + PHY + MAC).
+	Propagation time.Duration
+	// JitterNS is the 1-sigma Gaussian per-frame latency variation,
+	// truncated so latency never drops below half the nominal value.
+	JitterNS float64
+	// LossProb is the per-frame probability of silent loss (CRC errors,
+	// receive-queue overruns). Protocol layers must tolerate it: a lost
+	// Sync or FollowUp skips one measurement interval, a lost pdelay
+	// exchange skips one link-delay sample.
+	LossProb float64
+}
+
+// Link connects two ports. Frames sent into one end are delivered to the
+// device at the other end after the propagation delay plus jitter. The two
+// directions share the same nominal delay (symmetric medium); asymmetry in
+// observed path latency arises from bridge residence times.
+type Link struct {
+	sched *sim.Scheduler
+	rng   sim.RNG
+	cfg   LinkConfig
+	ends  [2]*Port
+	// lastDelivery enforces per-direction FIFO ordering: a wire cannot
+	// reorder frames, whatever the jitter draw says.
+	lastDelivery [2]sim.Time
+	lost         uint64
+}
+
+// Lost reports how many frames the link dropped.
+func (l *Link) Lost() uint64 { return l.lost }
+
+// Connect attaches two ports with a link. It returns an error if either
+// port is already attached.
+func Connect(sched *sim.Scheduler, rng sim.RNG, cfg LinkConfig, a, b *Port) (*Link, error) {
+	if a.link != nil || b.link != nil {
+		return nil, fmt.Errorf("netsim: port already connected (%s, %s)", a.Name, b.Name)
+	}
+	l := &Link{sched: sched, rng: rng, cfg: cfg, ends: [2]*Port{a, b}}
+	a.link = l
+	b.link = l
+	return l, nil
+}
+
+// Peer returns the port at the other end of the link from p.
+func (l *Link) Peer(p *Port) *Port {
+	if l.ends[0] == p {
+		return l.ends[1]
+	}
+	return l.ends[0]
+}
+
+// Nominal reports the configured one-way propagation delay.
+func (l *Link) Nominal() time.Duration { return l.cfg.Propagation }
+
+// Send transmits a frame from port "from" toward the peer. Delivery is
+// scheduled after propagation plus jitter; deliveries in one direction
+// never reorder.
+func (l *Link) Send(from *Port, f *Frame) {
+	if l.cfg.LossProb > 0 && l.rng != nil && l.rng.Float64() < l.cfg.LossProb {
+		l.lost++
+		return
+	}
+	to := l.Peer(from)
+	dir := 0
+	if l.ends[1] == from {
+		dir = 1
+	}
+	at := l.sched.Now().Add(l.delay())
+	if at <= l.lastDelivery[dir] {
+		at = l.lastDelivery[dir] + 1
+	}
+	l.lastDelivery[dir] = at
+	l.sched.At(at, func() {
+		to.Owner.Receive(to, f)
+	})
+}
+
+func (l *Link) delay() time.Duration {
+	d := float64(l.cfg.Propagation)
+	if l.rng != nil && l.cfg.JitterNS > 0 {
+		d += l.rng.NormFloat64() * l.cfg.JitterNS
+	}
+	min := float64(l.cfg.Propagation) / 2
+	if d < min {
+		d = min
+	}
+	return time.Duration(d)
+}

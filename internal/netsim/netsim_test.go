@@ -1,0 +1,447 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/sim"
+)
+
+type fixture struct {
+	sched   *sim.Scheduler
+	streams *sim.Streams
+}
+
+func newFixture() *fixture {
+	return &fixture{sched: sim.NewScheduler(), streams: sim.NewStreams(7)}
+}
+
+func (fx *fixture) phc(name string, staticPPB float64, jitterNS float64) *clock.PHC {
+	osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: staticPPB},
+		fx.streams.Stream("osc/"+name), fx.sched.Now())
+	return clock.NewPHC(fx.sched, osc, fx.streams.Stream("ts/"+name),
+		clock.PHCConfig{TimestampJitterNS: jitterNS})
+}
+
+func (fx *fixture) nic(name string) *NIC {
+	return NewNIC(name, fx.sched, fx.phc(name, 0, 0))
+}
+
+func mustConnect(t *testing.T, fx *fixture, cfg LinkConfig, a, b *Port) *Link {
+	t.Helper()
+	l, err := Connect(fx.sched, fx.streams.Stream("link/"+a.Name), cfg, a, b)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	return l
+}
+
+func TestLinkDelivery(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	mustConnect(t, fx, LinkConfig{Propagation: 500 * time.Nanosecond}, a.Port(), b.Port())
+
+	var gotAt sim.Time
+	var gotFrame *Frame
+	b.SetHandler(func(f *Frame, rxTS float64) {
+		gotAt = fx.sched.Now()
+		gotFrame = f
+	})
+	if _, err := a.Send(&Frame{Src: "nic/a", Dst: "nic/b", Payload: "hi"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gotFrame == nil {
+		t.Fatal("frame not delivered")
+	}
+	if gotAt != sim.Time(500) {
+		t.Fatalf("delivered at %v, want 500ns", gotAt)
+	}
+	if got := gotFrame.PathLatency(gotAt); got != 500*time.Nanosecond {
+		t.Fatalf("path latency %v, want 500ns", got)
+	}
+}
+
+func TestLinkJitterBounds(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	mustConnect(t, fx, LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 50},
+		a.Port(), b.Port())
+	var latencies []time.Duration
+	b.SetHandler(func(f *Frame, _ float64) {
+		latencies = append(latencies, f.PathLatency(fx.sched.Now()))
+	})
+	for i := 0; i < 500; i++ {
+		fx.sched.After(time.Duration(i)*time.Microsecond, func() {
+			_, _ = a.Send(&Frame{Src: "nic/a", Dst: "nic/b"})
+		})
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(latencies) != 500 {
+		t.Fatalf("delivered %d, want 500", len(latencies))
+	}
+	var varies bool
+	for _, l := range latencies {
+		if l < 250*time.Nanosecond {
+			t.Fatalf("latency %v below floor", l)
+		}
+		if l != latencies[0] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter had no effect")
+	}
+}
+
+func TestNICDownIsSilent(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	mustConnect(t, fx, LinkConfig{Propagation: time.Microsecond}, a.Port(), b.Port())
+	received := 0
+	b.SetHandler(func(*Frame, float64) { received++ })
+
+	b.SetDown(true)
+	if _, err := a.Send(&Frame{Dst: "nic/b"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if received != 0 {
+		t.Fatal("down NIC received a frame")
+	}
+
+	a.SetDown(true)
+	if _, err := a.Send(&Frame{Dst: "nic/b"}); !errors.Is(err, ErrNICDown) {
+		t.Fatalf("send on down NIC: err = %v, want ErrNICDown", err)
+	}
+}
+
+func TestSendAtPHCLaunchTime(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	// Give the sender a fast clock so the PHC→true conversion is exercised.
+	a.phc.AdjFreq(10000) // +10 ppm
+	mustConnect(t, fx, LinkConfig{Propagation: 100 * time.Nanosecond}, a.Port(), b.Port())
+	b.SetHandler(func(*Frame, float64) {})
+
+	var txTS float64
+	launch := 1e6 // 1 ms on a's PHC
+	if err := a.SendAtPHC(launch, &Frame{Dst: "nic/b"}, func(ts float64) { txTS = ts }); err != nil {
+		t.Fatalf("send at: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if math.Abs(txTS-launch) > 2 {
+		t.Fatalf("tx timestamp %v, want launch time %v (gate accuracy)", txTS, launch)
+	}
+}
+
+func TestSendAtPHCDeadlineMiss(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	mustConnect(t, fx, LinkConfig{Propagation: 100 * time.Nanosecond}, a.Port(), b.Port())
+	if err := fx.sched.RunUntil(sim.Time(time.Millisecond)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	err := a.SendAtPHC(1e3, &Frame{Dst: "nic/b"}, nil) // 1 µs: already past
+	if !errors.Is(err, ErrLaunchDeadlineMissed) {
+		t.Fatalf("err = %v, want ErrLaunchDeadlineMissed", err)
+	}
+}
+
+func (fx *fixture) bridge(name string, ports int) *Bridge {
+	cfg := BridgeConfig{
+		Ports: ports,
+		Residence: map[int]ResidenceModel{
+			PriorityBestEffort: {Base: 1500 * time.Nanosecond, JitterNS: 150},
+		},
+	}
+	return NewBridge(name, fx.sched, fx.streams.Stream("br/"+name),
+		fx.phc(name, 3000, 8), cfg)
+}
+
+func TestBridgeUnicastRoute(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 3)
+	a, b, c := fx.nic("a"), fx.nic("b"), fx.nic("c")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	mustConnect(t, fx, lc, c.Port(), br.Port(2))
+	br.AddRoute("nic/b", 1)
+
+	var bGot, cGot int
+	b.SetHandler(func(*Frame, float64) { bGot++ })
+	c.SetHandler(func(*Frame, float64) { cGot++ })
+
+	if _, err := a.Send(&Frame{Src: "nic/a", Dst: "nic/b"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if bGot != 1 || cGot != 0 {
+		t.Fatalf("b got %d, c got %d; want 1, 0", bGot, cGot)
+	}
+}
+
+func TestBridgeMulticastFloodExcludesIngress(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 3)
+	a, b, c := fx.nic("a"), fx.nic("b"), fx.nic("c")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	mustConnect(t, fx, lc, c.Port(), br.Port(2))
+	for i := 0; i < 3; i++ {
+		br.AddGroupMember("mc/measure", i)
+	}
+	var aGot, bGot, cGot int
+	a.SetHandler(func(*Frame, float64) { aGot++ })
+	b.SetHandler(func(*Frame, float64) { bGot++ })
+	c.SetHandler(func(*Frame, float64) { cGot++ })
+	if _, err := a.Send(&Frame{Src: "nic/a", Dst: "mc/measure", Priority: PriorityMeasure}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if aGot != 0 || bGot != 1 || cGot != 1 {
+		t.Fatalf("got a=%d b=%d c=%d, want 0,1,1", aGot, bGot, cGot)
+	}
+}
+
+func TestBridgeResidenceDelaysFrame(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 2)
+	a, b := fx.nic("a"), fx.nic("b")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	br.AddRoute("nic/b", 1)
+	var latency time.Duration
+	b.SetHandler(func(f *Frame, _ float64) { latency = f.PathLatency(fx.sched.Now()) })
+	if _, err := a.Send(&Frame{Dst: "nic/b"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// 2 links à 200 ns + ~1.5 µs residence.
+	if latency < 1800*time.Nanosecond || latency > 4*time.Microsecond {
+		t.Fatalf("latency %v outside expected residence band", latency)
+	}
+}
+
+func TestBridgeHookConsumesFrame(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 2)
+	a, b := fx.nic("a"), fx.nic("b")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	br.AddRoute("nic/b", 1)
+	hook := &captureHook{}
+	br.SetHook(hook)
+	delivered := 0
+	b.SetHandler(func(*Frame, float64) { delivered++ })
+	if _, err := a.Send(&Frame{Dst: "nic/b", Priority: PriorityPTP}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if hook.calls != 1 {
+		t.Fatalf("hook calls = %d, want 1", hook.calls)
+	}
+	if delivered != 0 {
+		t.Fatal("hook-consumed frame was also forwarded")
+	}
+}
+
+type captureHook struct{ calls int }
+
+func (h *captureHook) Handle(b *Bridge, ingress int, f *Frame, rxTS float64) bool {
+	if f.Priority == PriorityPTP {
+		h.calls++
+		return true
+	}
+	return false
+}
+
+func TestResidenceModelDrawProperty(t *testing.T) {
+	rng := sim.NewStreams(3).Stream("res")
+	f := func(baseUS uint8, jitter uint8, tailPermille uint8) bool {
+		m := ResidenceModel{
+			Base:     time.Duration(baseUS) * time.Microsecond,
+			JitterNS: float64(jitter),
+			TailProb: float64(tailPermille%10) / 1000,
+			TailMin:  time.Microsecond,
+			TailMax:  4 * time.Microsecond,
+		}
+		for i := 0; i < 50; i++ {
+			d := m.Draw(rng)
+			if d < m.Base {
+				return false // jitter is half-normal: never below base
+			}
+			maxExpected := m.Base + time.Duration(8*m.JitterNS) + m.TailMax
+			if d > maxExpected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectRejectsDoubleAttach(t *testing.T) {
+	fx := newFixture()
+	a, b, c := fx.nic("a"), fx.nic("b"), fx.nic("c")
+	mustConnect(t, fx, LinkConfig{Propagation: time.Microsecond}, a.Port(), b.Port())
+	if _, err := Connect(fx.sched, nil, LinkConfig{}, a.Port(), c.Port()); err == nil {
+		t.Fatal("Connect allowed double attachment")
+	}
+}
+
+func TestAddressMulticast(t *testing.T) {
+	if !Address("mc/measure").IsMulticast() {
+		t.Fatal("mc/measure should be multicast")
+	}
+	if Address("nic/dev1/1").IsMulticast() {
+		t.Fatal("nic address misclassified as multicast")
+	}
+}
+
+// fixedEgress is a stub scheduler departing every frame a fixed delay
+// after arrival, or rejecting everything.
+type fixedEgress struct {
+	delay  time.Duration
+	reject bool
+	calls  int
+}
+
+func (e *fixedEgress) Enqueue(now sim.Time, priority, bytes int) (sim.Time, error) {
+	e.calls++
+	if e.reject {
+		return 0, errors.New("no window")
+	}
+	return now.Add(e.delay), nil
+}
+
+func TestBridgeEgressScheduler(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 2)
+	a, b := fx.nic("a"), fx.nic("b")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	br.AddRoute("nic/b", 1)
+	es := &fixedEgress{delay: 5 * time.Microsecond}
+	br.SetEgressScheduler(1, es)
+
+	var deliveredAt sim.Time
+	b.SetHandler(func(f *Frame, _ float64) { deliveredAt = fx.sched.Now() })
+	if _, err := a.Send(&Frame{Dst: "nic/b", Bytes: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if es.calls != 1 {
+		t.Fatalf("scheduler calls = %d", es.calls)
+	}
+	// 200ns link + 600ns processing + 5µs shaper + 200ns link.
+	want := sim.Time(200 + 600 + 5000 + 200)
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestBridgeEgressSchedulerDrops(t *testing.T) {
+	fx := newFixture()
+	br := fx.bridge("sw1", 2)
+	a, b := fx.nic("a"), fx.nic("b")
+	lc := LinkConfig{Propagation: 200 * time.Nanosecond}
+	mustConnect(t, fx, lc, a.Port(), br.Port(0))
+	mustConnect(t, fx, lc, b.Port(), br.Port(1))
+	br.AddRoute("nic/b", 1)
+	br.SetEgressScheduler(1, &fixedEgress{reject: true})
+	got := 0
+	b.SetHandler(func(*Frame, float64) { got++ })
+	if _, err := a.Send(&Frame{Dst: "nic/b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("rejected frame delivered")
+	}
+	if br.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", br.Dropped())
+	}
+}
+
+func TestTrafficSource(t *testing.T) {
+	fx := newFixture()
+	a, b := fx.nic("a"), fx.nic("b")
+	mustConnect(t, fx, LinkConfig{Propagation: time.Microsecond}, a.Port(), b.Port())
+	var got int
+	var bytes int
+	b.SetHandler(func(f *Frame, _ float64) {
+		got++
+		bytes = f.Bytes
+	})
+	src, err := NewTrafficSource(a, fx.sched, fx.streams.Stream("t"), TrafficConfig{
+		Dst:      "nic/b",
+		Bytes:    1500,
+		Burst:    3,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := fx.sched.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	src.Stop()
+	// ~100 bursts of 3 (interval jittered ±50%).
+	if got < 150 || got > 650 {
+		t.Fatalf("delivered %d frames", got)
+	}
+	if bytes != 1500 {
+		t.Fatalf("frame size %d", bytes)
+	}
+	if src.Sent() != uint64(got) {
+		t.Fatalf("sent %d vs delivered %d", src.Sent(), got)
+	}
+	after := src.Sent()
+	if err := fx.sched.RunUntil(sim.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if src.Sent() != after {
+		t.Fatal("source kept sending after Stop")
+	}
+	if _, err := NewTrafficSource(nil, fx.sched, nil, TrafficConfig{}); err == nil {
+		t.Fatal("nil NIC accepted")
+	}
+}

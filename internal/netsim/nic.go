@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/sim"
+)
+
+// ErrLaunchDeadlineMissed is returned by SendAtPHC when the requested launch
+// time already lies in the past of the NIC's PHC — the ETF queuing
+// discipline drops such frames, one of the transient software faults the
+// paper observes (§III-C: "invalid Sync packet transmission deadlines
+// passed to the kernel").
+var ErrLaunchDeadlineMissed = errors.New("netsim: ETF launch deadline missed")
+
+// ErrNICDown is returned when transmitting on a NIC whose owning VM is
+// fail-silent.
+var ErrNICDown = errors.New("netsim: nic down")
+
+// RxHandler consumes received frames together with the PHC hardware receive
+// timestamp (nanoseconds on the NIC's PHC timescale).
+type RxHandler func(f *Frame, rxTS float64)
+
+// NIC is a network interface with a PHC and hardware timestamping, modelled
+// on the Intel i210 (launch-time capable). Each clock-synchronization VM
+// owns exactly one passthrough NIC.
+type NIC struct {
+	name    string
+	sched   *sim.Scheduler
+	phc     *clock.PHC
+	port    Port
+	handler RxHandler
+	down    bool
+
+	txCount, rxCount uint64
+}
+
+// NewNIC creates a NIC with the given PHC.
+func NewNIC(name string, sched *sim.Scheduler, phc *clock.PHC) *NIC {
+	n := &NIC{name: name, sched: sched, phc: phc}
+	n.port = Port{Name: name + "/p0", Owner: n, Index: 0}
+	return n
+}
+
+// DeviceName implements Device.
+func (n *NIC) DeviceName() string { return n.name }
+
+// Port returns the NIC's single port for wiring.
+func (n *NIC) Port() *Port { return &n.port }
+
+// PHC returns the NIC's hardware clock.
+func (n *NIC) PHC() *clock.PHC { return n.phc }
+
+// SetHandler installs the receive path into the owning VM's network stack.
+func (n *NIC) SetHandler(h RxHandler) { n.handler = h }
+
+// SetDown marks the NIC (and its VM) fail-silent: all transmission and
+// reception stops without any error indication to peers.
+func (n *NIC) SetDown(down bool) { n.down = down }
+
+// Down reports whether the NIC is fail-silent.
+func (n *NIC) Down() bool { return n.down }
+
+// Counters reports frames transmitted and received, for diagnostics.
+func (n *NIC) Counters() (tx, rx uint64) { return n.txCount, n.rxCount }
+
+// Receive implements Device: it timestamps the frame with the PHC and hands
+// it to the VM's stack. A down NIC drops silently.
+func (n *NIC) Receive(_ *Port, f *Frame) {
+	if n.down || n.handler == nil {
+		return
+	}
+	n.rxCount++
+	n.handler(f, n.phc.Timestamp())
+}
+
+// Send transmits a frame immediately and returns the hardware transmit
+// timestamp.
+func (n *NIC) Send(f *Frame) (txTS float64, err error) {
+	if n.down {
+		return 0, ErrNICDown
+	}
+	if !n.port.Connected() {
+		return 0, fmt.Errorf("netsim: nic %s not connected", n.name)
+	}
+	f.SentAt = n.sched.Now()
+	txTS = n.phc.Timestamp()
+	n.txCount++
+	n.port.link.Send(&n.port, f)
+	return txTS, nil
+}
+
+// SendAtPHC enqueues a frame into the ETF launch-time queue: it is
+// transmitted when the NIC's PHC reaches launchPHC. onTx, if non-nil, is
+// invoked at transmission with the hardware transmit timestamp (the
+// launch-time gate makes it essentially equal to launchPHC plus timestamp
+// jitter). A launch time in the past returns ErrLaunchDeadlineMissed and
+// the frame is dropped, as the ETF qdisc does.
+func (n *NIC) SendAtPHC(launchPHC float64, f *Frame, onTx func(txTS float64)) error {
+	if n.down {
+		return ErrNICDown
+	}
+	nowPHC := n.phc.Now()
+	if launchPHC < nowPHC {
+		return ErrLaunchDeadlineMissed
+	}
+	wait := n.trueDelayUntilPHC(launchPHC)
+	n.sched.After(wait, func() {
+		if n.down {
+			return
+		}
+		ts, err := n.Send(f)
+		if err != nil {
+			return
+		}
+		if onTx != nil {
+			onTx(ts)
+		}
+	})
+	return nil
+}
+
+// trueDelayUntilPHC converts a PHC-timescale deadline into a true-time wait
+// using the PHC's current rate. Clock reads are lazy and must stay monotone,
+// so the conversion is analytic rather than probing future reads; frequency
+// wander over the (sub-second) wait contributes sub-nanosecond error.
+func (n *NIC) trueDelayUntilPHC(targetPHC float64) time.Duration {
+	deltaPHC := targetPHC - n.phc.Now()
+	if deltaPHC <= 0 {
+		return 0
+	}
+	rate := 1 + n.phc.RatePPBVsTrue()*1e-9
+	return time.Duration(deltaPHC / rate)
+}

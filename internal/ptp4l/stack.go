@@ -1,0 +1,526 @@
+// Package ptp4l implements the paper's extended ptp4l: inside each
+// clock-synchronization VM, M per-domain protocol instances share an
+// FTSHMEM region; each instance stores its domain's grandmaster offset
+// there, and once per synchronization interval the first instance through
+// the aggregation gate applies the fault-tolerant average of the M offsets
+// to the shared PI controller and disciplines the VM's NIC PHC.
+//
+// The Stack also implements the paper's start-up protocol (§II-B): the
+// nodes of the M−1 non-initial domains first synchronize to the initial
+// domain's grandmaster; each node switches to fault-tolerant operation once
+// its offset to the initial domain stays below a configurable threshold.
+// Grandmasters of non-initial domains begin emitting Sync immediately, so
+// the initial domain's grandmaster can observe when the system has
+// converged.
+package ptp4l
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"gptpfta/internal/fta"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/servo"
+	"gptpfta/internal/shmem"
+	"gptpfta/internal/sim"
+)
+
+// Mode is the stack's synchronization state.
+type Mode int
+
+const (
+	// ModeStartup: tracking the initial domain's grandmaster.
+	ModeStartup Mode = iota + 1
+	// ModeFTOperation: aggregating all domains with the FTA.
+	ModeFTOperation
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeStartup:
+		return "startup"
+	case ModeFTOperation:
+		return "ft_operation"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Event kinds emitted through the stack's event callback.
+const (
+	EventModeChange = "mode_change"
+	EventServoStep  = "servo_step"
+	EventFlagChange = "flag_change"
+	EventFault      = "ptp4l_fault"
+)
+
+// Event is a notable stack occurrence for the experiment event log.
+type Event struct {
+	Kind   string
+	Detail string
+}
+
+// Config parameterises a clock-synchronization VM's ptp4l stack.
+type Config struct {
+	// Name identifies the VM (e.g. "c11") in events and diagnostics.
+	Name string
+	// Domains lists all M gPTP domains to aggregate.
+	Domains []int
+	// GMDomain is the domain this VM is grandmaster of, or -1.
+	GMDomain int
+	// InitialDomain is the start-up reference domain.
+	InitialDomain int
+	// F is the number of tolerated Byzantine grandmaster faults.
+	F int
+	// SyncInterval is the gPTP synchronization interval S (125 ms).
+	SyncInterval time.Duration
+	// StartupThresholdNS: a node enters fault-tolerant operation when its
+	// offset to the initial domain stays below this threshold.
+	StartupThresholdNS float64
+	// StartupStableCount is how many consecutive below-threshold samples
+	// the switch requires. Default 8 (one second at S = 125 ms).
+	StartupStableCount int
+	// ValidityThresholdNS is the FTSHMEM validity-flag threshold.
+	ValidityThresholdNS float64
+	// FlagPolicy selects how flags influence aggregation.
+	FlagPolicy fta.FlagPolicy
+	// StaleIntervals: a stored offset no longer counts as fresh after this
+	// many sync intervals without an update. Default 3.
+	StaleIntervals int
+
+	// Transient software fault probabilities for the grandmaster role.
+	TxTimestampTimeoutProb float64
+	DeadlineMissProb       float64
+
+	// SkipStartup starts the stack directly in fault-tolerant operation,
+	// bypassing the paper's start-up protocol. This reproduces the
+	// Kyriakakis-style baseline the paper criticises (no initial
+	// grandmaster synchronization) in the ablation benchmarks.
+	SkipStartup bool
+	// DisableDiscipline stores offsets into FTSHMEM but never adjusts the
+	// local clock — the "clients only" limitation of the baseline, where
+	// grandmaster nodes cannot participate in aggregation and free-run.
+	DisableDiscipline bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 125 * time.Millisecond
+	}
+	if c.StartupStableCount <= 0 {
+		// Three seconds at S = 125 ms: long enough for the PI servo's
+		// initial drift-estimation transient to settle, so a node cannot
+		// declare convergence on boot-time coincidence.
+		c.StartupStableCount = 24
+	}
+	if c.StartupThresholdNS <= 0 {
+		c.StartupThresholdNS = 1000
+	}
+	if c.ValidityThresholdNS <= 0 {
+		c.ValidityThresholdNS = 10000
+	}
+	if c.FlagPolicy == 0 {
+		c.FlagPolicy = fta.FlagMonitor
+	}
+	if c.StaleIntervals <= 0 {
+		c.StaleIntervals = 3
+	}
+	return c
+}
+
+// Stack is one clock-synchronization VM's extended ptp4l: M per-domain
+// instances, the FTSHMEM region, the shared PI servo, and (optionally) the
+// grandmaster role for one domain.
+type Stack struct {
+	cfg   Config
+	sched *sim.Scheduler
+	rng   sim.RNG
+	nic   *netsim.NIC
+
+	ld     *gptp.LinkDelay
+	slaves map[int]*gptp.Slave
+	master *gptp.Master
+	shm    *shmem.FTSHMEM
+
+	mode         Mode
+	stable       int
+	running      bool
+	stats        *Statistics
+	lastFlags    []bool
+	aux          netsim.RxHandler
+	tap          netsim.RxHandler
+	onEvent      func(Event)
+	syncObserver func(domain int, latency time.Duration)
+	aggregations uint64
+}
+
+// New creates a stack on nic. onEvent, if non-nil, receives stack events.
+func New(nic *netsim.NIC, sched *sim.Scheduler, rng sim.RNG, cfg Config, onEvent func(Event)) (*Stack, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Domains) == 0 {
+		return nil, errors.New("ptp4l: no domains configured")
+	}
+	staleNS := float64(cfg.StaleIntervals) * float64(cfg.SyncInterval)
+	pi := servo.NewPI(servo.Config{SyncInterval: cfg.SyncInterval})
+	s := &Stack{
+		cfg:     cfg,
+		sched:   sched,
+		rng:     rng,
+		nic:     nic,
+		slaves:  make(map[int]*gptp.Slave, len(cfg.Domains)),
+		shm:     shmem.NewFTSHMEM(cfg.Domains, staleNS, pi),
+		mode:    ModeStartup,
+		stats:   newStatistics(),
+		onEvent: onEvent,
+	}
+	if cfg.SkipStartup {
+		s.mode = ModeFTOperation
+	}
+	s.ld = gptp.NewLinkDelay(cfg.Name, sched, rng, func(f *netsim.Frame) (float64, bool) {
+		ts, err := nic.Send(f)
+		return ts, err == nil
+	}, gptp.LinkDelayConfig{})
+	for _, d := range cfg.Domains {
+		if d == cfg.GMDomain {
+			continue // the GM does not slave to its own domain
+		}
+		d := d
+		s.slaves[d] = gptp.NewSlave(d, s.ld, s.onOffset)
+	}
+	if cfg.GMDomain >= 0 {
+		s.master = gptp.NewMaster(nic, sched, rng, gptp.MasterConfig{
+			Domain:                 cfg.GMDomain,
+			GMIdentity:             cfg.Name,
+			SyncInterval:           cfg.SyncInterval,
+			TxTimestampTimeoutProb: cfg.TxTimestampTimeoutProb,
+			DeadlineMissProb:       cfg.DeadlineMissProb,
+		}, func(kind string) { s.emit(EventFault, kind) })
+	}
+	nic.SetHandler(s.receive)
+	return s, nil
+}
+
+// Name reports the VM name.
+func (s *Stack) Name() string { return s.cfg.Name }
+
+// Mode reports the current synchronization mode.
+func (s *Stack) Mode() Mode { return s.mode }
+
+// Running reports whether the stack is live (not fail-silent).
+func (s *Stack) Running() bool { return s.running }
+
+// NIC returns the VM's passthrough NIC.
+func (s *Stack) NIC() *netsim.NIC { return s.nic }
+
+// FTSHMEM exposes the shared region for diagnostics and tests.
+func (s *Stack) FTSHMEM() *shmem.FTSHMEM { return s.shm }
+
+// Master exposes the grandmaster role, or nil.
+func (s *Stack) Master() *gptp.Master { return s.master }
+
+// LinkDelay exposes the NIC port's pdelay endpoint.
+func (s *Stack) LinkDelay() *gptp.LinkDelay { return s.ld }
+
+// Aggregations reports how many FTA aggregations this stack performed.
+func (s *Stack) Aggregations() uint64 { return s.aggregations }
+
+// IsGM reports whether this VM masters a domain.
+func (s *Stack) IsGM() bool { return s.cfg.GMDomain >= 0 }
+
+// IsInitialGM reports whether this VM masters the start-up reference domain.
+func (s *Stack) IsInitialGM() bool { return s.cfg.GMDomain == s.cfg.InitialDomain }
+
+// SetAuxHandler installs a handler for non-gPTP frames (the measurement
+// agent). It runs for every frame the demultiplexer does not consume.
+func (s *Stack) SetAuxHandler(h netsim.RxHandler) { s.aux = h }
+
+// SetSyncObserver installs a callback invoked with the observed network
+// latency of every received Sync — the per-path latency data the paper
+// extracts from ptp4l to instantiate the precision bound.
+func (s *Stack) SetSyncObserver(fn func(domain int, latency time.Duration)) {
+	s.syncObserver = fn
+}
+
+// Compromise models the paper's attacker replacing the benign ptp4l with a
+// malicious instance after a successful root exploit: every distributed
+// preciseOriginTimestamp is shifted by offsetNS (the paper uses −24 µs).
+// The VM's own discipline keeps running — the attack targets the *other*
+// nodes' aggregation, not the attacker's own clock.
+func (s *Stack) Compromise(offsetNS float64) {
+	if s.master != nil {
+		s.master.SetMaliciousOffset(offsetNS)
+	}
+}
+
+// Compromised reports whether the grandmaster distributes falsified
+// timestamps.
+func (s *Stack) Compromised() bool {
+	return s.master != nil && s.master.Config().MaliciousOriginOffsetNS != 0
+}
+
+// Start boots the stack: pdelay begins, and grandmasters of the initial
+// domain begin emitting immediately (they are the start-up reference);
+// other grandmasters emit from boot as well so the initial grandmaster can
+// observe system convergence.
+func (s *Stack) Start() error {
+	if s.running {
+		return errors.New("ptp4l: already running")
+	}
+	s.running = true
+	if err := s.ld.Start(); err != nil {
+		return err
+	}
+	if s.master != nil && !s.master.Running() {
+		if err := s.master.Start(); err != nil {
+			return err
+		}
+	}
+	if s.IsInitialGM() {
+		// The reference free-runs through start-up.
+		return nil
+	}
+	return nil
+}
+
+// Fail makes the VM fail-silent: the NIC goes down and every periodic
+// activity stops. The PHC (hardware) keeps running.
+func (s *Stack) Fail() {
+	s.running = false
+	s.nic.SetDown(true)
+	s.ld.Stop()
+	if s.master != nil {
+		s.master.Stop()
+	}
+}
+
+// Reboot restarts a failed VM: shared state is re-established, the servo
+// resets, and the stack re-enters the start-up protocol.
+func (s *Stack) Reboot() error {
+	if s.running {
+		return errors.New("ptp4l: reboot while running")
+	}
+	s.nic.SetDown(false)
+	s.shm.Reset()
+	s.mode = ModeStartup
+	if s.cfg.SkipStartup {
+		s.mode = ModeFTOperation
+	}
+	s.stable = 0
+	s.lastFlags = nil
+	return s.Start()
+}
+
+// SetTap installs a passive observer of every received frame (the trace
+// recorder); it runs before demultiplexing and cannot consume frames.
+func (s *Stack) SetTap(h netsim.RxHandler) { s.tap = h }
+
+// receive demultiplexes NIC frames to the pdelay endpoint, the per-domain
+// instances, or the auxiliary handler.
+func (s *Stack) receive(f *netsim.Frame, rxTS float64) {
+	if s.tap != nil {
+		s.tap(f, rxTS)
+	}
+	switch m := f.Payload.(type) {
+	case *gptp.PdelayReq, *gptp.PdelayResp, *gptp.PdelayRespFollowUp:
+		s.ld.HandleFrame(f.Payload, rxTS)
+	case *gptp.Sync:
+		if s.syncObserver != nil {
+			s.syncObserver(m.Domain, f.PathLatency(s.sched.Now()))
+		}
+		if sl, ok := s.slaves[m.Domain]; ok {
+			sl.HandleSync(m, rxTS)
+		}
+	case *gptp.FollowUp:
+		if sl, ok := s.slaves[m.Domain]; ok {
+			sl.HandleFollowUp(m)
+		}
+	default:
+		if s.aux != nil {
+			s.aux(f, rxTS)
+		}
+	}
+}
+
+// onOffset is the per-domain instance callback: store to FTSHMEM, then run
+// the start-up protocol or the aggregation gate.
+func (s *Stack) onOffset(sample gptp.OffsetSample) {
+	if !s.running {
+		return
+	}
+	nowPHC := s.nic.PHC().Now()
+	s.shm.StoreOffset(sample, nowPHC)
+	s.stats.addDomain(sample.Domain, sample.OffsetNS)
+	switch s.mode {
+	case ModeStartup:
+		s.startupStep(sample, nowPHC)
+	case ModeFTOperation:
+		s.aggregate(nowPHC)
+	}
+}
+
+// startupReferenceDomain picks the domain tracked during start-up: the
+// configured initial domain while it is fresh, otherwise the lowest fresh
+// foreign domain (so a node rebooting while the initial grandmaster is
+// fail-silent can still rejoin).
+func (s *Stack) startupReferenceDomain(nowPHC float64) (int, bool) {
+	readings := s.shm.Readings(nowPHC)
+	best := -1
+	for _, r := range readings {
+		if !r.Fresh || r.Domain == s.cfg.GMDomain {
+			continue
+		}
+		if r.Domain == s.cfg.InitialDomain {
+			return r.Domain, true
+		}
+		if best == -1 || r.Domain < best {
+			best = r.Domain
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	return 0, false
+}
+
+func (s *Stack) startupStep(sample gptp.OffsetSample, nowPHC float64) {
+	if s.IsInitialGM() {
+		// The reference grandmaster free-runs and enters fault-tolerant
+		// operation once every fresh foreign domain agrees with it within
+		// the start-up threshold.
+		s.initialGMConvergence(nowPHC)
+		return
+	}
+	ref, ok := s.startupReferenceDomain(nowPHC)
+	if !ok || sample.Domain != ref {
+		return
+	}
+	adj, state := s.shm.Servo().Sample(sample.OffsetNS, nowPHC)
+	s.applyServo(sample.OffsetNS, adj, state)
+	if state == servo.StateLocked && math.Abs(sample.OffsetNS) < s.cfg.StartupThresholdNS {
+		s.stable++
+		if s.stable >= s.cfg.StartupStableCount {
+			s.enterFTOperation()
+		}
+	} else {
+		s.stable = 0
+	}
+}
+
+// initialGMConvergence checks whether the M−1 other grandmasters have
+// synchronized to this reference within the start-up threshold.
+func (s *Stack) initialGMConvergence(nowPHC float64) {
+	readings := s.shm.Readings(nowPHC)
+	freshForeign := 0
+	for _, r := range readings {
+		if r.Domain == s.cfg.GMDomain || !r.Fresh {
+			continue
+		}
+		if math.Abs(r.OffsetNS) >= s.cfg.StartupThresholdNS {
+			s.stable = 0
+			return
+		}
+		freshForeign++
+	}
+	if freshForeign < 1 {
+		return // nothing observed yet; a fully silent network cannot converge
+	}
+	// The check runs on every foreign sample (≈ (M−1)·8 Hz), so scale the
+	// required streak to cover the same wall-clock window as the tracking
+	// nodes' per-domain streak.
+	required := s.cfg.StartupStableCount * maxInt(1, len(s.cfg.Domains)-1)
+	s.stable++
+	if s.stable >= required {
+		s.enterFTOperation()
+	}
+}
+
+func (s *Stack) enterFTOperation() {
+	s.mode = ModeFTOperation
+	s.stable = 0
+	s.emit(EventModeChange, ModeFTOperation.String())
+}
+
+// aggregate implements the paper's Fig. 1 data path: the first instance per
+// synchronization interval wins the FTSHMEM gate, refreshes its own-domain
+// slot if it is a grandmaster, computes the FTA over the fresh readings,
+// updates the validity flags, and feeds the shared PI controller.
+func (s *Stack) aggregate(nowPHC float64) {
+	if !s.shm.TryAcquireAdjust(nowPHC, float64(s.cfg.SyncInterval)) {
+		return
+	}
+	if s.master != nil && s.master.Running() {
+		s.shm.StoreOwnDomain(s.cfg.GMDomain, nowPHC)
+	}
+	readings := s.shm.Readings(nowPHC)
+	cs, flags, err := fta.Aggregate(readings, s.cfg.F, s.cfg.ValidityThresholdNS, s.cfg.FlagPolicy)
+	s.updateFlags(readings, flags)
+	if err != nil {
+		return // too few fresh domains: free-run this interval
+	}
+	s.aggregations++
+	s.stats.aggregate.Add(cs)
+	adj, state := s.shm.Servo().Sample(cs, nowPHC)
+	s.applyServo(cs, adj, state)
+}
+
+func (s *Stack) applyServo(offset, adjPPB float64, state servo.State) {
+	if s.cfg.DisableDiscipline {
+		return
+	}
+	switch state {
+	case servo.StateJump:
+		s.nic.PHC().Step(-offset)
+		s.nic.PHC().AdjFreq(adjPPB)
+		s.stats.freqPPB.Add(adjPPB)
+		s.emit(EventServoStep, fmt.Sprintf("%.0fns", -offset))
+	case servo.StateLocked:
+		s.nic.PHC().AdjFreq(adjPPB)
+		s.stats.freqPPB.Add(adjPPB)
+	}
+}
+
+// Statistics exposes the stack's running summary statistics.
+func (s *Stack) Statistics() *Statistics { return s.stats }
+
+func (s *Stack) updateFlags(readings []fta.Reading, flags []bool) {
+	s.shm.SetFlags(flags)
+	if s.onEvent == nil {
+		return
+	}
+	changed := len(s.lastFlags) != len(flags)
+	if !changed {
+		for i := range flags {
+			if flags[i] != s.lastFlags[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		detail := ""
+		for i, fl := range flags {
+			if !fl && readings[i].Fresh {
+				detail += fmt.Sprintf("domain %d invalid (offset %.0fns); ", readings[i].Domain, readings[i].OffsetNS)
+			}
+		}
+		s.emit(EventFlagChange, detail)
+	}
+	s.lastFlags = append(s.lastFlags[:0], flags...)
+}
+
+func (s *Stack) emit(kind, detail string) {
+	if s.onEvent != nil {
+		s.onEvent(Event{Kind: kind, Detail: detail})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package ptp4l
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOffsetStatsStreaming(t *testing.T) {
+	var s OffsetStats
+	for _, v := range []float64{3, -4, 0} {
+		s.Add(v)
+	}
+	if s.Count != 3 || s.LastNS != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MaxAbs != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", s.MaxAbs)
+	}
+	wantRMS := math.Sqrt((9.0 + 16 + 0) / 3)
+	if math.Abs(s.RMSNS()-wantRMS) > 1e-12 {
+		t.Fatalf("RMS = %v, want %v", s.RMSNS(), wantRMS)
+	}
+	if math.Abs(s.MeanNS()-(-1.0/3)) > 1e-12 {
+		t.Fatalf("Mean = %v", s.MeanNS())
+	}
+	if (OffsetStats{}).RMSNS() != 0 || (OffsetStats{}).MeanNS() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestStackStatisticsPopulated(t *testing.T) {
+	r := newRig(t, 31, 4, nil)
+	r.start(t)
+	r.run(t, 60*time.Second)
+	st := r.stacks[1].Statistics()
+	// Stack b slaves to domains 0, 2, 3 (it masters domain 1).
+	for _, d := range []int{0, 2, 3} {
+		if st.Domain(d).Count == 0 {
+			t.Fatalf("domain %d has no offset statistics", d)
+		}
+	}
+	if st.Domain(1).Count != 0 {
+		t.Fatal("own domain should have no slave offsets")
+	}
+	if st.Aggregate().Count == 0 {
+		t.Fatal("no FTA aggregation statistics")
+	}
+	if st.FreqPPB().Count == 0 {
+		t.Fatal("no servo frequency statistics")
+	}
+	// Converged: per-domain RMS well below a µs; servo within drift range.
+	if rms := st.Aggregate().RMSNS(); rms > 5000 {
+		t.Fatalf("aggregate RMS = %v ns over the run (includes startup), implausible", rms)
+	}
+	if f := st.FreqPPB().MaxAbs; f > 200000 {
+		t.Fatalf("servo frequency |max| = %v ppb, implausible", f)
+	}
+	sum := st.Summary()
+	for _, want := range []string{"dom1", "dom3", "FTA", "servo freq"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	st.Reset()
+	if st.Aggregate().Count != 0 || st.Domain(0).Count != 0 {
+		t.Fatal("reset did not clear statistics")
+	}
+}

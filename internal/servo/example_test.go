@@ -1,0 +1,27 @@
+package servo_test
+
+import (
+	"fmt"
+	"time"
+
+	"gptpfta/internal/servo"
+)
+
+// A PI servo locking onto a clock with a constant +5 ppm frequency error:
+// the first sample arms it, the second estimates the drift, and from then
+// on it returns the frequency correction to apply.
+func ExamplePI() {
+	pi := servo.NewPI(servo.Config{SyncInterval: 125 * time.Millisecond})
+
+	_, state := pi.Sample(0, 0)
+	fmt.Println("first sample:", state)
+
+	// 125 ms later the offset grew by 625 ns → +5 ppm local error.
+	adj, state := pi.Sample(625, 125e6)
+	fmt.Printf("second sample: %v, apply %.0f ppb\n", state, adj)
+	fmt.Printf("drift estimate: %.0f ppb\n", pi.DriftPPB())
+	// Output:
+	// first sample: unlocked
+	// second sample: locked, apply -5000 ppb
+	// drift estimate: 5000 ppb
+}

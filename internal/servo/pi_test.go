@@ -1,0 +1,201 @@
+package servo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gptpfta/internal/clock"
+	"gptpfta/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	cfg := p.Config()
+	if cfg.Kp <= 0 || cfg.Ki <= 0 {
+		t.Fatalf("gains not derived: kp=%v ki=%v", cfg.Kp, cfg.Ki)
+	}
+	// LinuxPTP: kp = 0.7·0.125^-0.3 ≈ 1.306, ki = 0.3·0.125^0.4 ≈ 0.131.
+	if math.Abs(cfg.Kp-1.306) > 0.01 {
+		t.Fatalf("kp = %v, want ≈1.306", cfg.Kp)
+	}
+	if math.Abs(cfg.Ki-0.1306) > 0.001 {
+		t.Fatalf("ki = %v, want ≈0.1306", cfg.Ki)
+	}
+	if cfg.FirstStepThreshold != 20*time.Microsecond {
+		t.Fatalf("first step threshold = %v, want 20µs", cfg.FirstStepThreshold)
+	}
+}
+
+func TestFirstSampleUnlocked(t *testing.T) {
+	p := NewPI(Config{})
+	adj, st := p.Sample(1000, 0)
+	if st != StateUnlocked || adj != 0 {
+		t.Fatalf("first sample: adj=%v state=%v, want 0/unlocked", adj, st)
+	}
+}
+
+func TestSecondSampleEstimatesDrift(t *testing.T) {
+	p := NewPI(Config{})
+	// Offset grows by 625 ns per 125 ms → +5 ppm local frequency error.
+	p.Sample(0, 0)
+	adj, st := p.Sample(625, 125e6)
+	if st != StateLocked {
+		t.Fatalf("state = %v, want locked (offset below first-step threshold)", st)
+	}
+	if math.Abs(p.DriftPPB()-5000) > 1 {
+		t.Fatalf("drift estimate = %v ppb, want 5000", p.DriftPPB())
+	}
+	if math.Abs(adj+5000) > 1 {
+		t.Fatalf("adjustment = %v ppb, want -5000", adj)
+	}
+}
+
+func TestLargeFirstOffsetRequestsJump(t *testing.T) {
+	p := NewPI(Config{})
+	p.Sample(5e6, 0)
+	_, st := p.Sample(5e6, 125e6)
+	if st != StateJump {
+		t.Fatalf("state = %v, want jump for 5 ms offset", st)
+	}
+}
+
+func TestStepThresholdWhenLocked(t *testing.T) {
+	p := NewPI(Config{StepThreshold: time.Millisecond})
+	p.Sample(0, 0)
+	p.Sample(10, 125e6)
+	_, st := p.Sample(5e6, 250e6) // 5 ms
+	if st != StateJump {
+		t.Fatalf("state = %v, want jump above step threshold", st)
+	}
+}
+
+func TestNoStepWhenThresholdZero(t *testing.T) {
+	p := NewPI(Config{})
+	p.Sample(0, 0)
+	p.Sample(10, 125e6)
+	_, st := p.Sample(5e9, 250e6)
+	if st != StateLocked {
+		t.Fatalf("state = %v, want locked (step threshold disabled)", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewPI(Config{})
+	p.Sample(0, 0)
+	p.Sample(625, 125e6)
+	p.Reset()
+	if p.State() != StateUnlocked || p.DriftPPB() != 0 {
+		t.Fatalf("reset did not clear state: %v drift=%v", p.State(), p.DriftPPB())
+	}
+	adj, st := p.Sample(100, 0)
+	if st != StateUnlocked || adj != 0 {
+		t.Fatal("servo after reset should behave like a fresh servo")
+	}
+}
+
+func TestOutputClamped(t *testing.T) {
+	p := NewPI(Config{MaxFreqPPB: 1000})
+	p.Sample(0, 0)
+	p.Sample(10, 125e6)
+	adj, _ := p.Sample(1e9, 250e6)
+	if adj != -1000 {
+		t.Fatalf("adjustment = %v, want clamp at -1000", adj)
+	}
+}
+
+func TestDegenerateSecondSample(t *testing.T) {
+	p := NewPI(Config{})
+	p.Sample(100, 1000)
+	adj, st := p.Sample(200, 1000) // same local timestamp
+	if st != StateUnlocked || adj != 0 {
+		t.Fatalf("degenerate dt: adj=%v state=%v, want 0/unlocked", adj, st)
+	}
+}
+
+// TestClosedLoopConvergence runs the servo against a simulated PHC with a
+// +5 ppm oscillator and a perfect reference, sampling every 125 ms. After a
+// few seconds the residual offset must be within tens of nanoseconds.
+func TestClosedLoopConvergence(t *testing.T) {
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(5)
+	osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: 5000, WanderPPBPerSqrtSec: 1},
+		streams.Stream("osc"), sched.Now())
+	phc := clock.NewPHC(sched, osc, nil, clock.PHCConfig{InitialOffsetNS: 3000})
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+
+	var lastOffsets []float64
+	tick, err := sched.Every(0, 125*time.Millisecond, func() {
+		ref := float64(sched.Now()) // perfect master
+		offset := phc.Now() - ref
+		adj, st := p.Sample(offset, phc.Now())
+		switch st {
+		case StateJump:
+			phc.Step(-offset)
+			phc.AdjFreq(adj)
+		case StateLocked:
+			phc.AdjFreq(adj)
+		}
+		lastOffsets = append(lastOffsets, offset)
+	})
+	if err != nil {
+		t.Fatalf("every: %v", err)
+	}
+	defer tick.Stop()
+	if err := sched.RunUntil(sim.Time(20 * time.Second)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Examine the last 20 samples.
+	tail := lastOffsets[len(lastOffsets)-20:]
+	for _, o := range tail {
+		if math.Abs(o) > 100 {
+			t.Fatalf("servo failed to converge: tail offsets %v", tail)
+		}
+	}
+}
+
+// TestClosedLoopTracksWander verifies the integral term follows a slowly
+// changing frequency error.
+func TestClosedLoopTracksWander(t *testing.T) {
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(9)
+	osc := clock.NewOscillator(clock.OscillatorConfig{StaticPPB: -3000, WanderPPBPerSqrtSec: 5},
+		streams.Stream("osc"), sched.Now())
+	phc := clock.NewPHC(sched, osc, nil, clock.PHCConfig{})
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	var worst float64
+	tick, err := sched.Every(0, 125*time.Millisecond, func() {
+		offset := phc.Now() - float64(sched.Now())
+		adj, st := p.Sample(offset, phc.Now())
+		switch st {
+		case StateJump:
+			phc.Step(-offset)
+			phc.AdjFreq(adj)
+		case StateLocked:
+			phc.AdjFreq(adj)
+		}
+		if sched.Now() > sim.Time(10*time.Second) && math.Abs(offset) > worst {
+			worst = math.Abs(offset)
+		}
+	})
+	if err != nil {
+		t.Fatalf("every: %v", err)
+	}
+	defer tick.Stop()
+	if err := sched.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if worst > 500 {
+		t.Fatalf("steady-state worst offset %v ns under wander, want < 500 ns", worst)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateUnlocked.String() != "unlocked" || StateJump.String() != "jump" ||
+		StateLocked.String() != "locked" {
+		t.Fatal("state strings wrong")
+	}
+	if State(99).String() != "state(99)" {
+		t.Fatal("unknown state string wrong")
+	}
+}

@@ -1,0 +1,156 @@
+// Package shmem models the two shared-memory regions of the paper's
+// architecture:
+//
+//   - FTSHMEM: the user-space region a clock-synchronization VM establishes
+//     between its M ptp4l instances. It holds the latest M grandmaster
+//     offsets, M validity booleans, the adjust_last timestamp implementing
+//     the aggregation gate, and the shared PI servo state.
+//   - STSHMEM: the hypervisor-provided virtual-PCI region shared between
+//     co-located VMs. Clock-synchronization VMs publish clock parameters
+//     (a TSC→global-time mapping) into per-VM slots; the active slot
+//     defines CLOCK_SYNCTIME for every VM on the node.
+package shmem
+
+import (
+	"sync"
+
+	"gptpfta/internal/fta"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/servo"
+)
+
+// FTSHMEM is the fault-tolerance shared memory between M ptp4l instances
+// inside one clock-synchronization VM (paper §II-B). All times are on the
+// VM's NIC PHC timescale, in nanoseconds.
+type FTSHMEM struct {
+	mu sync.Mutex
+
+	domains []int
+	index   map[int]int // domain → slot
+
+	offsets    []fta.Reading
+	flags      []bool
+	adjustLast float64
+	hasAdjust  bool
+	staleNS    float64
+
+	pi *servo.PI
+}
+
+// NewFTSHMEM creates the region for the given domains. staleNS is the age
+// (in PHC ns) beyond which a stored offset no longer counts as fresh —
+// a fail-silent grandmaster's slot goes stale after a few missed Syncs.
+func NewFTSHMEM(domains []int, staleNS float64, pi *servo.PI) *FTSHMEM {
+	idx := make(map[int]int, len(domains))
+	offsets := make([]fta.Reading, len(domains))
+	for i, d := range domains {
+		idx[d] = i
+		offsets[i] = fta.Reading{Domain: d}
+	}
+	return &FTSHMEM{
+		domains: append([]int(nil), domains...),
+		index:   idx,
+		offsets: offsets,
+		flags:   make([]bool, len(domains)),
+		staleNS: staleNS,
+		pi:      pi,
+	}
+}
+
+// Domains returns the configured domain numbers in slot order.
+func (s *FTSHMEM) Domains() []int {
+	return append([]int(nil), s.domains...)
+}
+
+// StoreOffset records one grandmaster-offset sample. nowPHC timestamps the
+// store for freshness accounting.
+func (s *FTSHMEM) StoreOffset(sample gptp.OffsetSample, nowPHC float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[sample.Domain]
+	if !ok {
+		return
+	}
+	s.offsets[i] = fta.Reading{
+		Domain:   sample.Domain,
+		OffsetNS: sample.OffsetNS,
+		At:       nowPHC,
+		Fresh:    true,
+	}
+}
+
+// StoreOwnDomain refreshes the slot of the domain this VM is grandmaster
+// of: by definition its offset to itself is zero while it is emitting.
+func (s *FTSHMEM) StoreOwnDomain(domain int, nowPHC float64) {
+	s.StoreOffset(gptp.OffsetSample{Domain: domain, OffsetNS: 0}, nowPHC)
+}
+
+// Readings snapshots the M readings with freshness evaluated at nowPHC.
+func (s *FTSHMEM) Readings(nowPHC float64) []fta.Reading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]fta.Reading, len(s.offsets))
+	copy(out, s.offsets)
+	for i := range out {
+		if out[i].Fresh && nowPHC-out[i].At > s.staleNS {
+			out[i].Fresh = false
+		}
+	}
+	return out
+}
+
+// TryAcquireAdjust implements the paper's aggregation gate: the first ptp4l
+// instance in synchronization interval s+1 for which
+// adjust_last + sync_interval <= now wins and updates adjust_last; every
+// other instance's attempt in the same interval fails.
+func (s *FTSHMEM) TryAcquireAdjust(nowPHC, syncIntervalNS float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasAdjust && s.adjustLast+syncIntervalNS > nowPHC {
+		return false
+	}
+	s.adjustLast = nowPHC
+	s.hasAdjust = true
+	return true
+}
+
+// AdjustLast reports the PHC time of the last aggregation, and whether any
+// aggregation has happened.
+func (s *FTSHMEM) AdjustLast() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adjustLast, s.hasAdjust
+}
+
+// SetFlags stores the validity booleans computed during aggregation.
+func (s *FTSHMEM) SetFlags(flags []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copy(s.flags, flags)
+}
+
+// Flags snapshots the validity booleans, indexed in slot order.
+func (s *FTSHMEM) Flags() []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]bool(nil), s.flags...)
+}
+
+// Servo returns the shared PI controller.
+func (s *FTSHMEM) Servo() *servo.PI { return s.pi }
+
+// Reset clears offsets, flags, the gate and the servo — a rebooting VM
+// re-establishes its region from scratch.
+func (s *FTSHMEM) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.offsets {
+		s.offsets[i] = fta.Reading{Domain: s.offsets[i].Domain}
+	}
+	for i := range s.flags {
+		s.flags[i] = false
+	}
+	s.hasAdjust = false
+	s.adjustLast = 0
+	s.pi.Reset()
+}

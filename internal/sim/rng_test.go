@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := NewStreams(42).Stream("clock/dev1")
+	b := NewStreams(42).Stream("clock/dev1")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed and name must yield identical sequences")
+		}
+	}
+}
+
+func TestStreamsIndependentByName(t *testing.T) {
+	s := NewStreams(42)
+	a := s.Stream("clock/dev1")
+	b := s.Stream("clock/dev2")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestStreamsIndependentBySeed(t *testing.T) {
+	a := NewStreams(1).Stream("x")
+	b := NewStreams(2).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestStreamsSeedAccessor(t *testing.T) {
+	if got := NewStreams(7).Seed(); got != 7 {
+		t.Fatalf("Seed() = %d, want 7", got)
+	}
+}

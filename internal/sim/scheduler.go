@@ -1,0 +1,242 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other substrate (clocks, network, hypervisor) runs on.
+//
+// All simulated components share a single Scheduler. Time is a monotonically
+// increasing nanosecond counter representing ideal "true" time; simulated
+// clocks in package clock map true time onto drifting local timescales.
+// Events that are scheduled for the same instant fire in FIFO order, which —
+// together with the seeded RNG streams in rng.go — makes every run
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the simulation's ideal timescale,
+// in nanoseconds since the simulation epoch.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the instant to a duration since the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant as a duration since the simulation epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a handle to a scheduled callback. It can be cancelled with
+// Scheduler.Cancel as long as it has not fired.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 once removed
+	fn    func()
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Scheduler is a deterministic discrete-event executor. The zero value is
+// not usable; create one with NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// processed counts events that have fired, for diagnostics.
+	processed uint64
+}
+
+// NewScheduler returns a scheduler positioned at the simulation epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulation instant.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed reports how many events have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at instant t. Scheduling in the past is a
+// programming error and is clamped to "now" so that causality is preserved;
+// the event still fires.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Step fires the next pending event and reports whether one was available.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e, ok := heap.Pop(&s.queue).(*Event)
+	if !ok {
+		return false
+	}
+	e.index = -1
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events in order until the queue is exhausted or the next
+// event lies strictly after t. The clock is left at min(t, last event time
+// processed); if events remain, Now() is advanced to t so that subsequent
+// RunUntil calls continue seamlessly.
+func (s *Scheduler) RunUntil(t Time) error {
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		if s.queue[0].at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.stopped {
+		s.stopped = false
+		return ErrStopped
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d from the current instant.
+func (s *Scheduler) RunFor(d time.Duration) error {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Run executes events until the queue is empty or the scheduler is stopped.
+func (s *Scheduler) Run() error {
+	for !s.stopped && s.Step() {
+	}
+	if s.stopped {
+		s.stopped = false
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop causes the currently executing Run/RunUntil to return ErrStopped
+// after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Every schedules fn to run periodically with the given period, starting at
+// start. It returns a Ticker that can be stopped. The period must be
+// positive.
+func (s *Scheduler) Every(start Time, period time.Duration, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", period)
+	}
+	t := &Ticker{sched: s, period: period, fn: fn}
+	t.ev = s.At(start, t.tick)
+	return t, nil
+}
+
+// Ticker repeatedly fires a callback with a fixed period until stopped.
+type Ticker struct {
+	sched   *Scheduler
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop the ticker
+		return
+	}
+	t.ev = t.sched.After(t.period, t.tick)
+}
+
+// Stop cancels future firings. It is safe to call from within the callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sched.Cancel(t.ev)
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

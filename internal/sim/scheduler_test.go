@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, at := range []Time{500, 100, 300, 200, 400} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []Time{100, 200, 300, 400, 500}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("event %d fired at %v, want %v (order %v)", i, got[i], w, got)
+		}
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(42, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+}
+
+func TestSchedulerNowAdvances(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func() {
+		if s.Now() != 100 {
+			t.Errorf("Now() = %v inside event, want 100", s.Now())
+		}
+		s.After(50, func() {
+			if s.Now() != 150 {
+				t.Errorf("Now() = %v inside nested event, want 150", s.Now())
+			}
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s.Now() != 150 {
+		t.Fatalf("final Now() = %v, want 150", s.Now())
+	}
+}
+
+func TestSchedulerPastEventClampedToNow(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(100, func() {
+		s.At(10, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100 (past event must not rewind time)", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(100, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulerCancelInterleaved(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	events := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		events[i] = s.At(Time(i*10), func() { got = append(got, i) })
+	}
+	// Cancel every odd event.
+	for i := 1; i < 10; i += 2 {
+		s.Cancel(events[i])
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, at := range []Time{100, 200, 300} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(200); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 100 and 200 only", fired)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("Now() = %v, want 200", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesNowWithEmptyQueue(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunUntil(12345); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if s.Now() != 12345 {
+		t.Fatalf("Now() = %v, want 12345", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run() = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Fatalf("processed %d events before stop, want 2", count)
+	}
+	// The scheduler is reusable after a stop.
+	if err := s.Run(); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("processed %d events total, want 5", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler()
+	var fires []Time
+	tick, err := s.Every(100, 50*time.Nanosecond, func() {
+		fires = append(fires, s.Now())
+	})
+	if err != nil {
+		t.Fatalf("every: %v", err)
+	}
+	if err := s.RunUntil(300); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tick.Stop()
+	if err := s.RunUntil(1000); err != nil {
+		t.Fatalf("run after stop: %v", err)
+	}
+	want := []Time{100, 150, 200, 250, 300}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick *Ticker
+	tick, err := s.Every(0, 10*time.Nanosecond, func() {
+		count++
+		if count == 3 {
+			tick.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatalf("every: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestEveryRejectsNonPositivePeriod(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.Every(0, 0, func() {}); err == nil {
+		t.Fatal("Every accepted zero period")
+	}
+	if _, err := s.Every(0, -time.Second, func() {}); err == nil {
+		t.Fatal("Every accepted negative period")
+	}
+}
+
+// TestSchedulerOrderProperty verifies with random event sets that firing
+// order is always sorted by (time, insertion order).
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := NewScheduler()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			s.At(at, func() { got = append(got, rec{at: at, seq: i}) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	base := Time(1000)
+	if got := base.Add(500 * time.Nanosecond); got != 1500 {
+		t.Fatalf("Add = %v, want 1500", got)
+	}
+	if got := Time(1500).Sub(base); got != 500*time.Nanosecond {
+		t.Fatalf("Sub = %v, want 500ns", got)
+	}
+	if Time(time.Second.Nanoseconds()).String() != "1s" {
+		t.Fatalf("String = %q, want 1s", Time(time.Second.Nanoseconds()).String())
+	}
+}

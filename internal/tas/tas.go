@@ -1,0 +1,207 @@
+// Package tas implements an IEEE 802.1Qbv time-aware shaper: per-port gate
+// control lists that open and close priority queues on a repeating cycle.
+// The paper's integrated TSN switches rely on exactly this mechanism to
+// keep gPTP event traffic isolated from best-effort interference; the
+// shaper is the queue-level model behind the bridge residence times, made
+// explicit so protected-window configurations can be studied.
+//
+// The shaper is pure state-machine logic over simulated time: Enqueue
+// computes each frame's departure instant from the queue backlog, the link
+// serialization time, and the gate schedule (with guard-band semantics — a
+// frame only starts transmitting if it finishes before its gate closes).
+package tas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// NumPriorities is the 802.1Q priority range.
+const NumPriorities = 8
+
+// GateMask selects which priorities' gates are open during an entry.
+type GateMask uint8
+
+// Open reports whether the gate for a priority is open in the mask.
+func (m GateMask) Open(priority int) bool {
+	return priority >= 0 && priority < NumPriorities && m&(1<<uint(priority)) != 0
+}
+
+// MaskFor builds a mask opening the given priorities.
+func MaskFor(priorities ...int) GateMask {
+	var m GateMask
+	for _, p := range priorities {
+		if p >= 0 && p < NumPriorities {
+			m |= 1 << uint(p)
+		}
+	}
+	return m
+}
+
+// AllOpen opens every gate (the default, shaper-less behaviour).
+const AllOpen GateMask = 0xFF
+
+// GateEntry is one interval of the gate control list.
+type GateEntry struct {
+	Gates    GateMask
+	Duration time.Duration
+}
+
+// GateControlList is a repeating gate schedule.
+type GateControlList struct {
+	entries []GateEntry
+	cycle   time.Duration
+}
+
+// NewGateControlList validates and builds a schedule. The cycle time is
+// the sum of the entry durations.
+func NewGateControlList(entries []GateEntry) (*GateControlList, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("tas: empty gate control list")
+	}
+	var cycle time.Duration
+	for i, e := range entries {
+		if e.Duration <= 0 {
+			return nil, fmt.Errorf("tas: entry %d has non-positive duration", i)
+		}
+		cycle += e.Duration
+	}
+	return &GateControlList{entries: append([]GateEntry(nil), entries...), cycle: cycle}, nil
+}
+
+// Cycle reports the schedule's cycle time.
+func (g *GateControlList) Cycle() time.Duration { return g.cycle }
+
+// gateAt returns the entry active at instant t and the time remaining in it.
+func (g *GateControlList) gateAt(t sim.Time) (GateEntry, time.Duration) {
+	phase := time.Duration(int64(t) % int64(g.cycle))
+	for _, e := range g.entries {
+		if phase < e.Duration {
+			return e, e.Duration - phase
+		}
+		phase -= e.Duration
+	}
+	// Unreachable: phase < cycle by construction.
+	return g.entries[len(g.entries)-1], 0
+}
+
+// NextTransmitSlot computes the earliest instant ≥ from at which a frame of
+// the given transmission duration can START so that it completes while the
+// priority's gate is open (guard-band semantics). It returns an error if
+// the schedule never opens a window long enough.
+func (g *GateControlList) NextTransmitSlot(priority int, from sim.Time, txTime time.Duration) (sim.Time, error) {
+	t := from
+	// Two full cycles bound the search: if no window fits in one cycle, it
+	// never will.
+	deadline := from.Add(2 * g.cycle)
+	for t < deadline {
+		entry, remaining := g.gateAt(t)
+		if entry.Gates.Open(priority) && remaining >= txTime {
+			return t, nil
+		}
+		// Jump to the start of the next entry.
+		t = t.Add(remaining)
+	}
+	return 0, fmt.Errorf("tas: no window of %v for priority %d in a %v cycle", txTime, priority, g.cycle)
+}
+
+// Shaper is one egress port's time-aware shaper: strict priority between
+// queues with 802.1Qbu frame-preemption semantics (express traffic
+// overtakes queued lower-priority frames; a lower-priority frame waits for
+// all higher-priority backlog), FIFO within a queue, gates from the
+// control list.
+type Shaper struct {
+	gcl *GateControlList
+	// rate is the link speed in bits per nanosecond (1 Gbit/s = 1).
+	rate float64
+	// queueTail tracks the departure time of the last frame accepted per
+	// priority, preserving FIFO order within a queue and letting lower
+	// priorities yield to higher-priority backlog.
+	queueTail [NumPriorities]sim.Time
+	// fifo disables priority queueing entirely: one queue for all
+	// traffic — the egress model of a non-TSN switch, for comparison
+	// studies.
+	fifo bool
+
+	transmitted uint64
+}
+
+// NewShaper creates a shaper for a port with the given schedule and link
+// rate in megabits per second.
+func NewShaper(gcl *GateControlList, linkMbps float64) (*Shaper, error) {
+	if gcl == nil {
+		return nil, errors.New("tas: nil gate control list")
+	}
+	if linkMbps <= 0 {
+		return nil, errors.New("tas: non-positive link rate")
+	}
+	return &Shaper{gcl: gcl, rate: linkMbps / 1000}, nil
+}
+
+// NewFIFOShaper models a non-TSN switch egress: a single FIFO queue with
+// no gates (all open) and no priority separation — PTP frames wait behind
+// any best-effort backlog. Used as the baseline in the TAS ablation.
+func NewFIFOShaper(linkMbps float64) (*Shaper, error) {
+	gcl, err := NewGateControlList([]GateEntry{{Gates: AllOpen, Duration: time.Millisecond}})
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewShaper(gcl, linkMbps)
+	if err != nil {
+		return nil, err
+	}
+	s.fifo = true
+	return s, nil
+}
+
+// TxTime reports the serialization time of a frame.
+func (s *Shaper) TxTime(bytes int) time.Duration {
+	if bytes <= 0 {
+		bytes = 128
+	}
+	return time.Duration(float64(bytes*8) / s.rate)
+}
+
+// Transmitted reports how many frames the shaper has scheduled.
+func (s *Shaper) Transmitted() uint64 { return s.transmitted }
+
+// Enqueue accepts a frame arriving at now with the given priority and size
+// and returns the instant its transmission COMPLETES (when the peer starts
+// receiving the last bit; propagation is the link's business). Departure
+// respects: FIFO within the priority, the port being busy with earlier
+// transmissions, and the gate schedule with guard bands.
+func (s *Shaper) Enqueue(now sim.Time, priority int, bytes int) (sim.Time, error) {
+	if priority < 0 || priority >= NumPriorities {
+		return 0, fmt.Errorf("tas: priority %d out of range", priority)
+	}
+	txTime := s.TxTime(bytes)
+	earliest := now
+	if s.fifo {
+		// Single queue: wait for everything already accepted.
+		for p := 0; p < NumPriorities; p++ {
+			if s.queueTail[p] > earliest {
+				earliest = s.queueTail[p]
+			}
+		}
+	} else {
+		// FIFO within the queue, and yield to backlog of this and every
+		// higher priority (strict priority + preemption: higher
+		// priorities never wait for lower ones).
+		for p := priority; p < NumPriorities; p++ {
+			if s.queueTail[p] > earliest {
+				earliest = s.queueTail[p]
+			}
+		}
+	}
+	start, err := s.gcl.NextTransmitSlot(priority, earliest, txTime)
+	if err != nil {
+		return 0, err
+	}
+	done := start.Add(txTime)
+	s.queueTail[priority] = done
+	s.transmitted++
+	return done, nil
+}

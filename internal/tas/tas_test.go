@@ -1,0 +1,235 @@
+package tas
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// schedule50us builds the canonical protected schedule: 10 µs for PTP
+// (priority 7) + measurement (6), then 40 µs for everything else.
+func schedule50us(t *testing.T) *GateControlList {
+	t.Helper()
+	gcl, err := NewGateControlList([]GateEntry{
+		{Gates: MaskFor(7, 6), Duration: 10 * time.Microsecond},
+		{Gates: MaskFor(0, 1, 2, 3, 4, 5), Duration: 40 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("gcl: %v", err)
+	}
+	return gcl
+}
+
+func TestGateMask(t *testing.T) {
+	m := MaskFor(7, 6)
+	if !m.Open(7) || !m.Open(6) || m.Open(0) || m.Open(5) {
+		t.Fatalf("mask %08b wrong", m)
+	}
+	if m.Open(-1) || m.Open(8) {
+		t.Fatal("out-of-range priorities reported open")
+	}
+	for p := 0; p < NumPriorities; p++ {
+		if !AllOpen.Open(p) {
+			t.Fatalf("AllOpen closed for %d", p)
+		}
+	}
+}
+
+func TestGCLValidation(t *testing.T) {
+	if _, err := NewGateControlList(nil); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := NewGateControlList([]GateEntry{{Gates: AllOpen, Duration: 0}}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	gcl := schedule50us(t)
+	if gcl.Cycle() != 50*time.Microsecond {
+		t.Fatalf("cycle = %v", gcl.Cycle())
+	}
+}
+
+func TestNextTransmitSlotInsideOpenWindow(t *testing.T) {
+	gcl := schedule50us(t)
+	// Priority 7 at t=2µs: window open until 10µs; a 1µs frame fits now.
+	at, err := gcl.NextTransmitSlot(7, sim.Time(2*time.Microsecond), time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(2*time.Microsecond) {
+		t.Fatalf("slot at %v, want immediate", at)
+	}
+}
+
+func TestNextTransmitSlotWaitsForWindow(t *testing.T) {
+	gcl := schedule50us(t)
+	// Priority 0 at t=2µs must wait for the BE window at 10µs.
+	at, err := gcl.NextTransmitSlot(0, sim.Time(2*time.Microsecond), time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(10*time.Microsecond) {
+		t.Fatalf("slot at %v, want 10µs", at)
+	}
+	// Priority 7 at t=20µs waits for the next cycle's PTP window at 50µs.
+	at, err = gcl.NextTransmitSlot(7, sim.Time(20*time.Microsecond), time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(50*time.Microsecond) {
+		t.Fatalf("slot at %v, want 50µs", at)
+	}
+}
+
+func TestGuardBand(t *testing.T) {
+	gcl := schedule50us(t)
+	// A 3 µs transmission requested at 8 µs does not fit before the PTP
+	// gate closes at 10 µs: it must wait for the next cycle.
+	at, err := gcl.NextTransmitSlot(7, sim.Time(8*time.Microsecond), 3*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(50*time.Microsecond) {
+		t.Fatalf("slot at %v, want next cycle (guard band)", at)
+	}
+}
+
+func TestNextTransmitSlotNeverFits(t *testing.T) {
+	gcl := schedule50us(t)
+	// A 20 µs transmission never fits the 10 µs PTP window.
+	if _, err := gcl.NextTransmitSlot(7, 0, 20*time.Microsecond); err == nil {
+		t.Fatal("impossible window accepted")
+	}
+}
+
+func TestShaperSerializesSamePriority(t *testing.T) {
+	shaper, err := NewShaper(schedule50us(t), 1000) // 1 Gbit/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 125-byte PTP frames at t=0: 1 µs each, back to back.
+	d1, err := shaper.Enqueue(0, 7, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := shaper.Enqueue(0, 7, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != sim.Time(time.Microsecond) || d2 != sim.Time(2*time.Microsecond) {
+		t.Fatalf("departures %v, %v; want 1µs, 2µs", d1, d2)
+	}
+	if shaper.Transmitted() != 2 {
+		t.Fatalf("transmitted = %d", shaper.Transmitted())
+	}
+}
+
+func TestShaperProtectedWindow(t *testing.T) {
+	shaper, err := NewShaper(schedule50us(t), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst of best-effort backlog arrives first...
+	for i := 0; i < 5; i++ {
+		if _, err := shaper.Enqueue(0, 0, 1500); err != nil { // 12 µs each
+			t.Fatal(err)
+		}
+	}
+	// ...then a PTP frame: it must NOT be delayed behind the backlog —
+	// it sails through the protected window.
+	d, err := shaper.Enqueue(sim.Time(time.Microsecond), 7, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > sim.Time(3*time.Microsecond) {
+		t.Fatalf("PTP frame delayed to %v behind best-effort backlog", d)
+	}
+}
+
+func TestShaperLowerPriorityYields(t *testing.T) {
+	shaper, err := NewShaper(schedule50us(t), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PTP backlog deep into its window...
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		d, err := shaper.Enqueue(0, 7, 125)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = d
+	}
+	// ...a BE frame afterwards must depart in its own window at ≥10 µs and
+	// after the PTP backlog.
+	d, err := shaper.Enqueue(0, 0, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < sim.Time(10*time.Microsecond) || d < last {
+		t.Fatalf("BE departure %v violates window/priority (ptp tail %v)", d, last)
+	}
+}
+
+func TestShaperValidation(t *testing.T) {
+	if _, err := NewShaper(nil, 1000); err == nil {
+		t.Fatal("nil gcl accepted")
+	}
+	gcl := schedule50us(t)
+	if _, err := NewShaper(gcl, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	shaper, err := NewShaper(gcl, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shaper.Enqueue(0, 9, 100); err == nil {
+		t.Fatal("out-of-range priority accepted")
+	}
+	if tx := shaper.TxTime(0); tx != time.Duration(128*8) {
+		t.Fatalf("default frame size txtime = %v", tx)
+	}
+}
+
+// TestShaperProperties: departures are causal (after arrival), FIFO within
+// a priority, and always inside an open window.
+func TestShaperProperties(t *testing.T) {
+	gcl := schedule50us(t)
+	prop := func(arrivals []uint16, prioRaw []uint8) bool {
+		shaper, err := NewShaper(gcl, 1000)
+		if err != nil {
+			return false
+		}
+		n := len(arrivals)
+		if len(prioRaw) < n {
+			n = len(prioRaw)
+		}
+		lastPerPrio := map[int]sim.Time{}
+		var now sim.Time
+		for i := 0; i < n; i++ {
+			now = now.Add(time.Duration(arrivals[i]) * time.Nanosecond)
+			prio := int(prioRaw[i]) % NumPriorities
+			done, err := shaper.Enqueue(now, prio, 125)
+			if err != nil {
+				return false
+			}
+			txStart := done - sim.Time(shaper.TxTime(125))
+			if txStart < now {
+				return false // transmission before arrival
+			}
+			entry, remaining := gcl.gateAt(txStart)
+			if !entry.Gates.Open(prio) || remaining < shaper.TxTime(125) {
+				return false // transmitted outside an open window
+			}
+			if done <= lastPerPrio[prio] {
+				return false // FIFO violated within the queue
+			}
+			lastPerPrio[prio] = done
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

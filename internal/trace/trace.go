@@ -1,0 +1,224 @@
+// Package trace records simulated gPTP traffic in wire format — the
+// simulator's tcpdump. A Recorder taps one or more clock-synchronization
+// VMs' receive paths and appends length-prefixed records (capture instant,
+// capturing VM, IEEE 1588/802.1AS wire bytes) to a writer; a Reader walks
+// a recorded file and a Dump renders it human-readably.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+// magic identifies trace files; the trailing digit versions the format.
+var magic = []byte("GPTPTRC1")
+
+// Record is one captured frame.
+type Record struct {
+	At   sim.Time // capture instant (true simulation time)
+	VM   string   // capturing VM
+	Wire []byte   // IEEE 1588/802.1AS wire bytes
+}
+
+// Recorder writes records. Create with NewRecorder; attach via Tap.
+type Recorder struct {
+	w       io.Writer
+	started bool
+	records uint64
+	err     error
+}
+
+// NewRecorder creates a recorder on w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w}
+}
+
+// Records reports how many frames were captured.
+func (r *Recorder) Records() uint64 { return r.records }
+
+// Err reports the first write error, if any; once set, capturing stops.
+func (r *Recorder) Err() error { return r.err }
+
+// Capture encodes and appends one frame received by vm at instant at.
+// Non-gPTP frames are ignored.
+func (r *Recorder) Capture(at sim.Time, vm string, f *netsim.Frame) {
+	if r.err != nil {
+		return
+	}
+	wire, ok := gptp.EncodeWire(string(f.Src), f.Payload)
+	if !ok {
+		return
+	}
+	if !r.started {
+		if _, err := r.w.Write(magic); err != nil {
+			r.err = err
+			return
+		}
+		r.started = true
+	}
+	var hdr [14]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(at))
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(vm)))
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(wire)))
+	if _, err := r.w.Write(hdr[:]); err != nil {
+		r.err = err
+		return
+	}
+	if _, err := io.WriteString(r.w, vm); err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(wire); err != nil {
+		r.err = err
+		return
+	}
+	r.records++
+}
+
+// Tap returns a receive-path tap for one VM, suitable for
+// ptp4l.Stack.SetTap.
+func (r *Recorder) Tap(sched *sim.Scheduler, vm string) func(f *netsim.Frame, rxTS float64) {
+	return func(f *netsim.Frame, _ float64) {
+		r.Capture(sched.Now(), vm, f)
+	}
+}
+
+// ErrBadMagic marks a file that is not a gPTP trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// ReadAll parses a trace stream.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(rd, head); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil // empty capture
+		}
+		return nil, err
+	}
+	if string(head) != string(magic) {
+		return nil, ErrBadMagic
+	}
+	var out []Record
+	for {
+		var hdr [14]byte
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: record header: %w", err)
+		}
+		at := sim.Time(binary.BigEndian.Uint64(hdr[0:8]))
+		nameLen := int(binary.BigEndian.Uint16(hdr[8:10]))
+		wireLen := int(binary.BigEndian.Uint32(hdr[10:14]))
+		if nameLen > 256 || wireLen > 1<<16 {
+			return nil, fmt.Errorf("trace: implausible record (name %d, wire %d)", nameLen, wireLen)
+		}
+		buf := make([]byte, nameLen+wireLen)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, fmt.Errorf("trace: record body: %w", err)
+		}
+		out = append(out, Record{At: at, VM: string(buf[:nameLen]), Wire: buf[nameLen:]})
+	}
+}
+
+// Dump renders records like a protocol analyzer, one line per frame.
+func Dump(w io.Writer, records []Record) error {
+	for _, rec := range records {
+		line, err := describe(rec)
+		if err != nil {
+			line = fmt.Sprintf("[%12v] %-4s undecodable: %v", rec.At, rec.VM, err)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func describe(rec Record) (string, error) {
+	mt, err := gptp.MessageTypeOf(rec.Wire)
+	if err != nil {
+		return "", err
+	}
+	prefix := fmt.Sprintf("[%12v] %-4s", rec.At, rec.VM)
+	switch mt {
+	case gptp.WireTypeSync:
+		domain, seq, src, err := gptp.UnmarshalSync(rec.Wire)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s Sync            dom%d seq %5d from %s", prefix, domain+1, seq, src), nil
+	case gptp.WireTypeFollowUp:
+		fu, err := gptp.UnmarshalFollowUp(rec.Wire)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s Follow_Up       dom%d seq %5d origin %d.%09ds corr %.1fns ratio %.9f",
+			prefix, fu.Domain+1, fu.SequenceID, fu.PreciseOrigin.Seconds,
+			fu.PreciseOrigin.Nanoseconds, fu.CorrectionNS, fu.RateRatio()), nil
+	case gptp.WireTypePdelayReq:
+		return fmt.Sprintf("%s Pdelay_Req", prefix), nil
+	case gptp.WireTypePdelayResp, gptp.WireTypePdelayRespFollowUp:
+		pr, err := gptp.UnmarshalPdelayResp(rec.Wire)
+		if err != nil {
+			return "", err
+		}
+		kind := "Pdelay_Resp     "
+		if pr.FollowUp {
+			kind = "Pdelay_Resp_FU  "
+		}
+		return fmt.Sprintf("%s %s seq %5d t %d.%09ds for %s",
+			prefix, kind, pr.SequenceID, pr.Timestamp.Seconds, pr.Timestamp.Nanoseconds, pr.Requesting), nil
+	case gptp.WireTypeAnnounce:
+		a, err := gptp.UnmarshalAnnounce(rec.Wire)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s Announce        dom%d seq %5d gm prio1 %d steps %d",
+			prefix, a.Domain+1, a.SequenceID, a.Priority1, a.StepsRemoved), nil
+	default:
+		return fmt.Sprintf("%s type %#x (%d bytes)", prefix, mt, len(rec.Wire)), nil
+	}
+}
+
+// Summary tallies a capture by message type.
+func Summary(records []Record) string {
+	counts := map[string]int{}
+	for _, rec := range records {
+		mt, err := gptp.MessageTypeOf(rec.Wire)
+		if err != nil {
+			counts["undecodable"]++
+			continue
+		}
+		switch mt {
+		case gptp.WireTypeSync:
+			counts["Sync"]++
+		case gptp.WireTypeFollowUp:
+			counts["Follow_Up"]++
+		case gptp.WireTypePdelayReq:
+			counts["Pdelay_Req"]++
+		case gptp.WireTypePdelayResp:
+			counts["Pdelay_Resp"]++
+		case gptp.WireTypePdelayRespFollowUp:
+			counts["Pdelay_Resp_FU"]++
+		case gptp.WireTypeAnnounce:
+			counts["Announce"]++
+		default:
+			counts["other"]++
+		}
+	}
+	parts := make([]string, 0, len(counts))
+	for _, k := range []string{"Sync", "Follow_Up", "Pdelay_Req", "Pdelay_Resp", "Pdelay_Resp_FU", "Announce", "other", "undecodable"} {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", k, counts[k]))
+		}
+	}
+	return fmt.Sprintf("%d frames (%s)", len(records), strings.Join(parts, ", "))
+}

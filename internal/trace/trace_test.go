@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gptpfta/internal/core"
+	"gptpfta/internal/gptp"
+	"gptpfta/internal/netsim"
+	"gptpfta/internal/sim"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	frames := []*netsim.Frame{
+		{Src: "nic/c11", Payload: &gptp.Sync{Domain: 0, Seq: 1}},
+		{Src: "nic/c11", Payload: &gptp.FollowUp{Domain: 0, Seq: 1, PreciseOrigin: 125e6, Correction: 3600.5, RateRatio: 1.0000001}},
+		{Src: "nic/c22", Payload: &gptp.PdelayReq{Seq: 9, Requester: "c22"}},
+		{Src: "nic/sw1", Payload: &gptp.PdelayResp{Seq: 9, Requester: "c22", T2: 1e9}},
+		{Src: "nic/sw1", Payload: &gptp.PdelayRespFollowUp{Seq: 9, Requester: "c22", T3: 1.0000001e9}},
+		{Src: "nic/c11", Payload: &gptp.Announce{Domain: 0, Seq: 3, GM: gptp.SystemIdentity{Priority1: 50, ClockID: "c11"}, StepsRemoved: 1}},
+		{Src: "nic/c22", Payload: "not gptp"}, // skipped
+	}
+	for i, f := range frames {
+		rec.Capture(sim.Time(i)*sim.Time(time.Millisecond), "c22", f)
+	}
+	if rec.Err() != nil {
+		t.Fatalf("recorder error: %v", rec.Err())
+	}
+	if rec.Records() != 6 {
+		t.Fatalf("records = %d, want 6 (non-gPTP skipped)", rec.Records())
+	}
+
+	records, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(records) != 6 {
+		t.Fatalf("read %d records", len(records))
+	}
+	if records[0].VM != "c22" || records[0].At != 0 {
+		t.Fatalf("record 0: %+v", records[0])
+	}
+	if records[3].At != sim.Time(3*time.Millisecond) {
+		t.Fatalf("record 3 at %v", records[3].At)
+	}
+
+	var out strings.Builder
+	if err := Dump(&out, records); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	for _, want := range []string{"Sync", "Follow_Up", "Pdelay_Req", "Pdelay_Resp", "Pdelay_Resp_FU", "Announce", "prio1 50"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("dump missing %q:\n%s", want, out.String())
+		}
+	}
+	sum := Summary(records)
+	if !strings.Contains(sum, "6 frames") || !strings.Contains(sum, "Sync 1") {
+		t.Fatalf("summary: %s", sum)
+	}
+}
+
+func TestReadAllErrors(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("NOTATRACE")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	records, err := ReadAll(strings.NewReader(""))
+	if err != nil || records != nil {
+		t.Fatalf("empty stream: %v/%v", records, err)
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Capture(0, "c22", &netsim.Frame{Src: "nic/c11", Payload: &gptp.Sync{}})
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadAll(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestEncodeWireSkipsUnrepresentable(t *testing.T) {
+	if _, ok := gptp.EncodeWire("nic/c11", &gptp.FollowUp{PreciseOrigin: -5}); ok {
+		t.Fatal("negative origin encoded")
+	}
+	if _, ok := gptp.EncodeWire("nic/c11", 42); ok {
+		t.Fatal("non-gPTP payload encoded")
+	}
+}
+
+func TestClockIDStable(t *testing.T) {
+	a := gptp.ClockIDFromName("c11")
+	b := gptp.ClockIDFromName("c11")
+	c := gptp.ClockIDFromName("c12")
+	if a != b {
+		t.Fatal("identity not stable")
+	}
+	if a == c {
+		t.Fatal("distinct names collide")
+	}
+	if a[0]&0x02 == 0 {
+		t.Fatal("locally-administered bit not set")
+	}
+}
+
+func TestCaptureFromLiveSystem(t *testing.T) {
+	sys, err := core.NewSystem(core.NewConfig(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := sys.VM("c32")
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	vm.Stack.SetTap(rec.Tap(sys.Scheduler(), "c32"))
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err() != nil {
+		t.Fatalf("recorder error: %v", rec.Err())
+	}
+	// 4 domains × 8 Hz × 10 s × (Sync + FollowUp) ≈ 640 frames plus pdelay.
+	if rec.Records() < 500 {
+		t.Fatalf("records = %d, want hundreds", rec.Records())
+	}
+	records, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != int(rec.Records()) {
+		t.Fatalf("read %d of %d records", len(records), rec.Records())
+	}
+	sum := Summary(records)
+	if !strings.Contains(sum, "Sync") || !strings.Contains(sum, "Follow_Up") {
+		t.Fatalf("summary: %s", sum)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 20 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestRecorderStopsOnWriteError(t *testing.T) {
+	rec := NewRecorder(&failWriter{})
+	f := &netsim.Frame{Src: "nic/c11", Payload: &gptp.Sync{}}
+	for i := 0; i < 5; i++ {
+		rec.Capture(sim.Time(i), "c22", f)
+	}
+	if rec.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if rec.Records() > 1 {
+		t.Fatalf("records kept counting after error: %d", rec.Records())
+	}
+}
