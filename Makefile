@@ -1,0 +1,26 @@
+# Verification targets. `make verify` is the tier-1 gate; `make race`
+# adds vet and the race detector (the runner's worker pool is the main
+# concurrency surface).
+
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the whole module; the runner package is the critical one.
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+verify: build vet test
+	$(GO) test -race ./internal/runner/...

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -319,7 +320,7 @@ func BenchmarkAblationVotingMonitor(b *testing.B) {
 func BenchmarkFutureWorkUnikernelRecovery(b *testing.B) {
 	var last *experiments.RecoveryResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RecoveryComparison(experiments.RecoveryConfig{
+		res, err := experiments.RecoveryComparison(context.Background(), experiments.RecoveryConfig{
 			Seed:     int64(i + 1),
 			Duration: 30 * time.Minute,
 		})
@@ -383,7 +384,7 @@ func BenchmarkAblationTASProtection(b *testing.B) {
 func BenchmarkMultiSeedRobustness(b *testing.B) {
 	var last *experiments.MultiSeedResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MultiSeedValidation(experiments.MultiSeedConfig{
+		res, err := experiments.MultiSeedValidation(context.Background(), experiments.MultiSeedConfig{
 			Seeds:    []int64{int64(3*i + 1), int64(3*i + 2), int64(3*i + 3)},
 			Duration: 10 * time.Minute,
 		})
@@ -396,6 +397,37 @@ func BenchmarkMultiSeedRobustness(b *testing.B) {
 	b.ReportMetric(last.StdOfMeansNS, "std-across-seeds-ns")
 	b.ReportMetric(float64(last.AnyViolations), "violations")
 }
+
+// benchCampaign runs the 4-seed fault-injection campaign through the
+// runner at the given worker count. On a multi-core host the parallel
+// variant finishes in roughly 1/min(4, cores) of the sequential
+// wall-clock; on a single-core host the two coincide.
+func benchCampaign(b *testing.B, parallel int) {
+	var last *experiments.MultiSeedResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiSeedValidation(context.Background(), experiments.MultiSeedConfig{
+			Seeds:    []int64{1, 2, 3, 4},
+			Duration: 8 * time.Minute,
+			Parallel: parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MeanOfMeansNS, "mean-ns")
+	b.ReportMetric(float64(last.AnyViolations), "violations")
+}
+
+// BenchmarkCampaign4SeedsSequential — the 4-seed campaign on one worker:
+// the wall-clock baseline for the runner's speedup claim.
+func BenchmarkCampaign4SeedsSequential(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaign4SeedsParallel4 — the same campaign fanned across four
+// workers. Compare ns/op against the sequential variant; results are
+// bit-identical (the runner derives each run's streams from its seed and
+// orders outcomes by submission index).
+func BenchmarkCampaign4SeedsParallel4(b *testing.B) { benchCampaign(b, 4) }
 
 // BenchmarkAblationDynamicMesh — A10: fully dynamic 802.1AS (BMCA +
 // path-trace + relay tree rebuild) over the redundant mesh: the measured

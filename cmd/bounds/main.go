@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,10 +35,15 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := experiments.Bounds(experiments.BoundsConfig{Seed: *seed, Duration: *duration})
+	exp, ok := experiments.Lookup("bounds")
+	if !ok {
+		return fmt.Errorf("experiment %q not registered", "bounds")
+	}
+	r, err := exp.Run(context.Background(), experiments.BoundsConfig{Seed: *seed, Duration: *duration})
 	if err != nil {
 		return err
 	}
+	res := r.(*experiments.BoundsResult)
 	fmt.Printf("=== §III-A3 bound methodology — seed %d, %v fault-free ===\n", *seed, *duration)
 	for _, row := range res.Table() {
 		fmt.Println(row)

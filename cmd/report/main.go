@@ -1,24 +1,32 @@
 // Command report regenerates every experiment in the paper's evaluation in
 // one run — the bound methodology, Fig. 3a, Fig. 3b, Fig. 4a/4b, Fig. 5
 // and the ablations — at a configurable time scale, and prints a
-// paper-vs-measured comparison suitable for EXPERIMENTS.md.
+// paper-vs-measured comparison suitable for EXPERIMENTS.md. Independent
+// studies fan out across the runner's worker pool; the report order is
+// fixed regardless of completion order. With -csv every result's generic
+// Rows() table is written as one CSV file per study.
 //
 // Usage:
 //
-//	report [-seed N] [-scale 0.25] [-full]
+//	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-csv dir]
 //
 // -scale compresses the experiment horizons (1 → the paper's 1 h / 24 h);
 // -full is shorthand for -scale 1.
 package main
 
 import (
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/runner"
 )
 
 func main() {
@@ -28,11 +36,21 @@ func main() {
 	}
 }
 
+// section is one report entry: the rendered text block plus the result it
+// came from, kept for the generic CSV emission.
+type section struct {
+	name  string
+	text  string
+	res   experiments.Result
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "master random seed")
 	scale := fs.Float64("scale", 0.05, "time-scale factor (1 = the paper's full horizons)")
 	full := fs.Bool("full", false, "run the paper's full horizons (1 h attack run, 24 h fault injection)")
+	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,97 +72,140 @@ func run(args []string) error {
 	fmt.Printf("### reproduction report — seed %d, scale %.2f (attack run %v, fault injection %v)\n\n",
 		*seed, *scale, attackDur, injectDur)
 
-	if err := reportBounds(*seed); err != nil {
-		return err
+	type job struct {
+		name   string
+		exp    string
+		cfg    any
+		render func(experiments.Result) string
 	}
-	if err := reportFig3(*seed, attackDur, false); err != nil {
-		return err
+	jobs := []job{
+		{"bounds", "bounds", experiments.BoundsConfig{Seed: *seed}, renderBounds},
+		{"fig3a", "resilience",
+			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur},
+			func(r experiments.Result) string { return renderFig3(r, false) }},
+		{"fig3b", "resilience",
+			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, DiverseKernels: true},
+			func(r experiments.Result) string { return renderFig3(r, true) }},
+		{"fig4", "faultinjection",
+			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur}, renderFig4},
+		{"ablation-baseline", "baseline", experiments.BaselineConfig{Seed: *seed}, renderSummary},
+		{"ablation-single-domain", "single-domain", experiments.BaselineConfig{Seed: *seed}, renderSummary},
+		{"ablation-flag-policy", "flag-policy", experiments.BaselineConfig{Seed: *seed}, renderSummary},
 	}
-	if err := reportFig3(*seed, attackDur, true); err != nil {
-		return err
-	}
-	if err := reportFig4(*seed, injectDur); err != nil {
-		return err
-	}
-	return reportAblations(*seed)
-}
 
-func reportBounds(seed int64) error {
-	res, err := experiments.Bounds(experiments.BoundsConfig{Seed: seed})
+	runs := make([]runner.Run, len(jobs))
+	for i, j := range jobs {
+		j := j
+		exp, ok := experiments.Lookup(j.exp)
+		if !ok {
+			return fmt.Errorf("experiment %q not registered", j.exp)
+		}
+		runs[i] = runner.Run{Name: j.name, Do: func(ctx context.Context) (any, error) {
+			res, err := exp.Run(ctx, j.cfg)
+			if err != nil {
+				return nil, err
+			}
+			return section{name: j.name, text: j.render(res), res: res}, nil
+		}}
+	}
+	outcomes := runner.New(*parallel).Execute(context.Background(), runs)
+	sections, err := runner.Values[section](outcomes)
 	if err != nil {
 		return err
 	}
+
 	fmt.Println("## E1 — bound methodology (§III-A3/B)")
+	fmt.Print(sections[0].text)
+	fmt.Println("## E2 — Fig. 3a (identical kernels)")
+	fmt.Print(sections[1].text)
+	fmt.Println("## E3 — Fig. 3b (diverse kernels)")
+	fmt.Print(sections[2].text)
+	fmt.Println("## E4/E5/E6 — Fig. 4a/4b and Fig. 5 (fault injection)")
+	fmt.Print(sections[3].text)
+	fmt.Println("## A1/A2/A3 — ablations")
+	for _, s := range sections[4:] {
+		fmt.Print(s.text)
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, sections); err != nil {
+			return err
+		}
+		fmt.Printf("\nCSV tables written to %s\n", *csvDir)
+	}
+	return nil
+}
+
+// writeCSVs emits every section's Rows() — the same generic shape for
+// every study, no per-type special cases.
+func writeCSVs(dir string, sections []section) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		f, err := os.Create(filepath.Join(dir, s.name+".csv"))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(s.res.Rows()); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s.csv: %w", s.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderBounds(r experiments.Result) string {
+	res := r.(*experiments.BoundsResult)
+	var b strings.Builder
 	for _, row := range res.Table() {
-		fmt.Println("  " + row)
+		fmt.Fprintf(&b, "  %s\n", row)
 	}
-	fmt.Println("  paper: d_min=4120ns d_max=9188ns E=5068ns Pi=12.636us gamma=1313ns")
-	fmt.Println()
-	return nil
+	fmt.Fprintln(&b, "  paper: d_min=4120ns d_max=9188ns E=5068ns Pi=12.636us gamma=1313ns")
+	fmt.Fprintln(&b)
+	return b.String()
 }
 
-func reportFig3(seed int64, d time.Duration, diverse bool) error {
-	res, err := experiments.CyberResilience(experiments.CyberResilienceConfig{
-		Seed: seed, Duration: d, DiverseKernels: diverse,
-	})
-	if err != nil {
-		return err
-	}
-	name, paper := "E2 — Fig. 3a (identical kernels)",
-		"paper: second compromise at 00:31:52 breaks the bound; nodes lose synchronization"
+func renderFig3(r experiments.Result, diverse bool) string {
+	res := r.(*experiments.CyberResilienceResult)
+	paper := "paper: second compromise at 00:31:52 breaks the bound; nodes lose synchronization"
 	if diverse {
-		name, paper = "E3 — Fig. 3b (diverse kernels)",
-			"paper: second exploit fails; precision stays within Pi+gamma"
+		paper = "paper: second exploit fails; precision stays within Pi+gamma"
 	}
-	fmt.Println("## " + name)
-	fmt.Println("  " + res.Summary())
-	for _, r := range res.ExploitResults {
-		fmt.Println("    " + r.String())
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s\n", res.Summary())
+	for _, e := range res.ExploitResults {
+		fmt.Fprintf(&b, "    %s\n", e.String())
 	}
-	fmt.Println("  " + paper)
-	fmt.Print(indent(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 14)))
-	fmt.Println()
-	return nil
+	fmt.Fprintf(&b, "  %s\n", paper)
+	b.WriteString(indent(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 14)))
+	fmt.Fprintln(&b)
+	return b.String()
 }
 
-func reportFig4(seed int64, d time.Duration) error {
-	res, err := experiments.FaultInjection(experiments.FaultInjectionConfig{Seed: seed, Duration: d})
-	if err != nil {
-		return err
-	}
-	fmt.Println("## E4/E5 — Fig. 4a/4b (fault injection)")
-	fmt.Println("  " + res.Summary())
-	fmt.Println("  paper: avg 322ns ± 421ns, min 33ns, max 10.08us within Pi+gamma=12.28us;")
-	fmt.Println("         94 fail-silent VMs (48 GM), 2992 tx-ts timeouts, 347 deadline misses over 24h")
-	fmt.Print(indent(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 14)))
-	fmt.Println("  distribution:")
-	fmt.Print(indent(experiments.RenderHistogram(measure.ComputeHistogram(res.Samples, 50, 1000), 40)))
+func renderFig4(r experiments.Result) string {
+	res := r.(*experiments.FaultInjectionResult)
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s\n", res.Summary())
+	fmt.Fprintln(&b, "  paper: avg 322ns ± 421ns, min 33ns, max 10.08us within Pi+gamma=12.28us;")
+	fmt.Fprintln(&b, "         94 fail-silent VMs (48 GM), 2992 tx-ts timeouts, 347 deadline misses over 24h")
+	b.WriteString(indent(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 14)))
+	fmt.Fprintln(&b, "  distribution:")
+	b.WriteString(indent(experiments.RenderHistogram(measure.ComputeHistogram(res.Samples, 50, 1000), 40)))
 
 	w := res.Fig5Window(time.Hour)
-	fmt.Printf("## E6 — Fig. 5 (event window around the %.0f ns spike)\n", w.SpikeNS)
-	fmt.Print(experiments.RenderEvents(w.Events, w.FromSec))
-	fmt.Println()
-	return nil
+	fmt.Fprintf(&b, "  event window around the %.0f ns spike:\n", w.SpikeNS)
+	b.WriteString(experiments.RenderEvents(w.Events, w.FromSec))
+	fmt.Fprintln(&b)
+	return b.String()
 }
 
-func reportAblations(seed int64) error {
-	fmt.Println("## A1/A2/A3 — ablations")
-	a1, err := experiments.BaselineNoStartupSync(experiments.BaselineConfig{Seed: seed})
-	if err != nil {
-		return err
-	}
-	fmt.Println("  " + a1.Summary())
-	a2, err := experiments.AblationSingleDomainVsFTA(experiments.BaselineConfig{Seed: seed})
-	if err != nil {
-		return err
-	}
-	fmt.Println("  " + a2.Summary())
-	a3, err := experiments.AblationFlagPolicy(experiments.BaselineConfig{Seed: seed})
-	if err != nil {
-		return err
-	}
-	fmt.Println("  " + a3.Summary())
-	return nil
+func renderSummary(r experiments.Result) string {
+	return "  " + r.Summary() + "\n"
 }
 
 func indent(s string) string {

@@ -6,18 +6,25 @@
 // diversified kernels the second exploit fails and the FTA masks the
 // single Byzantine grandmaster.
 //
+// Multiple seeds fan out across the runner's worker pool; per-seed output
+// is printed in seed order regardless of completion order.
+//
 // Usage:
 //
-//	resilience [-seed N] [-duration 1h] [-diverse] [-series]
+//	resilience [-seed N | -seeds 1,2,3] [-parallel N] [-duration 1h] [-diverse] [-series]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/runner"
 )
 
 func main() {
@@ -30,40 +37,79 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "master random seed")
+	seedList := fs.String("seeds", "", "comma-separated seed list; runs one experiment per seed")
+	parallel := fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS, 1 = sequential)")
 	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
-	series := fs.Bool("series", true, "print the ASCII precision series")
+	series := fs.Bool("series", true, "print the ASCII precision series (single-seed runs only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	res, err := experiments.CyberResilience(experiments.CyberResilienceConfig{
-		Seed:           *seed,
-		Duration:       *duration,
-		DiverseKernels: *diverse,
-	})
+	seeds := []int64{*seed}
+	if *seedList != "" {
+		seeds = seeds[:0]
+		for _, part := range strings.Split(*seedList, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -seeds entry %q: %w", part, err)
+			}
+			seeds = append(seeds, s)
+		}
+	}
+
+	exp, ok := experiments.Lookup("resilience")
+	if !ok {
+		return fmt.Errorf("experiment %q not registered", "resilience")
+	}
+	showSeries := *series && len(seeds) == 1
+
+	runs := make([]runner.Run, len(seeds))
+	for i, s := range seeds {
+		s := s
+		runs[i] = runner.Run{Name: fmt.Sprintf("seed/%d", s), Do: func(ctx context.Context) (any, error) {
+			res, err := exp.Run(ctx, experiments.CyberResilienceConfig{
+				Seed:           s,
+				Duration:       *duration,
+				DiverseKernels: *diverse,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return render(s, *duration, showSeries, res.(*experiments.CyberResilienceResult)), nil
+		}}
+	}
+	outcomes := runner.New(*parallel).Execute(context.Background(), runs)
+	blocks, err := runner.Values[string](outcomes)
 	if err != nil {
 		return err
 	}
-
-	figure := "Fig. 3a (identical kernels)"
-	if *diverse {
-		figure = "Fig. 3b (diverse kernels)"
-	}
-	fmt.Printf("=== %s — seed %d, duration %v ===\n", figure, *seed, *duration)
-	fmt.Printf("bound parameters: E = %v, Gamma = %v, Pi = %v, gamma = %v\n",
-		res.ReadingError, res.DriftOffset, res.Bound, res.Gamma)
-	fmt.Printf("attack schedule: first %v, second %v\n", res.FirstAttackAt, res.SecondAttackAt)
-	for _, r := range res.ExploitResults {
-		fmt.Println("  ", r)
-	}
-	fmt.Println(res.Summary())
-	fmt.Printf("samples: %d before second attack (%d violations), %d after (%d violations, max %.0f ns)\n",
-		res.SamplesBeforeSecond, res.ViolationsBeforeSecond,
-		res.SamplesAfterSecond, res.ViolationsAfterSecond, res.MaxAfterSecondNS)
-	if *series {
-		fmt.Println()
-		fmt.Print(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 18))
+	for _, block := range blocks {
+		fmt.Print(block)
 	}
 	return nil
+}
+
+func render(seed int64, duration time.Duration, series bool, res *experiments.CyberResilienceResult) string {
+	var b strings.Builder
+	figure := "Fig. 3a (identical kernels)"
+	if res.Config.DiverseKernels {
+		figure = "Fig. 3b (diverse kernels)"
+	}
+	fmt.Fprintf(&b, "=== %s — seed %d, duration %v ===\n", figure, seed, duration)
+	fmt.Fprintf(&b, "bound parameters: E = %v, Gamma = %v, Pi = %v, gamma = %v\n",
+		res.ReadingError, res.DriftOffset, res.Bound, res.Gamma)
+	fmt.Fprintf(&b, "attack schedule: first %v, second %v\n", res.FirstAttackAt, res.SecondAttackAt)
+	for _, r := range res.ExploitResults {
+		fmt.Fprintf(&b, "   %s\n", r)
+	}
+	fmt.Fprintln(&b, res.Summary())
+	fmt.Fprintf(&b, "samples: %d before second attack (%d violations), %d after (%d violations, max %.0f ns)\n",
+		res.SamplesBeforeSecond, res.ViolationsBeforeSecond,
+		res.SamplesAfterSecond, res.ViolationsAfterSecond, res.MaxAfterSecondNS)
+	if series {
+		b.WriteString("\n")
+		b.WriteString(experiments.RenderSeries(res.Windows, res.Bound, res.Gamma, 18))
+	}
+	return b.String()
 }

@@ -1,20 +1,26 @@
 // Command sweep runs the design-space studies beyond the paper's headline
-// figures: synchronization-interval and domain-count sweeps, the BMCA
-// re-election ablation, the 2f+1 fail-consistent voting variant, and the
-// §IV future-work recovery comparison (GNU/Linux vs unikernel reboot).
+// figures — synchronization-interval and domain-count sweeps, the dynamic
+// 802.1AS and BMCA ablations, the 2f+1 fail-consistent voting variant, the
+// TSN egress study and the §IV recovery comparison — dispatching each study
+// through the experiments registry and fanning independent studies across
+// the runner's worker pool. Output order is deterministic regardless of
+// completion order.
 //
 // Usage:
 //
-//	sweep [-seed N] [-which all|interval|domains|bmca|voting|recovery]
+//	sweep [-seed N] [-parallel N] [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/runner"
 )
 
 func main() {
@@ -24,95 +30,184 @@ func main() {
 	}
 }
 
+// study is one registry dispatch plus its rendering epilogue.
+type study struct {
+	key        string
+	header     string
+	experiment string
+	cfg        func(seed, parallel int64) any
+	footnotes  []string
+}
+
+func studies() []study {
+	return []study{
+		{
+			key:        "interval",
+			header:     "synchronization-interval sweep (Γ = 2·r_max·S)",
+			experiment: "interval",
+			cfg: func(seed, parallel int64) any {
+				return experiments.IntervalSweepConfig{Seed: seed, Parallel: int(parallel)}
+			},
+		},
+		{
+			key:        "domains",
+			header:     "domain-count sweep under one Byzantine grandmaster",
+			experiment: "domains",
+			cfg: func(seed, parallel int64) any {
+				return experiments.DomainSweepConfig{Seed: seed, Parallel: int(parallel)}
+			},
+			footnotes: []string{"(M = 2 cannot mask any Byzantine fault: N < 2f+1)"},
+		},
+		{
+			key:        "dynamic",
+			header:     "fully dynamic 802.1AS over the redundant mesh",
+			experiment: "dynamic",
+			cfg: func(seed, _ int64) any {
+				return experiments.DynamicMeshConfig{Seed: seed}
+			},
+		},
+		{
+			key:        "bmca",
+			header:     "BMCA re-election vs static external port configuration (announce 1s)",
+			experiment: "bmca",
+			cfg: func(seed, _ int64) any {
+				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: time.Second}
+			},
+		},
+		{
+			key:        "bmca-500ms",
+			header:     "BMCA re-election, announce 500ms",
+			experiment: "bmca",
+			cfg: func(seed, _ int64) any {
+				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: 500 * time.Millisecond}
+			},
+		},
+		{
+			key:        "bmca-250ms",
+			header:     "BMCA re-election, announce 250ms",
+			experiment: "bmca",
+			cfg: func(seed, _ int64) any {
+				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: 250 * time.Millisecond}
+			},
+		},
+		{
+			key:        "voting",
+			header:     "2f+1 fail-consistent monitor voting (§II-A)",
+			experiment: "voting",
+			cfg: func(seed, _ int64) any {
+				return experiments.VotingConfig{Seed: seed}
+			},
+		},
+		{
+			key:        "tas",
+			header:     "TSN egress (802.1Qbv + preemption) vs commodity FIFO",
+			experiment: "tas",
+			cfg: func(seed, _ int64) any {
+				return experiments.TASStudyConfig{Seed: seed}
+			},
+		},
+		{
+			key:        "recovery",
+			header:     "§IV future work: GNU/Linux vs unikernel recovery",
+			experiment: "recovery",
+			cfg: func(seed, parallel int64) any {
+				return experiments.RecoveryConfig{Seed: seed, Parallel: int(parallel)}
+			},
+		},
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "master random seed")
-	which := fs.String("which", "all", "sweep selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
+	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
+	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	want := func(name string) bool { return *which == "all" || *which == name }
+	selected := make([]study, 0)
+	for _, s := range studies() {
+		// "bmca" selects every announce-interval variant.
+		if *which == "all" || *which == s.key || strings.HasPrefix(s.key, *which+"-") {
+			selected = append(selected, s)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown study %q (registry knows: %s)", *which,
+			strings.Join(experiments.Names(), ", "))
+	}
 
-	if want("interval") {
-		fmt.Println("=== synchronization-interval sweep (Γ = 2·r_max·S) ===")
-		points, err := experiments.SyncIntervalSweep(*seed, nil, 0)
-		if err != nil {
-			return err
+	ctx := context.Background()
+	runs := make([]runner.Run, len(selected))
+	for i, s := range selected {
+		s := s
+		exp, ok := experiments.Lookup(s.experiment)
+		if !ok {
+			return fmt.Errorf("experiment %q not registered", s.experiment)
 		}
-		for _, p := range points {
-			fmt.Println("  " + p.String())
-		}
-		fmt.Println()
-	}
-	if want("domains") {
-		fmt.Println("=== domain-count sweep under one Byzantine grandmaster ===")
-		points, err := experiments.DomainCountSweep(*seed, nil, 0)
-		if err != nil {
-			return err
-		}
-		for _, p := range points {
-			fmt.Println("  " + p.String())
-		}
-		fmt.Println("  (M = 2 cannot mask any Byzantine fault: N < 2f+1)")
-		fmt.Println()
-	}
-	if want("dynamic") {
-		fmt.Println("=== fully dynamic 802.1AS over the redundant mesh ===")
-		res, err := experiments.DynamicMeshStudy(experiments.DynamicMeshConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Println("  " + res.Summary())
-		fmt.Println()
-	}
-	if want("bmca") {
-		fmt.Println("=== BMCA re-election vs static external port configuration ===")
-		for _, interval := range []time.Duration{time.Second, 500 * time.Millisecond, 250 * time.Millisecond} {
-			res, err := experiments.BMCAReconvergence(experiments.BMCAReconvergenceConfig{
-				Seed:             *seed,
-				AnnounceInterval: interval,
-			})
+		runs[i] = runner.Run{Name: s.key, Do: func(ctx context.Context) (any, error) {
+			res, err := exp.Run(ctx, s.cfg(*seed, int64(*parallel)))
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println("  " + res.Summary())
-		}
-		fmt.Println()
+			return render(s, res), nil
+		}}
 	}
-	if want("voting") {
-		fmt.Println("=== 2f+1 fail-consistent monitor voting (§II-A) ===")
-		res, err := experiments.VotingFailover(experiments.VotingConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Println("  " + res.Summary())
-		fmt.Println()
+
+	outcomes := runner.New(*parallel).Execute(ctx, runs)
+	blocks, err := runner.Values[string](outcomes)
+	if err != nil {
+		return err
 	}
-	if want("tas") {
-		fmt.Println("=== TSN egress (802.1Qbv + preemption) vs commodity FIFO ===")
-		res, err := experiments.TASStudy(experiments.TASStudyConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Println("  " + res.Summary())
-		fmt.Printf("  fifo:      Sync latency %v..%v over %d Syncs, %d BE frames\n",
-			res.FIFO.SyncLatencyMin, res.FIFO.SyncLatencyMax, res.FIFO.SyncsObserved, res.FIFO.BEFramesSent)
-		fmt.Printf("  802.1Qbv:  Sync latency %v..%v over %d Syncs, %d BE frames\n",
-			res.Protected.SyncLatencyMin, res.Protected.SyncLatencyMax, res.Protected.SyncsObserved, res.Protected.BEFramesSent)
-		fmt.Println()
-	}
-	if want("recovery") {
-		fmt.Println("=== §IV future work: GNU/Linux vs unikernel recovery ===")
-		res, err := experiments.RecoveryComparison(experiments.RecoveryConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Println("  " + res.Summary())
-		fmt.Printf("  linux:     %d failures, %.0f s GM-domain downtime, mean precision %.0f ns\n",
-			res.Linux.Failures, res.Linux.StaleDomainSeconds, res.Linux.MeanPrecisionNS)
-		fmt.Printf("  unikernel: %d failures, %.0f s GM-domain downtime, mean precision %.0f ns\n",
-			res.Unikernel.Failures, res.Unikernel.StaleDomainSeconds, res.Unikernel.MeanPrecisionNS)
+	for _, block := range blocks {
+		fmt.Print(block)
 	}
 	return nil
+}
+
+// render produces one study's output block: header, summary, table,
+// footnotes.
+func render(s study, res experiments.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", s.header)
+	fmt.Fprintf(&b, "  %s\n", res.Summary())
+	for _, line := range renderRows(res.Rows()) {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	for _, note := range s.footnotes {
+		fmt.Fprintf(&b, "  %s\n", note)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderRows aligns a Rows() table into fixed-width columns.
+func renderRows(rows [][]string) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := make([]string, 0, len(rows))
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		out = append(out, strings.TrimRight(b.String(), " "))
+	}
+	return out
 }

@@ -43,6 +43,19 @@ func (r ComparisonResult) Summary() string {
 		r.VariantStats.MeanNS, r.VariantViolations, r.VariantSamples)
 }
 
+// Rows renders the ours-vs-variant table.
+func (r ComparisonResult) Rows() [][]string {
+	row := func(name string, s measure.Stats, violations, samples int) []string {
+		return []string{name, fmt.Sprintf("%.0f", s.MeanNS), fmt.Sprintf("%.0f", s.MaxNS),
+			fmt.Sprintf("%d", violations), fmt.Sprintf("%d", samples), fmt.Sprintf("%.0f", r.BoundNS)}
+	}
+	return [][]string{
+		{"variant", "mean_ns", "max_ns", "violations", "samples", "limit_ns"},
+		row("ours", r.OursStats, r.OursViolations, r.OursSamples),
+		row("variant", r.VariantStats, r.VariantViolations, r.VariantSamples),
+	}
+}
+
 func steadyStats(samples []measure.Sample, settleSec, boundNS float64) (measure.Stats, int, int) {
 	var steady []measure.Sample
 	for _, s := range samples {

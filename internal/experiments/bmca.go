@@ -55,6 +55,16 @@ func (r BMCAReconvergenceResult) Summary() string {
 		r.Config.AnnounceInterval, r.Config.TimeoutCount, r.InitialElection, r.ReelectionGap, r.Successor)
 }
 
+// Rows renders the election timings.
+func (r BMCAReconvergenceResult) Rows() [][]string {
+	return [][]string{
+		{"announce_interval", "timeout_count", "initial_election_ms", "reelection_gap_ms", "successor"},
+		{r.Config.AnnounceInterval.String(), fmt.Sprintf("%d", r.Config.TimeoutCount),
+			fmt.Sprintf("%d", r.InitialElection.Milliseconds()),
+			fmt.Sprintf("%d", r.ReelectionGap.Milliseconds()), r.Successor},
+	}
+}
+
 type bmcaAblationHook struct{ engine *gptp.BMCA }
 
 func (h *bmcaAblationHook) Handle(_ *netsim.Bridge, ingress int, f *netsim.Frame, _ float64) bool {

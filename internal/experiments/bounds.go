@@ -36,6 +36,29 @@ type BoundsResult struct {
 	SyncPaths    int
 }
 
+// Summary renders the instantiated bound in one line.
+func (r *BoundsResult) Summary() string {
+	return fmt.Sprintf(
+		"bound methodology (%v fault-free, %d sync paths): E = %v, Γ = %v, u = %.2f → Π = %v, γ = %v",
+		r.Config.Duration, r.SyncPaths, r.ReadingError, r.DriftOffset, r.U, r.Bound, r.Gamma)
+}
+
+// Rows renders the methodology parameters as a name/value table.
+func (r *BoundsResult) Rows() [][]string {
+	ns := func(d time.Duration) string { return fmt.Sprintf("%d", d.Nanoseconds()) }
+	return [][]string{
+		{"parameter", "value"},
+		{"d_min_ns", ns(r.DMin)},
+		{"d_max_ns", ns(r.DMax)},
+		{"reading_error_ns", ns(r.ReadingError)},
+		{"drift_offset_ns", ns(r.DriftOffset)},
+		{"u", fmt.Sprintf("%.2f", r.U)},
+		{"bound_ns", ns(r.Bound)},
+		{"gamma_ns", ns(r.Gamma)},
+		{"sync_paths", fmt.Sprintf("%d", r.SyncPaths)},
+	}
+}
+
 // Table renders the methodology numbers as the rows the paper reports.
 func (r BoundsResult) Table() []string {
 	return []string{

@@ -61,6 +61,16 @@ func (r DynamicMeshResult) Summary() string {
 		r.ElectedGM, r.OffsetsBeforeFailure, r.SyncOutage, r.SuccessorGM, r.OffsetsAfterRecovery, r.PassivePorts)
 }
 
+// Rows renders the election-and-outage table.
+func (r DynamicMeshResult) Rows() [][]string {
+	return [][]string{
+		{"elected_gm", "successor_gm", "offsets_before", "outage_ms", "offsets_after", "passive_ports"},
+		{r.ElectedGM, r.SuccessorGM, fmt.Sprintf("%d", r.OffsetsBeforeFailure),
+			fmt.Sprintf("%d", r.SyncOutage.Milliseconds()),
+			fmt.Sprintf("%d", r.OffsetsAfterRecovery), fmt.Sprintf("%d", r.PassivePorts)},
+	}
+}
+
 // DynamicMeshStudy wires the Fig. 2 switch mesh in fully dynamic 802.1AS
 // operation and measures grandmaster re-election end to end (Announce,
 // tree rebuild, Sync flow).

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Result is the contract every experiment result satisfies, so generic
+// tooling (cmd/sweep's printing, cmd/report's CSV emission, the runner's
+// campaign aggregation) handles any study without per-type special cases.
+type Result interface {
+	// Summary renders the experiment's one-line verdict.
+	Summary() string
+	// Rows renders the result as a table: the first row is the header, every
+	// further row one record. The shape is stable per experiment.
+	Rows() [][]string
+}
+
+// Experiment is a named, registry-dispatchable study. Implementations wrap
+// the typed entrypoints (CyberResilience, FaultInjection, ...) so that the
+// command-line tools and the runner dispatch by name instead of hand-wired
+// switch blocks.
+type Experiment interface {
+	// Name is the registry key ("resilience", "interval", ...).
+	Name() string
+	// Description is a one-line synopsis for tool listings.
+	Description() string
+	// DefaultConfig returns the experiment's config struct with the given
+	// master seed and all other fields at their withDefaults() values'
+	// zero triggers.
+	DefaultConfig(seed int64) any
+	// Run executes the experiment. cfg must be the experiment's config type
+	// (as returned by DefaultConfig); the context cancels multi-run
+	// campaigns between runs.
+	Run(ctx context.Context, cfg any) (Result, error)
+}
+
+// funcExperiment adapts a typed entrypoint to the Experiment interface.
+type funcExperiment[C any] struct {
+	name, desc string
+	defaults   func(seed int64) C
+	run        func(ctx context.Context, cfg C) (Result, error)
+}
+
+func (e *funcExperiment[C]) Name() string                { return e.name }
+func (e *funcExperiment[C]) Description() string         { return e.desc }
+func (e *funcExperiment[C]) DefaultConfig(seed int64) any { return e.defaults(seed) }
+
+func (e *funcExperiment[C]) Run(ctx context.Context, cfg any) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, ok := cfg.(C)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s: config is %T, want %T", e.name, cfg, *new(C))
+	}
+	return e.run(ctx, c)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Experiment{}
+)
+
+// Register adds an experiment to the package registry. It panics on a
+// duplicate name: names are API.
+func Register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name()]; dup {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name()))
+	}
+	registry[e.Name()] = e
+}
+
+// RegisterFunc registers a typed entrypoint under the given name.
+func RegisterFunc[C any](name, desc string, defaults func(seed int64) C,
+	run func(ctx context.Context, cfg C) (Result, error)) {
+	Register(&funcExperiment[C]{name: name, desc: desc, defaults: defaults, run: run})
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered experiment, sorted by name.
+func All() []Experiment {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns every registered experiment name, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name()
+	}
+	return names
+}

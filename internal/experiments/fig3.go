@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"gptpfta/internal/attack"
@@ -78,6 +79,24 @@ func (r CyberResilienceResult) Summary() string {
 	}
 	return fmt.Sprintf("cyber-resilience (%s): Π = %v, γ = %v; first attack masked (%d/%d violations before second attack); %s",
 		kernels, r.Bound, r.Gamma, r.ViolationsBeforeSecond, r.SamplesBeforeSecond, verdict)
+}
+
+// Rows renders the violation accounting around both attacks.
+func (r CyberResilienceResult) Rows() [][]string {
+	kernels := "identical"
+	if r.Config.DiverseKernels {
+		kernels = "diverse"
+	}
+	return [][]string{
+		{"kernels", "phase", "samples", "violations", "max_ns", "bound_ns", "gamma_ns"},
+		{kernels, "before-second-attack",
+			strconv.Itoa(r.SamplesBeforeSecond), strconv.Itoa(r.ViolationsBeforeSecond),
+			"", strconv.FormatInt(r.Bound.Nanoseconds(), 10), strconv.FormatInt(r.Gamma.Nanoseconds(), 10)},
+		{kernels, "after-second-attack",
+			strconv.Itoa(r.SamplesAfterSecond), strconv.Itoa(r.ViolationsAfterSecond),
+			fmt.Sprintf("%.0f", r.MaxAfterSecondNS),
+			strconv.FormatInt(r.Bound.Nanoseconds(), 10), strconv.FormatInt(r.Gamma.Nanoseconds(), 10)},
+	}
 }
 
 // CyberResilience runs the Fig. 3a / Fig. 3b experiment: an attacker with

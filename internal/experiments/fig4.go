@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"gptpfta/internal/core"
@@ -76,6 +77,28 @@ func (r FaultInjectionResult) Summary() string {
 		"fault injection over %v: Π = %v, γ = %v; precision %s; %s; %d takeovers; %d tx-timestamp timeouts, %d deadline misses; %d samples beyond Π+γ",
 		r.Config.Duration, r.Bound, r.Gamma, r.Stats, r.Injection.String(),
 		r.Takeovers, r.TxTimestampTimeouts, r.DeadlineMisses, r.Violations)
+}
+
+// Rows renders the campaign's headline numbers.
+func (r *FaultInjectionResult) Rows() [][]string {
+	return [][]string{
+		{"mean_ns", "std_ns", "min_ns", "max_ns", "samples", "violations",
+			"bound_ns", "gamma_ns", "vm_failures", "takeovers", "tx_timeouts", "deadline_misses"},
+		{
+			fmt.Sprintf("%.0f", r.Stats.MeanNS),
+			fmt.Sprintf("%.0f", r.Stats.StdNS),
+			fmt.Sprintf("%.0f", r.Stats.MinNS),
+			fmt.Sprintf("%.0f", r.Stats.MaxNS),
+			strconv.Itoa(r.Stats.Count),
+			strconv.Itoa(r.Violations),
+			strconv.FormatInt(r.Bound.Nanoseconds(), 10),
+			strconv.FormatInt(r.Gamma.Nanoseconds(), 10),
+			strconv.Itoa(r.Injection.TotalFailures),
+			strconv.Itoa(r.Takeovers),
+			strconv.Itoa(r.TxTimestampTimeouts),
+			strconv.Itoa(r.DeadlineMisses),
+		},
+	}
 }
 
 // FaultInjection runs the paper's §III-C campaign: rotating grandmaster

@@ -54,6 +54,16 @@ func (r OneStepStudyResult) Summary() string {
 		r.OneStep.OffsetErrRMS, r.TwoStep.OffsetErrRMS, r.OneStep.Messages, r.TwoStep.Messages)
 }
 
+// Rows renders the per-mode table.
+func (r *OneStepStudyResult) Rows() [][]string {
+	rows := [][]string{{"mode", "offset_err_rms_ns", "samples", "messages"}}
+	for _, m := range []StepModeOutcome{r.TwoStep, r.OneStep} {
+		rows = append(rows, []string{m.Mode, fmt.Sprintf("%.0f", m.OffsetErrRMS),
+			fmt.Sprintf("%d", m.Samples), fmt.Sprintf("%d", m.Messages)})
+	}
+	return rows
+}
+
 // OneStepStudy runs a GM → bridge → client path in both modes and compares
 // measured offsets against ground truth.
 func OneStepStudy(cfg OneStepStudyConfig) (*OneStepStudyResult, error) {

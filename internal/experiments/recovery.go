@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"gptpfta/internal/core"
 	"gptpfta/internal/faultinject"
+	"gptpfta/internal/runner"
 )
 
 // RecoveryConfig parameterises the paper's §IV future-work study: replacing
@@ -21,6 +24,9 @@ type RecoveryConfig struct {
 	// UnikernelDowntime is the boot time of a Unikraft-style unikernel.
 	// Default 2 s.
 	UnikernelDowntime time.Duration
+	// Parallel is the runner's worker count for the two stack campaigns
+	// (0 = GOMAXPROCS, 1 = sequential); the result is identical either way.
+	Parallel int
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -57,12 +63,31 @@ type RecoveryResult struct {
 }
 
 // Summary renders the verdict.
-func (r RecoveryResult) Summary() string {
+func (r *RecoveryResult) Summary() string {
 	return fmt.Sprintf(
 		"recovery (%v campaign): GNU/Linux reboot %v → %.0f s degraded redundancy; unikernel reboot %v → %.0f s degraded (%.1fx less exposure)",
 		r.Config.Duration, r.Config.LinuxDowntime, r.Linux.DegradedSeconds,
 		r.Config.UnikernelDowntime, r.Unikernel.DegradedSeconds,
 		safeRatio(r.Linux.DegradedSeconds, r.Unikernel.DegradedSeconds))
+}
+
+// Rows renders the per-stack table.
+func (r *RecoveryResult) Rows() [][]string {
+	rows := [][]string{{"stack", "downtime", "degraded_s", "stale_domain_s", "failures", "mean_precision_ns"}}
+	for _, v := range []struct {
+		name string
+		out  RecoveryOutcome
+	}{{"linux", r.Linux}, {"unikernel", r.Unikernel}} {
+		rows = append(rows, []string{
+			v.name,
+			v.out.Downtime.String(),
+			fmt.Sprintf("%.0f", v.out.DegradedSeconds),
+			fmt.Sprintf("%.0f", v.out.StaleDomainSeconds),
+			strconv.Itoa(v.out.Failures),
+			fmt.Sprintf("%.0f", v.out.MeanPrecisionNS),
+		})
+	}
+	return rows
 }
 
 func safeRatio(a, b float64) float64 {
@@ -73,8 +98,9 @@ func safeRatio(a, b float64) float64 {
 }
 
 // RecoveryComparison runs the same fault-injection campaign against both
-// stack variants and measures redundancy exposure.
-func RecoveryComparison(cfg RecoveryConfig) (*RecoveryResult, error) {
+// stack variants — in parallel through the runner — and measures redundancy
+// exposure.
+func RecoveryComparison(ctx context.Context, cfg RecoveryConfig) (*RecoveryResult, error) {
 	cfg = cfg.withDefaults()
 	res := &RecoveryResult{Config: cfg}
 
@@ -147,14 +173,23 @@ func RecoveryComparison(cfg RecoveryConfig) (*RecoveryResult, error) {
 		return out, nil
 	}
 
-	var err error
-	res.Linux, err = run(cfg.LinuxDowntime)
+	campaign := func(downtime time.Duration) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) {
+			out, err := run(downtime)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	outcomes := runner.New(cfg.Parallel).Execute(ctx, []runner.Run{
+		{Name: "stack/linux", Do: campaign(cfg.LinuxDowntime)},
+		{Name: "stack/unikernel", Do: campaign(cfg.UnikernelDowntime)},
+	})
+	outs, err := runner.Values[RecoveryOutcome](outcomes)
 	if err != nil {
 		return nil, err
 	}
-	res.Unikernel, err = run(cfg.UnikernelDowntime)
-	if err != nil {
-		return nil, err
-	}
+	res.Linux, res.Unikernel = outs[0], outs[1]
 	return res, nil
 }

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"gptpfta/internal/attack"
 	"gptpfta/internal/core"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/runner"
 	"gptpfta/internal/sim"
 )
 
@@ -26,106 +29,236 @@ func (p SweepPoint) String() string {
 		p.Label, p.MeanPrecisionNS, p.MaxPrecisionNS, p.BoundNS, p.Violations, p.Samples)
 }
 
-// SyncIntervalSweep measures steady-state precision and the analytic bound
-// across synchronization intervals S. The drift-offset term Γ = 2·r_max·S
-// grows linearly with S, so the bound widens while the achieved precision
-// degrades more slowly — the engineering trade-off behind the paper's
-// choice of S = 125 ms.
-func SyncIntervalSweep(seed int64, intervals []time.Duration, duration time.Duration) ([]SweepPoint, error) {
-	if len(intervals) == 0 {
-		intervals = []time.Duration{
+// SweepResult is a parameter sweep's table plus its identity.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// Summary condenses the table into the sweep's one-line verdict.
+func (r *SweepResult) Summary() string {
+	if len(r.Points) == 0 {
+		return r.Name + ": no points"
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	var violations int
+	for _, p := range r.Points {
+		violations += p.Violations
+	}
+	return fmt.Sprintf("%s (%d points, %s → %s): bound %.0f → %.0f ns, mean precision %.0f → %.0f ns, %d violations in total",
+		r.Name, len(r.Points), first.Label, last.Label,
+		first.BoundNS, last.BoundNS, first.MeanPrecisionNS, last.MeanPrecisionNS, violations)
+}
+
+// Rows renders the sweep table.
+func (r *SweepResult) Rows() [][]string {
+	rows := [][]string{{"label", "mean_ns", "max_ns", "bound_ns", "violations", "samples"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.0f", p.MeanPrecisionNS),
+			fmt.Sprintf("%.0f", p.MaxPrecisionNS),
+			fmt.Sprintf("%.0f", p.BoundNS),
+			strconv.Itoa(p.Violations),
+			strconv.Itoa(p.Samples),
+		})
+	}
+	return rows
+}
+
+// sweepPoints fans the per-point measurements across the runner's pool and
+// returns them in submission order.
+func sweepPoints(ctx context.Context, parallel int, labels []string,
+	point func(i int) (SweepPoint, error)) ([]SweepPoint, error) {
+	runs := make([]runner.Run, len(labels))
+	for i := range labels {
+		i := i
+		runs[i] = runner.Run{Name: labels[i], Do: func(context.Context) (any, error) {
+			return point(i)
+		}}
+	}
+	return runner.Values[SweepPoint](runner.New(parallel).Execute(ctx, runs))
+}
+
+// IntervalSweepConfig parameterises IntervalSweep.
+type IntervalSweepConfig struct {
+	Seed      int64
+	Intervals []time.Duration
+	Duration  time.Duration
+	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
+	// sequential); the table is identical for every value.
+	Parallel int
+}
+
+func (c IntervalSweepConfig) withDefaults() IntervalSweepConfig {
+	if len(c.Intervals) == 0 {
+		c.Intervals = []time.Duration{
 			62500 * time.Microsecond,
 			125 * time.Millisecond,
 			250 * time.Millisecond,
 			500 * time.Millisecond,
 		}
 	}
-	if duration <= 0 {
-		duration = 6 * time.Minute
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Minute
 	}
-	out := make([]SweepPoint, 0, len(intervals))
-	for _, s := range intervals {
-		cfg := core.NewConfig(seed)
-		cfg.SyncInterval = s
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Start(); err != nil {
-			return nil, err
-		}
-		if err := sys.RunFor(duration); err != nil {
-			return nil, err
-		}
-		settle := (90 * time.Second).Seconds()
-		var steady []measure.Sample
-		for _, smp := range sys.Collector().Samples() {
-			if smp.AtSec >= settle {
-				steady = append(steady, smp)
-			}
-		}
-		stats := measure.ComputeStats(steady)
-		bound, _ := sys.PrecisionBound()
-		out = append(out, SweepPoint{
-			Label:           fmt.Sprintf("S = %v", s),
-			MeanPrecisionNS: stats.MeanNS,
-			MaxPrecisionNS:  stats.MaxNS,
-			BoundNS:         float64(bound),
-			Violations:      measure.ViolationCount(steady, float64(bound)),
-			Samples:         len(steady),
-		})
-	}
-	return out, nil
+	return c
 }
 
-// DomainCountSweep measures Byzantine masking across domain counts M with
-// one compromised grandmaster: M = 2 cannot mask any fault (N < 2f+1 for
+// IntervalSweep measures steady-state precision and the analytic bound
+// across synchronization intervals S. The drift-offset term Γ = 2·r_max·S
+// grows linearly with S, so the bound widens while the achieved precision
+// degrades more slowly — the engineering trade-off behind the paper's
+// choice of S = 125 ms.
+func IntervalSweep(ctx context.Context, cfg IntervalSweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	labels := make([]string, len(cfg.Intervals))
+	for i, s := range cfg.Intervals {
+		labels[i] = fmt.Sprintf("S = %v", s)
+	}
+	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
+		return intervalPoint(cfg.Seed, cfg.Intervals[i], cfg.Duration)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Name: "synchronization-interval sweep", Points: points}, nil
+}
+
+func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
+	cfg := core.NewConfig(seed)
+	cfg.SyncInterval = s
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	if err := sys.Start(); err != nil {
+		return SweepPoint{}, err
+	}
+	if err := sys.RunFor(duration); err != nil {
+		return SweepPoint{}, err
+	}
+	settle := (90 * time.Second).Seconds()
+	var steady []measure.Sample
+	for _, smp := range sys.Collector().Samples() {
+		if smp.AtSec >= settle {
+			steady = append(steady, smp)
+		}
+	}
+	stats := measure.ComputeStats(steady)
+	bound, _ := sys.PrecisionBound()
+	return SweepPoint{
+		Label:           fmt.Sprintf("S = %v", s),
+		MeanPrecisionNS: stats.MeanNS,
+		MaxPrecisionNS:  stats.MaxNS,
+		BoundNS:         float64(bound),
+		Violations:      measure.ViolationCount(steady, float64(bound)),
+		Samples:         len(steady),
+	}, nil
+}
+
+// DomainSweepConfig parameterises DomainSweep.
+type DomainSweepConfig struct {
+	Seed     int64
+	Counts   []int
+	Duration time.Duration
+	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
+	// sequential); the table is identical for every value.
+	Parallel int
+}
+
+func (c DomainSweepConfig) withDefaults() DomainSweepConfig {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{2, 3, 4}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Minute
+	}
+	return c
+}
+
+// DomainSweep measures Byzantine masking across domain counts M with one
+// compromised grandmaster: M = 2 cannot mask any fault (N < 2f+1 for
 // f = 1), M = 3 masks via the median, M = 4 is the paper's configuration.
+func DomainSweep(ctx context.Context, cfg DomainSweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	labels := make([]string, len(cfg.Counts))
+	for i, m := range cfg.Counts {
+		labels[i] = fmt.Sprintf("M = %d domains", m)
+	}
+	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
+		return domainPoint(cfg.Seed, cfg.Counts[i], cfg.Duration)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Name: "domain-count sweep", Points: points}, nil
+}
+
+func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) {
+	cfg := core.NewConfig(seed)
+	cfg.DomainCount = m
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	if err := sys.Start(); err != nil {
+		return SweepPoint{}, err
+	}
+	// Compromise the highest-numbered domain's grandmaster a third in.
+	target := core.VMName(m-1, 0)
+	sys.Scheduler().At(sim.Time(duration/3), func() {
+		if vm, ok := sys.VM(target); ok {
+			vm.Stack.Compromise(attack.MaliciousOriginOffsetNS)
+		}
+	})
+	if err := sys.RunFor(duration); err != nil {
+		return SweepPoint{}, err
+	}
+	attackSec := (duration / 3).Seconds()
+	var after []measure.Sample
+	for _, smp := range sys.Collector().Samples() {
+		if smp.AtSec >= attackSec+30 {
+			after = append(after, smp)
+		}
+	}
+	stats := measure.ComputeStats(after)
+	bound, _ := sys.PrecisionBound()
+	return SweepPoint{
+		Label:           fmt.Sprintf("M = %d domains", m),
+		MeanPrecisionNS: stats.MeanNS,
+		MaxPrecisionNS:  stats.MaxNS,
+		BoundNS:         float64(bound),
+		Violations:      measure.ViolationCount(after, float64(bound)),
+		Samples:         len(after),
+	}, nil
+}
+
+// SyncIntervalSweep is the positional-argument predecessor of
+// IntervalSweep.
+//
+// Deprecated: use IntervalSweep with IntervalSweepConfig; this wrapper will
+// be removed after one release.
+func SyncIntervalSweep(seed int64, intervals []time.Duration, duration time.Duration) ([]SweepPoint, error) {
+	res, err := IntervalSweep(context.Background(), IntervalSweepConfig{
+		Seed: seed, Intervals: intervals, Duration: duration, Parallel: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Points, nil
+}
+
+// DomainCountSweep is the positional-argument predecessor of DomainSweep.
+//
+// Deprecated: use DomainSweep with DomainSweepConfig; this wrapper will be
+// removed after one release.
 func DomainCountSweep(seed int64, counts []int, duration time.Duration) ([]SweepPoint, error) {
-	if len(counts) == 0 {
-		counts = []int{2, 3, 4}
+	res, err := DomainSweep(context.Background(), DomainSweepConfig{
+		Seed: seed, Counts: counts, Duration: duration, Parallel: 1,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if duration <= 0 {
-		duration = 8 * time.Minute
-	}
-	out := make([]SweepPoint, 0, len(counts))
-	for _, m := range counts {
-		cfg := core.NewConfig(seed)
-		cfg.DomainCount = m
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Start(); err != nil {
-			return nil, err
-		}
-		// Compromise the highest-numbered domain's grandmaster a third in.
-		target := core.VMName(m-1, 0)
-		sys.Scheduler().At(sim.Time(duration/3), func() {
-			if vm, ok := sys.VM(target); ok {
-				vm.Stack.Compromise(attack.MaliciousOriginOffsetNS)
-			}
-		})
-		if err := sys.RunFor(duration); err != nil {
-			return nil, err
-		}
-		attackSec := (duration / 3).Seconds()
-		var after []measure.Sample
-		for _, smp := range sys.Collector().Samples() {
-			if smp.AtSec >= attackSec+30 {
-				after = append(after, smp)
-			}
-		}
-		stats := measure.ComputeStats(after)
-		bound, _ := sys.PrecisionBound()
-		out = append(out, SweepPoint{
-			Label:           fmt.Sprintf("M = %d domains", m),
-			MeanPrecisionNS: stats.MeanNS,
-			MaxPrecisionNS:  stats.MaxNS,
-			BoundNS:         float64(bound),
-			Violations:      measure.ViolationCount(after, float64(bound)),
-			Samples:         len(after),
-		})
-	}
-	return out, nil
+	return res.Points, nil
 }

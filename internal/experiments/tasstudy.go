@@ -69,6 +69,17 @@ func (r TASStudyResult) Summary() string {
 		safeRatio(float64(r.FIFO.Spread), float64(r.Protected.Spread)))
 }
 
+// Rows renders the per-egress-model table.
+func (r *TASStudyResult) Rows() [][]string {
+	rows := [][]string{{"egress", "sync_latency_min", "sync_latency_max", "spread_ns", "syncs", "be_frames"}}
+	for _, o := range []TASOutcome{r.FIFO, r.Protected} {
+		rows = append(rows, []string{o.Model, o.SyncLatencyMin.String(), o.SyncLatencyMax.String(),
+			fmt.Sprintf("%d", o.Spread.Nanoseconds()),
+			fmt.Sprintf("%d", o.SyncsObserved), fmt.Sprintf("%d", o.BEFramesSent)})
+	}
+	return rows
+}
+
 // TASStudy wires a grandmaster and a client through one switch whose
 // client-facing egress port also carries heavy best-effort bursts, and
 // measures the Sync path latency spread with (a) a single FIFO queue (a

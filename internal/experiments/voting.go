@@ -64,6 +64,19 @@ func (r VotingResult) Summary() string {
 		r.Config.CorruptionNS, r.VotingDetection, r.WithVotingErrIntegral, r.WithoutVotingErrIntegral)
 }
 
+// Rows renders the per-monitor table.
+func (r *VotingResult) Rows() [][]string {
+	return [][]string{
+		{"monitor", "max_err_ns", "err_integral_ns_s", "detection_ms", "takeovers"},
+		{"voting", fmt.Sprintf("%.0f", r.WithVotingMaxErrNS),
+			fmt.Sprintf("%.0f", r.WithVotingErrIntegral),
+			fmt.Sprintf("%d", r.VotingDetection.Milliseconds()),
+			fmt.Sprintf("%d", r.VotingTakeovers)},
+		{"freshness-only", fmt.Sprintf("%.0f", r.WithoutVotingMaxErrNS),
+			fmt.Sprintf("%.0f", r.WithoutVotingErrIntegral), "0", "0"},
+	}
+}
+
 // VotingFailover runs the experiment twice — with the monitor's
 // consistency vote enabled (2f+1 = 3 VMs per node) and disabled — and
 // reports the observed node-level clock error.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -23,7 +24,7 @@ func TestVotingFailover(t *testing.T) {
 }
 
 func TestRecoveryComparison(t *testing.T) {
-	res, err := RecoveryComparison(RecoveryConfig{Seed: 4, Duration: 40 * time.Minute})
+	res, err := RecoveryComparison(context.Background(), RecoveryConfig{Seed: 4, Duration: 40 * time.Minute})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -44,12 +45,20 @@ func TestRecoveryComparison(t *testing.T) {
 }
 
 func TestSyncIntervalSweep(t *testing.T) {
-	points, err := SyncIntervalSweep(6, []time.Duration{62500 * time.Microsecond, 250 * time.Millisecond}, 5*time.Minute)
+	res, err := IntervalSweep(context.Background(), IntervalSweepConfig{
+		Seed:      6,
+		Intervals: []time.Duration{62500 * time.Microsecond, 250 * time.Millisecond},
+		Duration:  5 * time.Minute,
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	points := res.Points
 	if len(points) != 2 {
 		t.Fatalf("points = %d", len(points))
+	}
+	if res.Summary() == "" || len(res.Rows()) != 3 {
+		t.Fatalf("sweep result rendering: %q / %d rows", res.Summary(), len(res.Rows()))
 	}
 	// Γ = 2·r_max·S: the bound must grow with S.
 	if points[1].BoundNS <= points[0].BoundNS {
@@ -66,6 +75,8 @@ func TestSyncIntervalSweep(t *testing.T) {
 }
 
 func TestDomainCountSweep(t *testing.T) {
+	// Exercised through the deprecated positional wrapper on purpose: it
+	// must keep matching the config-struct API for one release.
 	points, err := DomainCountSweep(8, []int{2, 4}, 8*time.Minute)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -105,7 +116,7 @@ func TestTASStudy(t *testing.T) {
 }
 
 func TestMultiSeedValidation(t *testing.T) {
-	res, err := MultiSeedValidation(MultiSeedConfig{
+	res, err := MultiSeedValidation(context.Background(), MultiSeedConfig{
 		Seeds:    []int64{11, 22, 33},
 		Duration: 10 * time.Minute,
 	})

@@ -34,10 +34,26 @@ func (s *Streams) Seed() int64 { return s.seed }
 // Stream twice with the same name returns two independent generators with
 // identical sequences; components must create their stream once and keep it.
 func (s *Streams) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(s.seed, name))) //nolint:gosec // simulation, not crypto
+}
+
+// Derive returns a stream factory for the named sub-campaign. A campaign
+// that fans out into independent runs (one per seed, sweep point or
+// scenario variant) gives each run Derive'd Streams, so the runs are
+// mutually decorrelated, independent of the campaign's own streams, and
+// each reproducible from the campaign seed plus the run name alone —
+// executing runs in parallel therefore yields bit-identical results to
+// executing them sequentially.
+func (s *Streams) Derive(name string) *Streams {
+	return NewStreams(DeriveSeed(s.seed, name))
+}
+
+// DeriveSeed maps a master seed and a name to a stable derived seed; it is
+// the derivation behind both Stream and Derive.
+func DeriveSeed(master int64, name string) int64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	derived := int64(h.Sum64()) ^ s.seed
-	return rand.New(rand.NewSource(splitmix64(derived))) //nolint:gosec // simulation, not crypto
+	return splitmix64(int64(h.Sum64()) ^ master)
 }
 
 // splitmix64 scrambles the derived seed so that structurally similar names

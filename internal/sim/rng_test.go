@@ -46,3 +46,41 @@ func TestStreamsSeedAccessor(t *testing.T) {
 		t.Fatalf("Seed() = %d, want 7", got)
 	}
 }
+
+func TestDeriveSeedStable(t *testing.T) {
+	if DeriveSeed(42, "seed/3") != DeriveSeed(42, "seed/3") {
+		t.Fatal("DeriveSeed must be a pure function")
+	}
+	if DeriveSeed(42, "seed/3") == DeriveSeed(42, "seed/4") {
+		t.Fatal("different names must derive different seeds")
+	}
+	if DeriveSeed(1, "seed/3") == DeriveSeed(2, "seed/3") {
+		t.Fatal("different masters must derive different seeds")
+	}
+}
+
+func TestDeriveMatchesFreshStreams(t *testing.T) {
+	// A derived factory must behave exactly like NewStreams on the derived
+	// seed — the property that makes parallel campaigns bit-identical to
+	// sequential ones.
+	derived := NewStreams(42).Derive("run/interval/125ms")
+	fresh := NewStreams(DeriveSeed(42, "run/interval/125ms"))
+	a, b := derived.Stream("osc/dev1"), fresh.Stream("osc/dev1")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Derive diverges from NewStreams(DeriveSeed(...))")
+		}
+	}
+	campaign := NewStreams(42)
+	run := campaign.Derive("run/0").Stream("osc/dev1")
+	own := campaign.Stream("osc/dev1")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if run.Float64() == own.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived run streams correlate with the campaign's own: %d/100", same)
+	}
+}
