@@ -1,10 +1,11 @@
 # Verification targets. `make verify` is the tier-1 gate; `make race`
 # adds vet and the race detector (the runner's worker pool is the main
-# concurrency surface).
+# concurrency surface, and the frame pool in netsim is shared between the
+# pool's workers).
 
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-all profile verify
 
 build:
 	$(GO) build ./...
@@ -19,8 +20,23 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
+# Committed performance evidence: the event-kernel microbenchmarks and the
+# full-system simulation rate, as diffable JSON (ns/op, allocs/op, custom
+# metrics per entry).
 bench:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run ^$$ -bench 'BenchmarkSchedulerThroughput|BenchmarkSchedulerCancelHeavy|BenchmarkNetsimFrameBurst' \
+		-benchmem . | /tmp/benchjson -o BENCH_scheduler.json
+	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchmem . | /tmp/benchjson -o BENCH_system.json
+
+# One quick pass over every benchmark (figure regeneration smoke test).
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
+# CPU + heap profile of the full report run; inspect with `go tool pprof`.
+profile:
+	$(GO) run ./cmd/report -scale 0.02 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
+
 verify: build vet test
-	$(GO) test -race ./internal/runner/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/...

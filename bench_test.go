@@ -8,13 +8,16 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"gptpfta/internal/clock"
 	"gptpfta/internal/core"
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/fta"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/netsim"
 	"gptpfta/internal/servo"
 	"gptpfta/internal/sim"
 )
@@ -253,6 +256,76 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedulerCancelHeavy exercises the O(1) lazy-cancellation path:
+// every iteration schedules a batch of timers and cancels most of them
+// before draining, the dominant pattern of protocol timeout timers that are
+// armed per message and almost always cancelled.
+func BenchmarkSchedulerCancelHeavy(b *testing.B) {
+	s := sim.NewScheduler()
+	var ids [64]sim.EventID
+	fired := 0
+	cb := func() { fired++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = s.After(time.Duration(j+1)*time.Microsecond, cb)
+		}
+		for j := range ids {
+			if j%8 != 0 { // cancel 7 of every 8, as timeout timers are
+				s.Cancel(ids[j])
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fired == 0 {
+		b.Fatal("no events fired")
+	}
+}
+
+// BenchmarkNetsimFrameBurst measures the pooled frame path end to end:
+// NIC → link → bridge (residence + static route) → link → NIC, one
+// multicast fan-out per iteration. Steady-state allocations come only from
+// the payload; frames and delivery events are recycled.
+func BenchmarkNetsimFrameBurst(b *testing.B) {
+	sched := sim.NewScheduler()
+	streams := sim.NewStreams(7)
+	osc := func(name string) *clock.PHC {
+		o := clock.NewOscillator(clock.OscillatorConfig{}, nil, 0)
+		return clock.NewPHC(sched, o, nil, clock.PHCConfig{})
+	}
+	br := netsim.NewBridge("sw", sched, streams.Stream("br"), osc("sw"),
+		netsim.BridgeConfig{Ports: 3, Residence: map[int]netsim.ResidenceModel{
+			netsim.PriorityBestEffort: {Base: 2 * time.Microsecond},
+		}})
+	nics := make([]*netsim.NIC, 3)
+	lc := netsim.LinkConfig{Propagation: 500 * time.Nanosecond}
+	for i := range nics {
+		nics[i] = netsim.NewNIC(fmt.Sprintf("dev%d", i), sched, osc(fmt.Sprintf("dev%d", i)))
+		if _, err := netsim.Connect(sched, nil, lc, nics[i].Port(), br.Port(i)); err != nil {
+			b.Fatal(err)
+		}
+		br.AddGroupMember("mc/burst", i)
+		nics[i].SetHandler(func(*netsim.Frame, float64) {})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := netsim.GetFrame()
+		f.Src = "nic/dev0"
+		f.Dst = "mc/burst"
+		if _, err := nics[0].Send(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, rx := nics[1].Counters(); rx == 0 {
+		b.Fatal("no frames delivered")
 	}
 }
 

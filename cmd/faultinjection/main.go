@@ -19,6 +19,7 @@ import (
 
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/prof"
 )
 
 func main() {
@@ -35,9 +36,22 @@ func run(args []string) error {
 	gmPeriod := fs.Duration("gm-period", 30*time.Minute, "interval between grandmaster shutdowns")
 	fig5 := fs.Duration("fig5-window", time.Hour, "event window width around the max spike")
 	csvDir := fs.String("csv", "", "directory to write samples.csv, windows.csv and histogram.csv into")
+	profCfg := &prof.Config{}
+	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&profCfg.Trace, "trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*profCfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "faultinjection:", perr)
+		}
+	}()
 
 	fmt.Printf("=== Fig. 4 / Fig. 5 — fault injection, seed %d, duration %v ===\n", *seed, *duration)
 	res, err := experiments.FaultInjection(experiments.FaultInjectionConfig{

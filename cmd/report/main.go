@@ -26,8 +26,18 @@ import (
 
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
+
+// profFlags registers the shared profiling flags on a command's flag set.
+func profFlags(fs *flag.FlagSet) *prof.Config {
+	cfg := &prof.Config{}
+	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&cfg.Trace, "trace", "", "write a runtime execution trace to this file")
+	return cfg
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -51,9 +61,19 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "run the paper's full horizons (1 h attack run, 24 h fault injection)")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
+	profCfg := profFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*profCfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "report:", perr)
+		}
+	}()
 	if *full {
 		*scale = 1
 	}

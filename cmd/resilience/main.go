@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
 
@@ -42,9 +43,22 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
 	series := fs.Bool("series", true, "print the ASCII precision series (single-seed runs only)")
+	profCfg := &prof.Config{}
+	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&profCfg.Trace, "trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*profCfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "resilience:", perr)
+		}
+	}()
 
 	seeds := []int64{*seed}
 	if *seedList != "" {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
 
@@ -122,9 +123,22 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	profCfg := &prof.Config{}
+	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&profCfg.Trace, "trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*profCfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", perr)
+		}
+	}()
 
 	selected := make([]study, 0)
 	for _, s := range studies() {

@@ -186,7 +186,19 @@ func (s *System) buildNodes() error {
 			if err != nil {
 				return err
 			}
+			// Precompute the per-domain tracker keys: the observer runs once
+			// per received Sync, and a Sprintf there dominated the system
+			// allocation profile.
+			syncKeys := make([]string, s.cfg.NumDomains())
+			for d := range syncKeys {
+				syncKeys[d] = fmt.Sprintf("dom%d->%s", d+1, vmNameCopy)
+			}
 			stack.SetSyncObserver(func(domain int, latency time.Duration) {
+				if domain >= 0 && domain < len(syncKeys) {
+					s.syncLat.Observe(syncKeys[domain], latency)
+					return
+				}
+				// Unknown domain (malformed or adversarial Sync): fall back.
 				s.syncLat.Observe(fmt.Sprintf("dom%d->%s", domain+1, vmNameCopy), latency)
 			})
 			p2s := phc2sys.New(s.sched, nic.PHC(), tsc, node.STSHMEM(),
@@ -343,6 +355,13 @@ func (s *System) Stop() {
 	}
 	for _, r := range s.relays {
 		r.Stop()
+	}
+	// Surface scheduler diagnostics: past-time clamps mean some component
+	// asked for an instant that had already elapsed (usually a drift-induced
+	// deadline miss) and silently ran late instead.
+	if n := s.sched.PastClamps(); n > 0 {
+		s.log.Append(Event{At: s.sched.Now(), Kind: "sched_past_clamps",
+			Detail: fmt.Sprintf("%d events clamped to now", n)})
 	}
 	s.started = false
 }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"testing"
+	"time"
+
+	"gptpfta/internal/measure"
+)
+
+// The golden digests below were generated with the original
+// container/heap-based scheduler (PR 1 tree) and pin the exact numeric
+// output of the experiments. The zero-allocation event kernel must keep
+// every run bit-identical: same seeds → same samples, same stats, same
+// violation counts. If a scheduler or pooling change alters any digest,
+// it changed simulation behaviour, not just performance.
+const (
+	goldenBoundsDigest = "2593c1ea4982bbb216b0d47227d8cb33811b5085d184d853a1885556bdff07b0"
+	goldenFig3aDigest  = "e6b68963ecb8dab5c2cbcd9a9caafd0442b9d4d746b9313ee3d74c8425a6934d"
+	goldenFig3bDigest  = "dab11f7e547e6f93b44c7f80a56b94efc48e253f2225095b020357e546764f68"
+	goldenFig4Digest   = "f57d2efc2cfd7c615e1a65352f0027bcfe0cdccc58c62e922c2c0d5a5397ca4b"
+)
+
+// hashSamples folds the full-precision bit pattern of every sample into h;
+// any change in the measured series, however small, changes the digest.
+func hashSamples(h hash.Hash, samples []measure.Sample) {
+	for _, s := range samples {
+		fmt.Fprintf(h, "%d %016x %016x %d\n",
+			s.Seq, math.Float64bits(s.AtSec), math.Float64bits(s.PiStarNS), s.Replies)
+	}
+}
+
+func hashRows(h hash.Hash, rows [][]string) {
+	for _, row := range rows {
+		for _, cell := range row {
+			fmt.Fprintf(h, "%s|", cell)
+		}
+		fmt.Fprintln(h)
+	}
+}
+
+func digest(h hash.Hash) string { return hex.EncodeToString(h.Sum(nil)) }
+
+func TestGoldenDigestBounds(t *testing.T) {
+	res, err := Bounds(BoundsConfig{Seed: 1, Duration: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	hashRows(h, res.Rows())
+	if got := digest(h); got != goldenBoundsDigest {
+		t.Fatalf("bounds digest changed: got %s want %s\nsummary: %s",
+			got, goldenBoundsDigest, res.Summary())
+	}
+}
+
+func TestGoldenDigestFig3(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		diverse bool
+		want    string
+	}{
+		{"identical", false, goldenFig3aDigest},
+		{"diverse", true, goldenFig3bDigest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := CyberResilience(CyberResilienceConfig{
+				Seed: 1, Duration: 8 * time.Minute, DiverseKernels: tc.diverse,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := sha256.New()
+			hashSamples(h, res.Samples)
+			hashRows(h, res.Rows())
+			for _, e := range res.ExploitResults {
+				fmt.Fprintf(h, "%s\n", e.String())
+			}
+			if got := digest(h); got != tc.want {
+				t.Fatalf("fig3 %s digest changed: got %s want %s\nsummary: %s",
+					tc.name, got, tc.want, res.Summary())
+			}
+		})
+	}
+}
+
+func TestGoldenDigestFig4(t *testing.T) {
+	res, err := FaultInjection(FaultInjectionConfig{
+		Seed:                1,
+		Duration:            20 * time.Minute,
+		GMPeriod:            5 * time.Minute,
+		RedundantMinPerHour: 6,
+		RedundantMaxPerHour: 12,
+		Downtime:            30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	hashSamples(h, res.Samples)
+	fmt.Fprintf(h, "%016x %016x %016x %016x\n",
+		math.Float64bits(res.Stats.MeanNS), math.Float64bits(res.Stats.StdNS),
+		math.Float64bits(res.Stats.MinNS), math.Float64bits(res.Stats.MaxNS))
+	fmt.Fprintf(h, "%d %d %d %d %d\n", res.Violations, res.TxTimestampTimeouts,
+		res.DeadlineMisses, res.Takeovers, res.Injection.TotalFailures)
+	if got := digest(h); got != goldenFig4Digest {
+		t.Fatalf("fig4 digest changed: got %s want %s\nsummary: %s",
+			got, goldenFig4Digest, res.Summary())
+	}
+}
+
+// TestGoldenDigestRunToRun guards the weaker invariant directly: two
+// fresh systems with the same seed must agree sample-for-sample within
+// one binary, independent of the pinned constants above.
+func TestGoldenDigestRunToRun(t *testing.T) {
+	run := func() string {
+		res, err := CyberResilience(CyberResilienceConfig{Seed: 7, Duration: 8 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		hashSamples(h, res.Samples)
+		return digest(h)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %s vs %s", a, b)
+	}
+}

@@ -47,16 +47,59 @@ type relayDomain struct {
 	cfg     DomainPorts
 	pending map[uint16]*relaySync
 	lastSeq uint16
+	// free recycles completed relaySync records; one Sync per interval per
+	// domain makes this a single-element list in steady state.
+	free []*relaySync
 }
 
 type relaySync struct {
 	rxTS float64
-	// txTS is the measured egress timestamp per master port.
-	txTS map[int]float64
+	// txTS/haveTx hold the measured egress timestamp per bridge port.
+	txTS   []float64
+	haveTx []bool
 	// fu holds the upstream FollowUp until all egress timestamps exist.
 	fu *FollowUp
 	// done marks master ports whose FollowUp has been forwarded.
-	done map[int]bool
+	done      []bool
+	doneCount int
+}
+
+// newSync returns a reset relaySync sized for nports bridge ports, reusing
+// a completed record when one is available.
+func (d *relayDomain) newSync(rxTS float64, nports int) *relaySync {
+	var st *relaySync
+	if n := len(d.free); n > 0 {
+		st = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		st = &relaySync{}
+	}
+	if cap(st.txTS) < nports {
+		st.txTS = make([]float64, nports)
+		st.haveTx = make([]bool, nports)
+		st.done = make([]bool, nports)
+	} else {
+		st.txTS = st.txTS[:nports]
+		st.haveTx = st.haveTx[:nports]
+		st.done = st.done[:nports]
+		for i := range st.haveTx {
+			st.haveTx[i] = false
+			st.done[i] = false
+		}
+	}
+	st.rxTS = rxTS
+	st.fu = nil
+	st.doneCount = 0
+	return st
+}
+
+// recycle returns a fully-forwarded relaySync to the free list. Records
+// that age out instead (a FollowUp that never arrived) go to the garbage
+// collector: an in-flight egress-timestamp callback may still reference
+// them.
+func (d *relayDomain) recycle(st *relaySync) {
+	st.fu = nil
+	d.free = append(d.free, st)
 }
 
 // NewRelay installs 802.1AS relaying on a bridge and returns the relay. rng
@@ -183,7 +226,7 @@ func (r *Relay) handleSync(ingress int, f *netsim.Frame, m *Sync, rxTS float64) 
 		r.relayOneStep(d, f, m, rxTS)
 		return
 	}
-	st := &relaySync{rxTS: rxTS, txTS: make(map[int]float64, len(d.cfg.MasterPorts)), done: make(map[int]bool)}
+	st := d.newSync(rxTS, r.bridge.NumPorts())
 	d.pending[m.Seq] = st
 	d.lastSeq = m.Seq
 	// Garbage-collect stale entries (a FollowUp that never arrived).
@@ -198,6 +241,7 @@ func (r *Relay) handleSync(ingress int, f *netsim.Frame, m *Sync, rxTS float64) 
 		residence := r.bridge.ResidenceFor(f)
 		r.bridge.TransmitAt(egress, residence, out, func(txTS float64) {
 			st.txTS[egress] = txTS
+			st.haveTx[egress] = true
 			if st.fu != nil {
 				r.forwardFollowUp(d, m.Seq, st, egress)
 			}
@@ -238,7 +282,7 @@ func (r *Relay) handleFollowUp(ingress int, m *FollowUp) {
 	}
 	st.fu = m
 	for _, egress := range d.cfg.MasterPorts {
-		if _, have := st.txTS[egress]; have {
+		if st.haveTx[egress] {
 			r.forwardFollowUp(d, m.Seq, st, egress)
 		}
 	}
@@ -253,6 +297,7 @@ func (r *Relay) forwardFollowUp(d *relayDomain, seq uint16, st *relaySync, egres
 		return
 	}
 	st.done[egress] = true
+	st.doneCount++
 
 	slaveLD := r.linkDelays[d.cfg.SlavePort]
 	nrr := slaveLD.NeighborRateRatio()
@@ -271,8 +316,9 @@ func (r *Relay) forwardFollowUp(d *relayDomain, seq uint16, st *relaySync, egres
 	frame := newFrame(netsim.Address("nic/"+r.bridge.DeviceName()), out)
 	r.bridge.TransmitAfterResidence(egress, frame)
 
-	if len(st.done) == len(d.cfg.MasterPorts) {
+	if st.doneCount == len(d.cfg.MasterPorts) {
 		delete(d.pending, seq)
+		d.recycle(st)
 	}
 }
 

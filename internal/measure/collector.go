@@ -47,6 +47,15 @@ func (c CollectorConfig) withDefaults() CollectorConfig {
 	return c
 }
 
+// pendingWindow is one open probe interval awaiting replies. Windows are
+// recycled: a closed window keeps its reply slice's capacity for the next
+// probe, so steady-state collection stops allocating.
+type pendingWindow struct {
+	seq     uint64
+	open    bool
+	replies []*Reply
+}
+
 // Collector is the measurement VM's probe driver and Π* computer.
 type Collector struct {
 	cfg   CollectorConfig
@@ -57,7 +66,13 @@ type Collector struct {
 	exclude map[string]bool
 	ticker  *sim.Ticker
 	seq     uint64
-	pending map[uint64][]*Reply
+	// windows holds the open collect windows plus recycled closed ones.
+	// At most ceil(CollectWindow/Interval)+1 windows are ever open, so a
+	// linear scan beats a map and drops the per-probe map churn.
+	windows []pendingWindow
+	// times is the reply-timestamp scratch buffer reused across finalize
+	// calls.
+	times []float64
 
 	samples []Sample
 	// per-path latency extrema for γ (eq. 3.2), keyed by replying VM.
@@ -79,7 +94,6 @@ func NewCollector(name string, sched *sim.Scheduler, nic *netsim.NIC, cfg Collec
 		nic:     nic,
 		name:    name,
 		exclude: ex,
-		pending: make(map[uint64][]*Reply),
 		pathMin: make(map[string]time.Duration),
 		pathMax: make(map[string]time.Duration),
 	}
@@ -106,6 +120,38 @@ func (c *Collector) Stop() {
 	}
 }
 
+// window returns the open window for seq, or nil if it already closed.
+func (c *Collector) window(seq uint64) *pendingWindow {
+	for i := range c.windows {
+		if c.windows[i].open && c.windows[i].seq == seq {
+			return &c.windows[i]
+		}
+	}
+	return nil
+}
+
+// openWindow claims a recycled closed window or grows the slice.
+func (c *Collector) openWindow(seq uint64) {
+	for i := range c.windows {
+		if !c.windows[i].open {
+			c.windows[i].seq = seq
+			c.windows[i].open = true
+			return
+		}
+	}
+	c.windows = append(c.windows, pendingWindow{seq: seq, open: true})
+}
+
+// closeWindow recycles a window, dropping its reply references promptly so
+// they do not linger until the next probe with the same slot.
+func (c *Collector) closeWindow(w *pendingWindow) {
+	for i := range w.replies {
+		w.replies[i] = nil
+	}
+	w.replies = w.replies[:0]
+	w.open = false
+}
+
 // Handle consumes measurement replies; install it alongside the Agent on
 // the measurement VM's frame demultiplexer.
 func (c *Collector) Handle(f *netsim.Frame, _ float64) {
@@ -113,35 +159,38 @@ func (c *Collector) Handle(f *netsim.Frame, _ float64) {
 	if !ok {
 		return
 	}
-	if _, open := c.pending[r.Seq]; !open {
+	w := c.window(r.Seq)
+	if w == nil {
 		return // reply after the collect window closed
 	}
-	c.pending[r.Seq] = append(c.pending[r.Seq], r)
+	w.replies = append(w.replies, r)
 }
 
 func (c *Collector) probe() {
 	c.seq++
 	seq := c.seq
-	c.pending[seq] = nil
-	f := &netsim.Frame{
-		Src:      netsim.Address("nic/" + c.name),
-		Dst:      MulticastAddr,
-		Priority: netsim.PriorityMeasure,
-		Payload:  &Probe{Seq: seq, Origin: netsim.Address("nic/" + c.name)},
-	}
+	c.openWindow(seq)
+	f := netsim.GetFrame()
+	f.Src = netsim.Address("nic/" + c.name)
+	f.Dst = MulticastAddr
+	f.Priority = netsim.PriorityMeasure
+	f.Payload = &Probe{Seq: seq, Origin: netsim.Address("nic/" + c.name)}
 	atSec := float64(c.sched.Now()) / 1e9
 	if _, err := c.nic.Send(f); err != nil {
-		delete(c.pending, seq)
+		c.closeWindow(c.window(seq))
 		return
 	}
 	c.sched.After(c.cfg.CollectWindow, func() { c.finalize(seq, atSec) })
 }
 
 func (c *Collector) finalize(seq uint64, atSec float64) {
-	replies := c.pending[seq]
-	delete(c.pending, seq)
+	w := c.window(seq)
+	if w == nil {
+		return
+	}
+	replies := w.replies
 
-	var times []float64
+	times := c.times[:0]
 	for _, r := range replies {
 		if c.exclude[r.VM] || !r.Valid {
 			continue
@@ -154,6 +203,8 @@ func (c *Collector) finalize(seq uint64, atSec float64) {
 			c.pathMax[r.VM] = r.PathLatency
 		}
 	}
+	c.closeWindow(w)
+	c.times = times
 	if len(times) < c.cfg.MinReplies {
 		return
 	}
@@ -168,9 +219,11 @@ func (c *Collector) finalize(seq uint64, atSec float64) {
 	c.samples = append(c.samples, Sample{Seq: seq, AtSec: atSec, PiStarNS: worst, Replies: len(times)})
 }
 
-// Samples returns the per-second precision series.
+// Samples returns the per-second precision series as a read-only view of
+// the collector's internal buffer. Callers must not mutate or append to the
+// returned slice; take a copy if samples must outlive further collection.
 func (c *Collector) Samples() []Sample {
-	return append([]Sample(nil), c.samples...)
+	return c.samples
 }
 
 // Gamma computes the measurement error per eq. 3.2 over the measurement

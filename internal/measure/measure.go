@@ -71,12 +71,11 @@ func (a *Agent) Handle(f *netsim.Frame, _ float64) {
 		Valid:       valid,
 		PathLatency: f.PathLatency(a.sched.Now()),
 	}
-	out := &netsim.Frame{
-		Src:      netsim.Address("nic/" + a.name),
-		Dst:      probe.Origin,
-		Priority: netsim.PriorityMeasure,
-		Payload:  reply,
-	}
+	out := netsim.GetFrame()
+	out.Src = netsim.Address("nic/" + a.name)
+	out.Dst = probe.Origin
+	out.Priority = netsim.PriorityMeasure
+	out.Payload = reply
 	if _, err := a.nic.Send(out); err == nil {
 		a.replies++
 	}

@@ -42,7 +42,9 @@ func (m ResidenceModel) Draw(rng sim.RNG) time.Duration {
 
 // RelayHook lets a protocol layer (the gPTP time-aware bridge logic) claim
 // frames before generic forwarding. Handle returns true if the frame was
-// consumed.
+// consumed. Handle must not retain f after it returns — the bridge recycles
+// pool-owned frames once a hook consumes them; payloads may be retained,
+// they are never pooled.
 type RelayHook interface {
 	Handle(b *Bridge, ingress int, f *Frame, rxTS float64) bool
 }
@@ -70,6 +72,10 @@ type Bridge struct {
 	groups  map[Address][]int
 	hook    RelayHook
 	egress  map[int]EgressScheduler
+	// txFns holds one prebound transmit callback per port so the generic
+	// forwarding path schedules through AtArg/AfterArg without allocating
+	// a closure per frame.
+	txFns []func(any)
 
 	forwarded uint64
 	dropped   uint64
@@ -95,8 +101,11 @@ func NewBridge(name string, sched *sim.Scheduler, rng sim.RNG, clk *clock.PHC, c
 		groups:  make(map[Address][]int),
 	}
 	b.ports = make([]Port, cfg.Ports)
+	b.txFns = make([]func(any), cfg.Ports)
 	for i := range b.ports {
 		b.ports[i] = Port{Name: fmt.Sprintf("%s/p%d", name, i), Owner: b, Index: i}
+		i := i
+		b.txFns[i] = func(x any) { b.Transmit(i, x.(*Frame)) }
 	}
 	return b
 }
@@ -145,6 +154,7 @@ func (b *Bridge) Forwarded() uint64 { return b.forwarded }
 func (b *Bridge) Receive(p *Port, f *Frame) {
 	rxTS := b.clk.Timestamp()
 	if b.hook != nil && b.hook.Handle(b, p.Index, f, rxTS) {
+		f.release()
 		return
 	}
 	b.forward(p.Index, f)
@@ -159,10 +169,13 @@ func (b *Bridge) forward(ingress int, f *Frame) {
 			}
 			b.TransmitAfterResidence(egress, f.Clone())
 		}
+		// The original frame dies here; only its clones travel on.
+		f.release()
 		return
 	}
 	egress, ok := b.unicast[f.Dst]
 	if !ok || egress == ingress {
+		f.release()
 		return // no route: drop (static config covers all legitimate traffic)
 	}
 	b.TransmitAfterResidence(egress, f)
@@ -187,13 +200,14 @@ func (b *Bridge) TransmitAfterResidence(egress int, f *Frame) {
 		departAt, err := es.Enqueue(b.sched.Now().Add(processing), f.Priority, f.Bytes)
 		if err != nil {
 			b.dropped++
+			f.release()
 			return
 		}
-		b.sched.At(departAt, func() { b.Transmit(egress, f) })
+		b.sched.AtArg(departAt, b.txFns[egress], f)
 		return
 	}
 	d := b.ResidenceFor(f)
-	b.sched.After(d, func() { b.Transmit(egress, f) })
+	b.sched.AfterArg(d, b.txFns[egress], f)
 }
 
 // Transmit sends the frame out of the given port immediately, returning the
@@ -202,6 +216,7 @@ func (b *Bridge) Transmit(egress int, f *Frame) (txTS float64) {
 	txTS = b.clk.Timestamp()
 	p := &b.ports[egress]
 	if !p.Connected() {
+		f.release()
 		return txTS
 	}
 	f.Hops++
@@ -222,6 +237,7 @@ func (b *Bridge) TransmitAt(egress int, d time.Duration, f *Frame, onTx func(txT
 		departAt, err := es.Enqueue(b.sched.Now().Add(processing), f.Priority, f.Bytes)
 		if err != nil {
 			b.dropped++
+			f.release()
 			return
 		}
 		b.sched.At(departAt, func() {

@@ -6,6 +6,7 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 
 	"gptpfta/internal/sim"
@@ -48,13 +49,49 @@ type Frame struct {
 
 	SentAt sim.Time // true instant of original transmission
 	Hops   int      // bridges traversed
+
+	// pooled marks frames owned by the frame pool. Only such frames are
+	// recycled at their netsim-internal death points (endpoint delivery,
+	// drops); frames built with a plain &Frame{} literal are left to the
+	// garbage collector, so external code needs no lifetime discipline.
+	pooled bool
 }
 
-// Clone returns a shallow copy for fan-out across egress ports. Payloads
-// are treated as immutable once transmitted.
+// framePool recycles Frame structs — the second-hottest allocation site
+// after scheduler events. It is shared across simulations (the parallel
+// runner executes several in one process), which is safe because a frame
+// is fully overwritten at Get and object identity is never observable to
+// the simulation, so pooling cannot perturb determinism.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a zeroed pool-owned frame. The caller fills in the
+// fields and transmits it; netsim recycles it automatically when it is
+// delivered to a NIC endpoint or dropped in flight. Callers must not
+// retain the frame after handing it to Send/Transmit.
+func GetFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	f.pooled = true
+	return f
+}
+
+// release returns a pool-owned frame; no-op for GC-owned frames. The frame
+// is cleared so stale payload references do not outlive it.
+func (f *Frame) release() {
+	if !f.pooled {
+		return
+	}
+	*f = Frame{}
+	framePool.Put(f)
+}
+
+// Clone returns a pool-owned shallow copy for fan-out across egress ports.
+// Payloads are treated as immutable once transmitted and are shared
+// between clones.
 func (f *Frame) Clone() *Frame {
-	c := *f
-	return &c
+	c := framePool.Get().(*Frame)
+	*c = *f
+	c.pooled = true
+	return c
 }
 
 // PathLatency reports the frame's true end-to-end latency if delivered at

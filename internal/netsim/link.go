@@ -30,6 +30,9 @@ type Link struct {
 	rng   sim.RNG
 	cfg   LinkConfig
 	ends  [2]*Port
+	// deliver holds one prebound delivery callback per direction so Send
+	// can schedule through AtArg without allocating a closure per frame.
+	deliver [2]func(any)
 	// lastDelivery enforces per-direction FIFO ordering: a wire cannot
 	// reorder frames, whatever the jitter draw says.
 	lastDelivery [2]sim.Time
@@ -46,6 +49,8 @@ func Connect(sched *sim.Scheduler, rng sim.RNG, cfg LinkConfig, a, b *Port) (*Li
 		return nil, fmt.Errorf("netsim: port already connected (%s, %s)", a.Name, b.Name)
 	}
 	l := &Link{sched: sched, rng: rng, cfg: cfg, ends: [2]*Port{a, b}}
+	l.deliver[0] = func(x any) { b.Owner.Receive(b, x.(*Frame)) } // a -> b
+	l.deliver[1] = func(x any) { a.Owner.Receive(a, x.(*Frame)) } // b -> a
 	a.link = l
 	b.link = l
 	return l, nil
@@ -68,9 +73,9 @@ func (l *Link) Nominal() time.Duration { return l.cfg.Propagation }
 func (l *Link) Send(from *Port, f *Frame) {
 	if l.cfg.LossProb > 0 && l.rng != nil && l.rng.Float64() < l.cfg.LossProb {
 		l.lost++
+		f.release()
 		return
 	}
-	to := l.Peer(from)
 	dir := 0
 	if l.ends[1] == from {
 		dir = 1
@@ -80,9 +85,7 @@ func (l *Link) Send(from *Port, f *Frame) {
 		at = l.lastDelivery[dir] + 1
 	}
 	l.lastDelivery[dir] = at
-	l.sched.At(at, func() {
-		to.Owner.Receive(to, f)
-	})
+	l.sched.AtArg(at, l.deliver[dir], f)
 }
 
 func (l *Link) delay() time.Duration {

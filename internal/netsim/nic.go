@@ -68,13 +68,18 @@ func (n *NIC) Down() bool { return n.down }
 func (n *NIC) Counters() (tx, rx uint64) { return n.txCount, n.rxCount }
 
 // Receive implements Device: it timestamps the frame with the PHC and hands
-// it to the VM's stack. A down NIC drops silently.
+// it to the VM's stack. A down NIC drops silently. A NIC is a frame's final
+// destination, so pool-owned frames are recycled once the handler returns —
+// handlers receive the frame synchronously and may keep its payload, but
+// must not retain the *Frame itself.
 func (n *NIC) Receive(_ *Port, f *Frame) {
 	if n.down || n.handler == nil {
+		f.release()
 		return
 	}
 	n.rxCount++
 	n.handler(f, n.phc.Timestamp())
+	f.release()
 }
 
 // Send transmits a frame immediately and returns the hardware transmit

@@ -1,0 +1,88 @@
+package sim
+
+// Hand-rolled indexed 4-ary min-heap over slab slots, keyed on (at, seq).
+// Compared with container/heap this removes the interface boxing, the
+// virtual Less/Swap calls and one pointer indirection per element; the
+// higher arity halves tree depth, trading slightly more comparisons per
+// level for far fewer cache-missing swaps. The heap stores int32 slot
+// indices and mirrors each slot's position in eventSlot.heapIdx, which is
+// what makes O(1) cancellation-by-generation possible.
+
+// eventLess orders slots by scheduled instant, then insertion sequence.
+// The key is total and unique, so firing order is independent of heap
+// shape — the determinism guarantee does not rest on heap stability.
+func (s *Scheduler) eventLess(a, b int32) bool {
+	sa, sb := &s.slab[a], &s.slab[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// heapPush appends slot i and restores the heap invariant.
+func (s *Scheduler) heapPush(i int32) {
+	s.heap = append(s.heap, i)
+	j := len(s.heap) - 1
+	s.slab[i].heapIdx = int32(j)
+	s.siftUp(j)
+}
+
+// heapPopTop removes the minimum element (the caller has already read it
+// from s.heap[0]) and restores the heap invariant.
+func (s *Scheduler) heapPopTop() {
+	h := s.heap
+	n := len(h) - 1
+	top := h[0]
+	s.slab[top].heapIdx = -1
+	if n > 0 {
+		h[0] = h[n]
+		s.slab[h[0]].heapIdx = 0
+	}
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Scheduler) siftUp(j int) {
+	h := s.heap
+	for j > 0 {
+		p := (j - 1) >> 2
+		if !s.eventLess(h[j], h[p]) {
+			break
+		}
+		h[j], h[p] = h[p], h[j]
+		s.slab[h[j]].heapIdx = int32(j)
+		s.slab[h[p]].heapIdx = int32(p)
+		j = p
+	}
+}
+
+func (s *Scheduler) siftDown(j int) {
+	h := s.heap
+	n := len(h)
+	for {
+		c := j<<2 + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of the up-to-four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if s.eventLess(h[k], h[m]) {
+				m = k
+			}
+		}
+		if !s.eventLess(h[m], h[j]) {
+			break
+		}
+		h[j], h[m] = h[m], h[j]
+		s.slab[h[j]].heapIdx = int32(j)
+		s.slab[h[m]].heapIdx = int32(m)
+		j = m
+	}
+}

@@ -7,10 +7,15 @@
 // Events that are scheduled for the same instant fire in FIFO order, which —
 // together with the seeded RNG streams in rng.go — makes every run
 // bit-for-bit reproducible.
+//
+// The kernel is allocation-free in steady state: events live inline in a
+// growable slab indexed by a hand-rolled 4-ary min-heap (see heap.go), At
+// and After hand out compact EventID handles instead of per-event pointers,
+// Cancel is an O(1) generation bump with lazy deletion at pop, and fired
+// slots recycle through a free list. See DESIGN.md, "Event kernel".
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -32,17 +37,40 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the instant as a duration since the simulation epoch.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a handle to a scheduled callback. It can be cancelled with
-// Scheduler.Cancel as long as it has not fired.
-type Event struct {
-	at    Time
-	seq   uint64
-	index int // heap index; -1 once removed
-	fn    func()
+// EventID is a compact handle to a scheduled callback: a slab slot plus a
+// generation that invalidates the handle once the event fires or is
+// cancelled. The zero EventID is never valid, so it can be stored freely as
+// a "no event" sentinel.
+type EventID struct {
+	slot uint32
+	gen  uint32
 }
 
-// At reports the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Valid reports whether the handle was ever issued by a scheduler. It does
+// not check whether the event is still pending; Cancel on a fired event is
+// simply a no-op.
+func (id EventID) Valid() bool { return id.gen != 0 }
+
+// eventSlot is one inline event record. Slots are recycled through the
+// scheduler's free list; gen disambiguates incarnations so stale EventIDs
+// cannot touch a reused slot.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	// Exactly one of fn / afn is set. afn receives arg, letting hot
+	// callers (link delivery, bridge egress) schedule with a prebound
+	// callback and avoid a per-event closure allocation.
+	fn  func()
+	afn func(any)
+	arg any
+	// period > 0 marks a ticker slot: after firing it is pushed back with
+	// at += period, reusing the slot, the callback and the EventID.
+	period    time.Duration
+	gen       uint32
+	heapIdx   int32 // position in Scheduler.heap; -1 when not queued
+	nextFree  int32
+	cancelled bool
+}
 
 // ErrStopped is returned by Run when the scheduler was stopped explicitly.
 var ErrStopped = errors.New("sim: scheduler stopped")
@@ -50,18 +78,24 @@ var ErrStopped = errors.New("sim: scheduler stopped")
 // Scheduler is a deterministic discrete-event executor. The zero value is
 // not usable; create one with NewScheduler.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	stopped bool
+	now      Time
+	seq      uint64
+	slab     []eventSlot
+	heap     []int32 // slot indices; 4-ary min-heap on (at, seq)
+	freeHead int32   // head of the free-slot list; -1 when empty
+	live     int     // queued events that are not cancelled
+	stopped  bool
 
 	// processed counts events that have fired, for diagnostics.
 	processed uint64
+	// pastClamps counts At calls that asked for an instant already in the
+	// past and were clamped to now — usually a causality bug upstream.
+	pastClamps uint64
 }
 
 // NewScheduler returns a scheduler positioned at the simulation epoch.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{freeHead: -1}
 }
 
 // Now reports the current simulation instant.
@@ -70,53 +104,219 @@ func (s *Scheduler) Now() Time { return s.now }
 // Processed reports how many events have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
-// Pending reports how many events are currently queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending reports how many events are currently queued (cancelled events
+// awaiting lazy removal are not counted).
+func (s *Scheduler) Pending() int { return s.live }
+
+// Drained reports whether no live events remain queued.
+func (s *Scheduler) Drained() bool { return s.live == 0 }
+
+// PastClamps reports how many times At was asked to schedule in the past
+// and clamped the event to "now". A nonzero count usually indicates a
+// causality bug in a component; core.System surfaces it at teardown.
+func (s *Scheduler) PastClamps() uint64 { return s.pastClamps }
+
+// Diagnostics is a point-in-time snapshot of kernel internals, exposed for
+// the profiling harness and teardown logging.
+type Diagnostics struct {
+	Processed  uint64 // events fired
+	PastClamps uint64 // At calls clamped to now
+	Pending    int    // live queued events
+	QueueLen   int    // heap entries including lazily-deleted ones
+	SlabSlots  int    // slots ever allocated (high-water mark)
+}
+
+// Diag returns kernel diagnostics.
+func (s *Scheduler) Diag() Diagnostics {
+	return Diagnostics{
+		Processed:  s.processed,
+		PastClamps: s.pastClamps,
+		Pending:    s.live,
+		QueueLen:   len(s.heap),
+		SlabSlots:  len(s.slab),
+	}
+}
+
+// alloc pops a slot off the free list, growing the slab only when the list
+// is empty; steady-state scheduling therefore never allocates.
+func (s *Scheduler) alloc() int32 {
+	if s.freeHead >= 0 {
+		i := s.freeHead
+		s.freeHead = s.slab[i].nextFree
+		return i
+	}
+	s.slab = append(s.slab, eventSlot{gen: 1, heapIdx: -1, nextFree: -1})
+	return int32(len(s.slab) - 1)
+}
+
+// free recycles a slot whose generation has already been bumped.
+func (s *Scheduler) free(i int32) {
+	sl := &s.slab[i]
+	sl.fn, sl.afn, sl.arg = nil, nil, nil
+	sl.period = 0
+	sl.cancelled = false
+	sl.heapIdx = -1
+	sl.nextFree = s.freeHead
+	s.freeHead = i
+}
+
+// bumpGen invalidates outstanding EventIDs for the slot. Generation 0 is
+// reserved for the invalid zero EventID.
+func (sl *eventSlot) bumpGen() {
+	sl.gen++
+	if sl.gen == 0 {
+		sl.gen = 1
+	}
+}
+
+// schedule is the shared entry point behind At/After/AtArg/Every.
+func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any, period time.Duration) EventID {
+	if t < s.now {
+		t = s.now
+		s.pastClamps++
+	}
+	i := s.alloc()
+	sl := &s.slab[i]
+	sl.at = t
+	sl.seq = s.seq
+	s.seq++
+	sl.fn, sl.afn, sl.arg = fn, afn, arg
+	sl.period = period
+	s.heapPush(i)
+	s.live++
+	return EventID{slot: uint32(i), gen: sl.gen}
+}
 
 // At schedules fn to run at instant t. Scheduling in the past is a
 // programming error and is clamped to "now" so that causality is preserved;
-// the event still fires.
-func (s *Scheduler) At(t Time, fn func()) *Event {
-	if t < s.now {
-		t = s.now
-	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+// the event still fires and the clamp is counted (see PastClamps).
+func (s *Scheduler) At(t Time, fn func()) EventID {
+	return s.schedule(t, fn, nil, nil, 0)
 }
 
 // After schedules fn to run d after the current instant.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.schedule(s.now.Add(d), fn, nil, nil, 0)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// AtArg schedules fn(arg) at instant t. Hot paths that would otherwise
+// capture state in a fresh closure per event (frame delivery, bridge
+// egress) pass a prebound fn and thread their state through arg — boxing a
+// pointer into an interface does not allocate, so the call is alloc-free.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) EventID {
+	return s.schedule(t, nil, fn, arg, 0)
+}
+
+// AfterArg schedules fn(arg) to run d after the current instant.
+func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now.Add(d), nil, fn, arg, 0)
+}
+
+// Cancel removes a pending event in O(1): the slot's generation is bumped
+// (so the handle dies) and the heap entry is discarded lazily when it
+// reaches the top. Cancelling an event that already fired, was already
+// cancelled, or is the zero EventID is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	i := int32(id.slot)
+	if id.gen == 0 || int(i) >= len(s.slab) {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
-	e.index = -1
+	sl := &s.slab[i]
+	if sl.gen != id.gen || sl.cancelled {
+		return
+	}
+	sl.cancelled = true
+	sl.bumpGen()
+	sl.fn, sl.afn, sl.arg = nil, nil, nil
+	if sl.heapIdx >= 0 {
+		// Still queued: drop from the live count; the heap entry is
+		// reaped at pop. A ticker cancelled from inside its own callback
+		// is not queued at this point and was already uncounted.
+		s.live--
+	}
+}
+
+// When reports the instant a pending event is scheduled for.
+func (s *Scheduler) When(id EventID) (Time, bool) {
+	i := int32(id.slot)
+	if id.gen == 0 || int(i) >= len(s.slab) {
+		return 0, false
+	}
+	sl := &s.slab[i]
+	if sl.gen != id.gen || sl.heapIdx < 0 {
+		return 0, false
+	}
+	return sl.at, true
+}
+
+// peekLive reaps cancelled entries off the heap top and reports the slot of
+// the earliest live event, if any.
+func (s *Scheduler) peekLive() (int32, bool) {
+	for len(s.heap) > 0 {
+		i := s.heap[0]
+		if !s.slab[i].cancelled {
+			return i, true
+		}
+		s.heapPopTop()
+		s.free(i)
+	}
+	return -1, false
+}
+
+// fire pops slot i (already verified live) and runs its callback.
+func (s *Scheduler) fire(i int32) {
+	s.heapPopTop()
+	sl := &s.slab[i]
+	s.now = sl.at
+	s.processed++
+	s.live--
+	if sl.period > 0 {
+		// Ticker fast path: fire, then push the same slot back with
+		// at += period. The callback, slot and EventID are all reused, so
+		// a steady ticker schedules with zero allocations. The reschedule
+		// happens after fn returns — matching the callback-driven ticker
+		// it replaces — so events fn schedules for the same future
+		// instant keep their FIFO position ahead of the next tick.
+		gen := sl.gen
+		fn := sl.fn
+		fn()
+		sl = &s.slab[i] // fn may have grown the slab
+		if sl.cancelled || sl.gen != gen {
+			s.free(i) // stopped from within its own callback
+			return
+		}
+		sl.at = sl.at.Add(sl.period)
+		sl.seq = s.seq
+		s.seq++
+		s.heapPush(i)
+		s.live++
+		return
+	}
+	// One-shot: invalidate the handle and recycle the slot before the
+	// callback runs, so the callback can immediately reuse it.
+	fn, afn, arg := sl.fn, sl.afn, sl.arg
+	sl.bumpGen()
+	s.free(i)
+	if afn != nil {
+		afn(arg)
+		return
+	}
+	fn()
 }
 
 // Step fires the next pending event and reports whether one was available.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
-		return false
-	}
-	e, ok := heap.Pop(&s.queue).(*Event)
+	i, ok := s.peekLive()
 	if !ok {
 		return false
 	}
-	e.index = -1
-	s.now = e.at
-	s.processed++
-	e.fn()
+	s.fire(i)
 	return true
 }
 
@@ -126,13 +326,11 @@ func (s *Scheduler) Step() bool {
 // RunUntil calls continue seamlessly.
 func (s *Scheduler) RunUntil(t Time) error {
 	for !s.stopped {
-		if len(s.queue) == 0 {
+		i, ok := s.peekLive()
+		if !ok || s.slab[i].at > t {
 			break
 		}
-		if s.queue[0].at > t {
-			break
-		}
-		s.Step()
+		s.fire(i)
 	}
 	if s.stopped {
 		s.stopped = false
@@ -171,72 +369,18 @@ func (s *Scheduler) Every(start Time, period time.Duration, fn func()) (*Ticker,
 	if period <= 0 {
 		return nil, fmt.Errorf("sim: non-positive period %v", period)
 	}
-	t := &Ticker{sched: s, period: period, fn: fn}
-	t.ev = s.At(start, t.tick)
-	return t, nil
+	id := s.schedule(start, fn, nil, nil, period)
+	return &Ticker{sched: s, id: id}, nil
 }
 
 // Ticker repeatedly fires a callback with a fixed period until stopped.
+// Ticks reuse one event slot in the scheduler, so a running ticker does not
+// allocate.
 type Ticker struct {
-	sched   *Scheduler
-	period  time.Duration
-	fn      func()
-	ev      *Event
-	stopped bool
+	sched *Scheduler
+	id    EventID
 }
 
-func (t *Ticker) tick() {
-	if t.stopped {
-		return
-	}
-	t.fn()
-	if t.stopped { // fn may stop the ticker
-		return
-	}
-	t.ev = t.sched.After(t.period, t.tick)
-}
-
-// Stop cancels future firings. It is safe to call from within the callback.
-func (t *Ticker) Stop() {
-	if t.stopped {
-		return
-	}
-	t.stopped = true
-	t.sched.Cancel(t.ev)
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// Stop cancels future firings. It is safe to call from within the callback
+// and safe to call more than once.
+func (t *Ticker) Stop() { t.sched.Cancel(t.id) }

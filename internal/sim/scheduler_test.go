@@ -95,7 +95,7 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelInterleaved(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	events := make([]*Event, 10)
+	events := make([]EventID, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		events[i] = s.At(Time(i*10), func() { got = append(got, i) })
