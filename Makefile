@@ -1,11 +1,14 @@
 # Verification targets. `make verify` is the tier-1 gate; `make race`
-# adds vet and the race detector (the runner's worker pool is the main
-# concurrency surface, and the frame pool in netsim is shared between the
-# pool's workers).
+# adds the race detector over the whole module (the runner's worker pool
+# is the main concurrency surface; the frame pool in netsim and the obs
+# registry handles are shared between the pool's workers).
+#
+# `make ci` mirrors .github/workflows/ci.yml so the pipeline can be
+# reproduced locally in one command.
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-all profile verify
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -16,27 +19,54 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fails (listing the offenders) if any Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Race-detect the whole module; the runner package is the critical one.
 race: vet
 	$(GO) test -race ./...
 
+# Golden-digest determinism check: the simulation must produce
+# bit-identical results run-to-run and across instrumentation changes.
+determinism:
+	$(GO) test ./internal/experiments/ -run 'TestGoldenDigest' -count=1 -v
+
 # Committed performance evidence: the event-kernel microbenchmarks and the
 # full-system simulation rate, as diffable JSON (ns/op, allocs/op, custom
-# metrics per entry).
+# metrics per entry). Piped through `go run` so no shared binary is built
+# into /tmp (parallel CI jobs would race on it).
 bench:
-	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run ^$$ -bench 'BenchmarkSchedulerThroughput|BenchmarkSchedulerCancelHeavy|BenchmarkNetsimFrameBurst' \
-		-benchmem . | /tmp/benchjson -o BENCH_scheduler.json
-	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchmem . | /tmp/benchjson -o BENCH_system.json
+		-benchmem . | $(GO) run ./cmd/benchjson -o BENCH_scheduler.json
+	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_system.json
 
 # One quick pass over every benchmark (figure regeneration smoke test).
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+# Informational regression gate: one -benchtime 1x pass diffed against the
+# committed baselines with cmd/benchdiff. The threshold is deliberately
+# generous (25x) and -warn-only keeps it non-blocking: a 1x pass on shared
+# CI hardware is noisy evidence, useful only for spotting order-of-magnitude
+# cliffs. `make bench` regenerates the committed baselines.
+bench-smoke:
+	@mkdir -p .bench-smoke
+	$(GO) test -run ^$$ -bench 'BenchmarkSchedulerThroughput|BenchmarkSchedulerCancelHeavy|BenchmarkNetsimFrameBurst' \
+		-benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o .bench-smoke/scheduler.json
+	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o .bench-smoke/system.json
+	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_scheduler.json .bench-smoke/scheduler.json
+	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_system.json .bench-smoke/system.json
 
 # CPU + heap profile of the full report run; inspect with `go tool pprof`.
 profile:
 	$(GO) run ./cmd/report -scale 0.02 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
-verify: build vet test
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/...
+verify: build fmt-check vet test
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/... ./internal/obs/...
+
+# Everything the CI workflow runs, in one local command.
+ci: verify determinism bench-smoke

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gptpfta/internal/obs"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{
+  "goos": "linux", "goarch": "amd64",
+  "results": [
+    {"name": "BenchmarkScheduler", "iterations": 1000, "ns_per_op": 100, "bytes_per_op": 16, "allocs_per_op": 1},
+    {"name": "BenchmarkSystem", "iterations": 10, "ns_per_op": 50000}
+  ]
+}`
+
+func TestIdenticalInputsExitClean(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	newPath := writeFile(t, "new.json", baselineDoc)
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatalf("identical inputs must pass, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestNsPerOpRegressionFails(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	regressed := strings.Replace(baselineDoc, `"ns_per_op": 100`, `"ns_per_op": 200`, 1)
+	newPath := writeFile(t, "new.json", regressed)
+	var out bytes.Buffer
+	err := run([]string{oldPath, newPath}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("2x ns/op must regress, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkScheduler ns/op") {
+		t.Fatalf("missing regression row:\n%s", out.String())
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	regressed := strings.Replace(baselineDoc, `"allocs_per_op": 1`, `"allocs_per_op": 4`, 1)
+	newPath := writeFile(t, "new.json", regressed)
+	if err := run([]string{oldPath, newPath}, new(bytes.Buffer)); !errors.Is(err, errRegression) {
+		t.Fatalf("4x allocs/op must regress, got: %v", err)
+	}
+}
+
+func TestPerSeriesOverride(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	regressed := strings.Replace(baselineDoc, `"ns_per_op": 100`, `"ns_per_op": 200`, 1)
+	newPath := writeFile(t, "new.json", regressed)
+	var out bytes.Buffer
+	if err := run([]string{"-per", "BenchmarkScheduler:ns_per_op=3.0", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("override to 3x must allow 2x, got: %v\n%s", err, out.String())
+	}
+}
+
+func TestWarnOnlyAlwaysExitsClean(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	regressed := strings.Replace(baselineDoc, `"ns_per_op": 100`, `"ns_per_op": 1000`, 1)
+	newPath := writeFile(t, "new.json", regressed)
+	var out bytes.Buffer
+	if err := run([]string{"-warn-only", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("warn-only must not fail, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "warn-only") {
+		t.Fatalf("missing warn-only note:\n%s", out.String())
+	}
+}
+
+func TestMissingBenchmarkIsInformational(t *testing.T) {
+	oldPath := writeFile(t, "old.json", baselineDoc)
+	trimmed := `{"results": [{"name": "BenchmarkScheduler", "iterations": 1000, "ns_per_op": 100}]}`
+	newPath := writeFile(t, "new.json", trimmed)
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatalf("missing benchmark must not fail, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "missing BenchmarkSystem") {
+		t.Fatalf("missing-benchmark note absent:\n%s", out.String())
+	}
+}
+
+func snapshotFile(t *testing.T, name string, fill func(*obs.Registry)) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	fill(reg)
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, "run1", reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return writeFile(t, name, buf.String())
+}
+
+func TestMetricsModeDriftBothDirections(t *testing.T) {
+	oldPath := snapshotFile(t, "old.jsonl", func(r *obs.Registry) {
+		r.Counter("frames", obs.L("node", "sw1")).Add(100)
+	})
+	doubled := snapshotFile(t, "new.jsonl", func(r *obs.Registry) {
+		r.Counter("frames", obs.L("node", "sw1")).Add(200)
+	})
+	halved := snapshotFile(t, "half.jsonl", func(r *obs.Registry) {
+		r.Counter("frames", obs.L("node", "sw1")).Add(50)
+	})
+
+	if err := run([]string{"-metrics", oldPath, oldPath}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("identical snapshots must pass, got: %v", err)
+	}
+	if err := run([]string{"-metrics", oldPath, doubled}, new(bytes.Buffer)); !errors.Is(err, errRegression) {
+		t.Fatalf("2x counter must flag drift, got: %v", err)
+	}
+	if err := run([]string{"-metrics", oldPath, halved}, new(bytes.Buffer)); !errors.Is(err, errRegression) {
+		t.Fatalf("0.5x counter must flag drift (both directions), got: %v", err)
+	}
+	if err := run([]string{"-metrics", "-threshold", "4", oldPath, doubled}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("generous threshold must pass, got: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run([]string{"only-one.json"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("one input must be a usage error")
+	}
+	bad := writeFile(t, "bad.json", "{not json")
+	good := writeFile(t, "good.json", baselineDoc)
+	if err := run([]string{bad, good}, new(bytes.Buffer)); err == nil || errors.Is(err, errRegression) {
+		t.Fatalf("parse failure must be an operational error, got: %v", err)
+	}
+}

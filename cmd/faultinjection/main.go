@@ -19,6 +19,7 @@ import (
 
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/prof"
 )
 
@@ -36,6 +37,7 @@ func run(args []string) error {
 	gmPeriod := fs.Duration("gm-period", 30*time.Minute, "interval between grandmaster shutdowns")
 	fig5 := fs.Duration("fig5-window", time.Hour, "event window width around the max spike")
 	csvDir := fs.String("csv", "", "directory to write samples.csv, windows.csv and histogram.csv into")
+	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -85,6 +87,20 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nCSV series written to %s\n", *csvDir)
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, "faultinjection", res.ObsMetrics()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
 }

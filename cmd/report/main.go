@@ -26,6 +26,7 @@ import (
 
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
@@ -49,9 +50,9 @@ func main() {
 // section is one report entry: the rendered text block plus the result it
 // came from, kept for the generic CSV emission.
 type section struct {
-	name  string
-	text  string
-	res   experiments.Result
+	name string
+	text string
+	res  experiments.Result
 }
 
 func run(args []string) error {
@@ -61,6 +62,7 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "run the paper's full horizons (1 h attack run, 24 h fault injection)")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
+	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
 	profCfg := profFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,7 +130,8 @@ func run(args []string) error {
 			return section{name: j.name, text: j.render(res), res: res}, nil
 		}}
 	}
-	outcomes := runner.New(*parallel).Execute(context.Background(), runs)
+	campaign := obs.NewRegistry()
+	outcomes := runner.New(*parallel).WithMetrics(campaign).Execute(context.Background(), runs)
 	sections, err := runner.Values[section](outcomes)
 	if err != nil {
 		return err
@@ -153,7 +156,38 @@ func run(args []string) error {
 		}
 		fmt.Printf("\nCSV tables written to %s\n", *csvDir)
 	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, sections, campaign); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsPath)
+	}
 	return nil
+}
+
+// writeMetrics emits one JSONL metrics file: each study's registry snapshot
+// tagged with the study name, plus the campaign-level runner metrics tagged
+// "runner".
+func writeMetrics(path string, sections []section, campaign *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range sections {
+		c, ok := s.res.(experiments.ObsCarrier)
+		if !ok {
+			continue
+		}
+		if err := obs.WriteJSONL(f, s.name, c.ObsMetrics()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := obs.WriteJSONL(f, "runner", campaign.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSVs emits every section's Rows() — the same generic shape for

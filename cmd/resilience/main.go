@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
@@ -43,6 +44,7 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
 	series := fs.Bool("series", true, "print the ASCII precision series (single-seed runs only)")
+	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per seed) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -90,18 +92,58 @@ func run(args []string) error {
 			if err != nil {
 				return nil, err
 			}
-			return render(s, *duration, showSeries, res.(*experiments.CyberResilienceResult)), nil
+			typed := res.(*experiments.CyberResilienceResult)
+			return block{
+				run:  fmt.Sprintf("seed/%d", s),
+				text: render(s, *duration, showSeries, typed),
+				res:  typed,
+			}, nil
 		}}
 	}
-	outcomes := runner.New(*parallel).Execute(context.Background(), runs)
-	blocks, err := runner.Values[string](outcomes)
+	campaign := obs.NewRegistry()
+	outcomes := runner.New(*parallel).WithMetrics(campaign).Execute(context.Background(), runs)
+	blocks, err := runner.Values[block](outcomes)
 	if err != nil {
 		return err
 	}
-	for _, block := range blocks {
-		fmt.Print(block)
+	for _, b := range blocks {
+		fmt.Print(b.text)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, blocks, campaign); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
+}
+
+// block is one seed's rendered output plus its result, kept so -metrics can
+// snapshot each run after the deterministic ordering is restored.
+type block struct {
+	run  string
+	text string
+	res  experiments.ObsCarrier
+}
+
+// writeMetrics emits one JSONL metrics file: per-seed snapshots tagged
+// "seed/N" plus the campaign runner metrics tagged "runner".
+func writeMetrics(path string, blocks []block, campaign *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if err := obs.WriteJSONL(f, b.run, b.res.ObsMetrics()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := obs.WriteJSONL(f, "runner", campaign.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func render(seed int64, duration time.Duration, series bool, res *experiments.CyberResilienceResult) string {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gptpfta/internal/experiments"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/prof"
 	"gptpfta/internal/runner"
 )
@@ -123,6 +124,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -165,19 +167,59 @@ func run(args []string) error {
 			if err != nil {
 				return nil, err
 			}
-			return render(s, res), nil
+			return block{key: s.key, text: render(s, res), res: res}, nil
 		}}
 	}
 
-	outcomes := runner.New(*parallel).Execute(ctx, runs)
-	blocks, err := runner.Values[string](outcomes)
+	campaign := obs.NewRegistry()
+	outcomes := runner.New(*parallel).WithMetrics(campaign).Execute(ctx, runs)
+	blocks, err := runner.Values[block](outcomes)
 	if err != nil {
 		return err
 	}
-	for _, block := range blocks {
-		fmt.Print(block)
+	for _, b := range blocks {
+		fmt.Print(b.text)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, blocks, campaign); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
+}
+
+// block is one study's rendered output plus its result, kept so -metrics
+// can snapshot carriers after the deterministic ordering is restored.
+type block struct {
+	key  string
+	text string
+	res  experiments.Result
+}
+
+// writeMetrics emits one JSONL metrics file: each study's snapshot (when
+// its result carries one) tagged with the study key, plus the campaign
+// runner metrics tagged "runner".
+func writeMetrics(path string, blocks []block, campaign *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		c, ok := b.res.(experiments.ObsCarrier)
+		if !ok {
+			continue
+		}
+		if err := obs.WriteJSONL(f, b.key, c.ObsMetrics()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := obs.WriteJSONL(f, "runner", campaign.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // render produces one study's output block: header, summary, table,

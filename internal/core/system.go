@@ -10,6 +10,7 @@ import (
 	"gptpfta/internal/hypervisor"
 	"gptpfta/internal/measure"
 	"gptpfta/internal/netsim"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/phc2sys"
 	"gptpfta/internal/ptp4l"
 	"gptpfta/internal/sim"
@@ -22,6 +23,7 @@ type System struct {
 	streams *sim.Streams
 
 	bridges []*netsim.Bridge
+	links   []*netsim.Link
 	relays  []*gptp.Relay
 	nodes   []*hypervisor.Node
 	vms     map[string]*hypervisor.CSVM
@@ -30,6 +32,7 @@ type System struct {
 	collector *measure.Collector
 	log       *EventLog
 	syncLat   *measure.LatencyTracker
+	obs       *obs.Registry
 
 	started bool
 }
@@ -56,6 +59,7 @@ func NewSystem(cfg Config) (*System, error) {
 		agents:  make(map[string]*measure.Agent),
 		log:     NewEventLog(),
 		syncLat: measure.NewLatencyTracker(),
+		obs:     obs.NewRegistry(),
 	}
 	if err := s.buildBridges(); err != nil {
 		return nil, err
@@ -67,7 +71,64 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.buildForwarding()
+	s.instrumentKernel()
 	return s, nil
+}
+
+// Metrics exposes the system's private metrics registry. Each System owns
+// its own registry so the parallel experiment runner never mixes metrics of
+// concurrently running simulations. Snapshots are pure reads: the
+// instrumentation draws no randomness and schedules nothing, so golden
+// digests are unaffected.
+func (s *System) Metrics() *obs.Registry { return s.obs }
+
+// instrumentKernel registers gauge funcs over the kernel-level counters the
+// components already maintain: scheduler diagnostics, bridge and link
+// traffic, and frame-pool hit rate. Sampling happens only at Snapshot, so
+// the hot paths pay nothing.
+func (s *System) instrumentKernel() {
+	reg := s.obs
+	reg.GaugeFunc("sim_events_processed", func() float64 { return float64(s.sched.Diag().Processed) })
+	reg.GaugeFunc("sim_events_cancelled", func() float64 { return float64(s.sched.Diag().Cancelled) })
+	reg.GaugeFunc("sim_past_clamps", func() float64 { return float64(s.sched.Diag().PastClamps) })
+	reg.GaugeFunc("sim_events_pending", func() float64 { return float64(s.sched.Diag().Pending) })
+	reg.GaugeFunc("netsim_frames_forwarded", func() float64 {
+		var n uint64
+		for _, b := range s.bridges {
+			n += b.Forwarded()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("netsim_frames_dropped", func() float64 {
+		var n uint64
+		for _, b := range s.bridges {
+			n += b.Dropped()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("netsim_frames_sent", func() float64 {
+		var n uint64
+		for _, l := range s.links {
+			n += l.Sent()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("netsim_frames_lost", func() float64 {
+		var n uint64
+		for _, l := range s.links {
+			n += l.Lost()
+		}
+		return float64(n)
+	})
+	// The frame pool is process-global (shared across concurrently running
+	// simulations); its hit rate is an aggregate, not per-system.
+	reg.GaugeFunc("netsim_pool_hit_rate", func() float64 {
+		gets, news, _ := netsim.PoolStats()
+		if gets == 0 {
+			return 0
+		}
+		return float64(gets-news) / float64(gets)
+	})
 }
 
 // meshPort returns the port index on bridge i that faces bridge j.
@@ -116,13 +177,14 @@ func (s *System) buildBridges() error {
 	// Full mesh between the integrated switches.
 	for i := 0; i < s.cfg.Nodes; i++ {
 		for j := i + 1; j < s.cfg.Nodes; j++ {
-			_, err := netsim.Connect(s.sched,
+			link, err := netsim.Connect(s.sched,
 				s.streams.Stream(fmt.Sprintf("link/sw%d-sw%d", i+1, j+1)),
 				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
 				s.bridges[i].Port(s.meshPort(i, j)), s.bridges[j].Port(s.meshPort(j, i)))
 			if err != nil {
 				return err
 			}
+			s.links = append(s.links, link)
 		}
 	}
 	return nil
@@ -145,6 +207,7 @@ func (s *System) buildNodes() error {
 			func(e hypervisor.Event) {
 				s.log.Append(Event{At: s.sched.Now(), Node: e.Node, VM: e.VM, Kind: e.Kind, Detail: e.Detail})
 			})
+		node.Instrument(s.obs)
 		s.nodes = append(s.nodes, node)
 
 		domains := make([]int, s.cfg.NumDomains())
@@ -156,11 +219,13 @@ func (s *System) buildNodes() error {
 			static := clock.UniformPPB(s.streams.Stream("static/"+vmName), s.cfg.MaxStaticPPB)
 			boot := s.streams.Stream("boot/"+vmName).Float64() * s.cfg.BootOffsetMaxNS
 			nic := netsim.NewNIC(vmName, s.sched, s.newPHC(vmName, static, boot))
-			if _, err := netsim.Connect(s.sched, s.streams.Stream("link/"+vmName),
+			link, err := netsim.Connect(s.sched, s.streams.Stream("link/"+vmName),
 				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
-				nic.Port(), s.bridges[i].Port(s.vmPort(v))); err != nil {
+				nic.Port(), s.bridges[i].Port(s.vmPort(v)))
+			if err != nil {
 				return err
 			}
+			s.links = append(s.links, link)
 			gmDomain := -1
 			if v == 0 && i < s.cfg.NumDomains() {
 				gmDomain = i
@@ -186,6 +251,7 @@ func (s *System) buildNodes() error {
 			if err != nil {
 				return err
 			}
+			stack.Instrument(s.obs)
 			// Precompute the per-domain tracker keys: the observer runs once
 			// per received Sync, and a Sprintf there dominated the system
 			// allocation profile.

@@ -457,3 +457,45 @@ func TestEventLogWriteCSV(t *testing.T) {
 		}
 	}
 }
+
+func TestSystemMetricsSnapshot(t *testing.T) {
+	sys := buildAndStart(t, 103, nil)
+	runFor(t, sys, 30*time.Second)
+
+	byName := map[string]int{}
+	var offsetObservations uint64
+	for _, m := range sys.Metrics().Snapshot() {
+		byName[m.Name]++
+		if m.Name == "ptp4l_offset_ns" && m.Histogram != nil {
+			offsetObservations += m.Histogram.Count
+		}
+	}
+	// One offset histogram per (VM, domain), one FTA counter per VM, one
+	// detection counter per node; kernel and netsim gauges are singletons.
+	cfg := sys.Config()
+	vms := cfg.Nodes * cfg.VMsPerNode
+	for name, want := range map[string]int{
+		"ptp4l_offset_ns":               vms * cfg.NumDomains(),
+		"ptp4l_fta_aggregations":        vms,
+		"hypervisor_monitor_detections": cfg.Nodes,
+		"sim_events_processed":          1,
+		"netsim_frames_forwarded":       1,
+		"netsim_frames_sent":            1,
+	} {
+		if byName[name] != want {
+			t.Errorf("%s: %d series, want %d", name, byName[name], want)
+		}
+	}
+	if offsetObservations == 0 {
+		t.Error("no offset samples observed after 30 s of sync traffic")
+	}
+	// GaugeFunc values must reflect the live kernel counters.
+	for _, m := range sys.Metrics().Snapshot() {
+		if m.Name == "sim_events_processed" && m.Value <= 0 {
+			t.Errorf("sim_events_processed = %v, want > 0", m.Value)
+		}
+		if m.Name == "netsim_frames_sent" && m.Value <= 0 {
+			t.Errorf("netsim_frames_sent = %v, want > 0", m.Value)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"gptpfta/internal/core"
 	"gptpfta/internal/fta"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/sim"
 )
 
@@ -27,6 +28,7 @@ func (c BaselineConfig) withDefaults() BaselineConfig {
 // ComparisonResult contrasts an ablated variant against the paper's
 // architecture on the same seed and horizon.
 type ComparisonResult struct {
+	ObsSnapshot
 	Name string
 	// OursStats / VariantStats are the steady-state precision statistics.
 	OursStats, VariantStats measure.Stats
@@ -64,6 +66,13 @@ func steadyStats(samples []measure.Sample, settleSec, boundNS float64) (measure.
 		}
 	}
 	return measure.ComputeStats(steady), measure.ViolationCount(steady, boundNS), len(steady)
+}
+
+// comparisonObs merges the metrics of the two systems a comparison ran,
+// distinguishing the series with a "variant" label.
+func comparisonObs(ours, variant *core.System) []obs.Metric {
+	ms := obs.AddLabel(ours.Metrics().Snapshot(), "variant", "ours")
+	return append(ms, obs.AddLabel(variant.Metrics().Snapshot(), "variant", "variant")...)
 }
 
 func runSystem(cfg core.Config, d time.Duration, drive func(*core.System)) (*core.System, error) {
@@ -110,6 +119,7 @@ func BaselineNoStartupSync(cfg BaselineConfig) (*ComparisonResult, error) {
 	res := &ComparisonResult{Name: "no-startup-sync baseline (clients only)", BoundNS: limit}
 	res.OursStats, res.OursViolations, res.OursSamples = steadyStats(ours.Collector().Samples(), settle, limit)
 	res.VariantStats, res.VariantViolations, res.VariantSamples = steadyStats(base.Collector().Samples(), settle, limit)
+	res.Obs = comparisonObs(ours, base)
 	return res, nil
 }
 
@@ -150,6 +160,7 @@ func AblationSingleDomainVsFTA(cfg BaselineConfig) (*ComparisonResult, error) {
 	res := &ComparisonResult{Name: "single-domain gPTP vs multi-domain FTA under one Byzantine GM", BoundNS: limit}
 	res.OursStats, res.OursViolations, res.OursSamples = steadyStats(ours.Collector().Samples(), settle, limit)
 	res.VariantStats, res.VariantViolations, res.VariantSamples = steadyStats(single.Collector().Samples(), settle, limit)
+	res.Obs = comparisonObs(ours, single)
 	return res, nil
 }
 
@@ -189,5 +200,6 @@ func AblationFlagPolicy(cfg BaselineConfig) (*ComparisonResult, error) {
 	res := &ComparisonResult{Name: "flag policy: monitor (ours) vs exclude", BoundNS: limit}
 	res.OursStats, res.OursViolations, res.OursSamples = steadyStats(monitor.Collector().Samples(), settle, limit)
 	res.VariantStats, res.VariantViolations, res.VariantSamples = steadyStats(exclude.Collector().Samples(), settle, limit)
+	res.Obs = comparisonObs(monitor, exclude)
 	return res, nil
 }

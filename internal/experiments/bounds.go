@@ -25,6 +25,7 @@ func (c BoundsConfig) withDefaults() BoundsConfig {
 // d_min, d_max, E, Γ, Π and γ (§III-B quotes d_min = 4120 ns,
 // d_max = 9188 ns, E = 5068 ns, Π = 12.636 µs, γ = 1313 ns).
 type BoundsResult struct {
+	ObsSnapshot
 	Config BoundsConfig
 
 	DMin, DMax   time.Duration
@@ -96,5 +97,6 @@ func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
 	res.Bound = fta.Bound(sysCfg.Nodes, sysCfg.F, res.ReadingError, res.DriftOffset)
 	res.Gamma = sys.Collector().Gamma()
 	res.SyncPaths = sys.SyncLatencies().Paths()
+	res.Obs = sys.Metrics().Snapshot()
 	return res, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"gptpfta/internal/obs"
 )
 
 // Result is the contract every experiment result satisfies, so generic
@@ -17,6 +19,26 @@ type Result interface {
 	// further row one record. The shape is stable per experiment.
 	Rows() [][]string
 }
+
+// ObsCarrier is the optional interface a Result implements when it carries
+// an observability snapshot of the simulation that produced it. The
+// command-line tools use it to serve their -metrics flag without per-type
+// special cases.
+type ObsCarrier interface {
+	// ObsMetrics returns the metrics snapshot taken at experiment end.
+	ObsMetrics() []obs.Metric
+}
+
+// ObsSnapshot is the embeddable ObsCarrier implementation: an experiment
+// fills Obs with its system registry's snapshot just before returning.
+// Golden digests hash only Rows() and sample series, so carrying the
+// snapshot cannot perturb determinism checks.
+type ObsSnapshot struct {
+	Obs []obs.Metric
+}
+
+// ObsMetrics implements ObsCarrier.
+func (s *ObsSnapshot) ObsMetrics() []obs.Metric { return s.Obs }
 
 // Experiment is a named, registry-dispatchable study. Implementations wrap
 // the typed entrypoints (CyberResilience, FaultInjection, ...) so that the
@@ -44,8 +66,8 @@ type funcExperiment[C any] struct {
 	run        func(ctx context.Context, cfg C) (Result, error)
 }
 
-func (e *funcExperiment[C]) Name() string                { return e.name }
-func (e *funcExperiment[C]) Description() string         { return e.desc }
+func (e *funcExperiment[C]) Name() string                 { return e.name }
+func (e *funcExperiment[C]) Description() string          { return e.desc }
 func (e *funcExperiment[C]) DefaultConfig(seed int64) any { return e.defaults(seed) }
 
 func (e *funcExperiment[C]) Run(ctx context.Context, cfg any) (Result, error) {

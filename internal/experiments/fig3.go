@@ -37,6 +37,7 @@ func (c CyberResilienceConfig) withDefaults() CyberResilienceConfig {
 
 // CyberResilienceResult is the Fig. 3 output.
 type CyberResilienceResult struct {
+	ObsSnapshot
 	Config CyberResilienceConfig
 
 	// Samples is the per-second measured precision Π*_s.
@@ -172,5 +173,6 @@ func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) 
 			}
 		}
 	}
+	res.Obs = sys.Metrics().Snapshot()
 	return res, nil
 }

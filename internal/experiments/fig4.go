@@ -49,6 +49,7 @@ func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
 
 // FaultInjectionResult is the Fig. 4a/4b (and Fig. 5 input) output.
 type FaultInjectionResult struct {
+	ObsSnapshot
 	Config FaultInjectionConfig
 
 	Samples []measure.Sample
@@ -162,6 +163,7 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	}
 	res.Stats = measure.ComputeStats(steady)
 	res.Violations = measure.ViolationCount(steady, limit)
+	res.Obs = sys.Metrics().Snapshot()
 	return res, nil
 }
 

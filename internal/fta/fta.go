@@ -129,11 +129,27 @@ const (
 	FlagExclude
 )
 
+// AggregateInfo reports what one aggregation step actually did, for
+// observability: how many readings the FTA averaged, how many extreme
+// readings it discarded (2·f_effective), and whether FlagExclude starved
+// the quorum and fell back to all fresh readings.
+type AggregateInfo struct {
+	Used      int  // readings averaged after filtering and discards
+	Discarded int  // extreme readings trimmed by the FTA (2·f_eff)
+	Starved   bool // FlagExclude left < 2f+1 readings and fell back
+}
+
 // Aggregate runs the full FTSHMEM aggregation step: freshness filtering,
 // validity flags, optional exclusion, and the FTA. It returns the
 // aggregated master offset, the flags (indexed like readings), and an error
 // if fewer than 2f+1 usable readings remain.
 func Aggregate(readings []Reading, f int, threshold float64, policy FlagPolicy) (float64, []bool, error) {
+	avg, flags, _, err := AggregateWithInfo(readings, f, threshold, policy)
+	return avg, flags, err
+}
+
+// AggregateWithInfo is Aggregate plus an AggregateInfo describing the step.
+func AggregateWithInfo(readings []Reading, f int, threshold float64, policy FlagPolicy) (float64, []bool, AggregateInfo, error) {
 	flags := ValidityFlags(readings, threshold)
 	usable := make([]float64, 0, len(readings))
 	for i, r := range readings {
@@ -145,9 +161,11 @@ func Aggregate(readings []Reading, f int, threshold float64, policy FlagPolicy) 
 		}
 		usable = append(usable, r.OffsetNS)
 	}
+	var starved bool
 	if policy == FlagExclude && len(usable) < 2*f+1 {
 		// Exclusion starved the quorum; fall back to all fresh readings
 		// so that a burst of disagreement cannot halt synchronisation.
+		starved = true
 		usable = usable[:0]
 		for _, r := range readings {
 			if r.Fresh {
@@ -165,9 +183,10 @@ func Aggregate(readings []Reading, f int, threshold float64, policy FlagPolicy) 
 	if eff < 0 {
 		eff = 0
 	}
+	info := AggregateInfo{Used: len(usable) - 2*eff, Discarded: 2 * eff, Starved: starved}
 	avg, err := Average(usable, eff)
 	if err != nil {
-		return 0, flags, err
+		return 0, flags, AggregateInfo{Starved: starved}, err
 	}
-	return avg, flags, nil
+	return avg, flags, info, nil
 }

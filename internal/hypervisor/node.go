@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gptpfta/internal/clock"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/phc2sys"
 	"gptpfta/internal/ptp4l"
 	"gptpfta/internal/shmem"
@@ -99,6 +100,31 @@ type Node struct {
 	monitor   *sim.Ticker
 	onEvent   func(Event)
 	takeovers uint64
+
+	// failedAt records when each VM went fail-silent, so a subsequent
+	// takeover can report the detection-to-failover latency.
+	failedAt map[int]sim.Time
+
+	// Observability handles (nil and inert unless Instrument was called).
+	obsDetections *obs.Counter
+	obsVoteFlags  *obs.Counter
+	obsFailover   *obs.Histogram
+}
+
+// failoverBuckets spans the monitor's 125 ms period: from sub-period
+// detections up to several periods when no healthy candidate exists.
+var failoverBuckets = []float64{1e6, 1e7, 5e7, 1e8, 1.25e8, 2.5e8, 5e8, 1e9}
+
+// Instrument registers the node's metrics with reg: monitor detections,
+// consistency-vote flags, failover latency, and gauges over takeovers and
+// healthy-VM count. Handles resolve once; nil registries stay inert.
+func (n *Node) Instrument(reg *obs.Registry) {
+	node := obs.L("node", n.name)
+	n.obsDetections = reg.Counter("hypervisor_monitor_detections", node)
+	n.obsVoteFlags = reg.Counter("hypervisor_vote_flags", node)
+	n.obsFailover = reg.Histogram("hypervisor_failover_latency_ns", failoverBuckets, node)
+	reg.GaugeFunc("hypervisor_takeovers", func() float64 { return float64(n.takeovers) }, node)
+	reg.GaugeFunc("hypervisor_healthy_vms", func() float64 { return float64(n.HealthyVMs()) }, node)
 }
 
 // NewNode creates a node. The STSHMEM gets one slot per VM added later.
@@ -185,6 +211,10 @@ func (n *Node) FailVM(i int) error {
 		return fmt.Errorf("hypervisor: VM %s already failed", vm.Name)
 	}
 	vm.failed = true
+	if n.failedAt == nil {
+		n.failedAt = make(map[int]sim.Time)
+	}
+	n.failedAt[i] = n.sched.Now()
 	vm.Stack.Fail()
 	vm.Phc2sys.Stop()
 	n.emit(vm.Name, EventVMFailed, "")
@@ -201,6 +231,7 @@ func (n *Node) RebootVM(i int) error {
 		return fmt.Errorf("hypervisor: VM %s not failed", vm.Name)
 	}
 	vm.failed = false
+	delete(n.failedAt, i)
 	if err := vm.Stack.Reboot(); err != nil {
 		return err
 	}
@@ -221,6 +252,7 @@ func (n *Node) monitorStep() {
 	if n.slotHealthy(active) && !n.votedFaulty(active) {
 		return
 	}
+	n.obsDetections.Inc()
 	// Failover: promote the first healthy, non-outvoted candidate.
 	for i := range n.vms {
 		if i == active {
@@ -229,6 +261,10 @@ func (n *Node) monitorStep() {
 		if n.slotHealthy(i) && !n.votedFaulty(i) {
 			n.st.SetActive(i)
 			n.takeovers++
+			if t, ok := n.failedAt[active]; ok {
+				n.obsFailover.Observe(float64(n.sched.Now().Sub(t)))
+				delete(n.failedAt, active)
+			}
 			// Inject the takeover interrupt into the promoted VM.
 			n.vms[i].Phc2sys.OnTakeover()
 			n.emit(n.vms[i].Name, EventTakeover,
@@ -280,6 +316,7 @@ func (n *Node) votedFaulty(i int) bool {
 		med = (times[len(times)/2-1] + times[len(times)/2]) / 2
 	}
 	if math.Abs(mine-med) > n.mcfg.VoteThresholdNS {
+		n.obsVoteFlags.Inc()
 		n.emit(n.vms[i].Name, EventVoteFlag, fmt.Sprintf("deviation %.0fns", mine-med))
 		return true
 	}

@@ -7,6 +7,7 @@ package netsim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gptpfta/internal/sim"
@@ -62,13 +63,33 @@ type Frame struct {
 // runner executes several in one process), which is safe because a frame
 // is fully overwritten at Get and object identity is never observable to
 // the simulation, so pooling cannot perturb determinism.
-var framePool = sync.Pool{New: func() any { return new(Frame) }}
+var framePool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	return new(Frame)
+}}
+
+// Pool traffic counters. Process-global like the pool itself; the hit rate
+// (gets-news)/gets is an aggregate across all concurrently running
+// simulations, which is what the profiling harness wants to watch.
+var (
+	poolGets atomic.Uint64 // GetFrame + Clone calls
+	poolNews atomic.Uint64 // pool misses that allocated a fresh Frame
+	poolPuts atomic.Uint64 // frames recycled via release
+)
+
+// PoolStats reports cumulative frame-pool traffic: total acquisitions,
+// pool misses (fresh allocations), and recycled frames. The hit rate is
+// (gets-news)/gets. Values are process-wide and monotone.
+func PoolStats() (gets, news, puts uint64) {
+	return poolGets.Load(), poolNews.Load(), poolPuts.Load()
+}
 
 // GetFrame returns a zeroed pool-owned frame. The caller fills in the
 // fields and transmits it; netsim recycles it automatically when it is
 // delivered to a NIC endpoint or dropped in flight. Callers must not
 // retain the frame after handing it to Send/Transmit.
 func GetFrame() *Frame {
+	poolGets.Add(1)
 	f := framePool.Get().(*Frame)
 	f.pooled = true
 	return f
@@ -81,6 +102,7 @@ func (f *Frame) release() {
 		return
 	}
 	*f = Frame{}
+	poolPuts.Add(1)
 	framePool.Put(f)
 }
 
@@ -88,6 +110,7 @@ func (f *Frame) release() {
 // Payloads are treated as immutable once transmitted and are shared
 // between clones.
 func (f *Frame) Clone() *Frame {
+	poolGets.Add(1)
 	c := framePool.Get().(*Frame)
 	*c = *f
 	c.pooled = true

@@ -36,11 +36,16 @@ type Link struct {
 	// lastDelivery enforces per-direction FIFO ordering: a wire cannot
 	// reorder frames, whatever the jitter draw says.
 	lastDelivery [2]sim.Time
+	sent         uint64
 	lost         uint64
 }
 
 // Lost reports how many frames the link dropped.
 func (l *Link) Lost() uint64 { return l.lost }
+
+// Sent reports how many frames were handed to the link for transmission,
+// including those subsequently dropped; delivered frames are Sent - Lost.
+func (l *Link) Sent() uint64 { return l.sent }
 
 // Connect attaches two ports with a link. It returns an error if either
 // port is already attached.
@@ -71,6 +76,7 @@ func (l *Link) Nominal() time.Duration { return l.cfg.Propagation }
 // scheduled after propagation plus jitter; deliveries in one direction
 // never reorder.
 func (l *Link) Send(from *Port, f *Frame) {
+	l.sent++
 	if l.cfg.LossProb > 0 && l.rng != nil && l.rng.Float64() < l.cfg.LossProb {
 		l.lost++
 		f.release()

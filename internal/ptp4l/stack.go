@@ -18,11 +18,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"gptpfta/internal/fta"
 	"gptpfta/internal/gptp"
 	"gptpfta/internal/netsim"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/servo"
 	"gptpfta/internal/shmem"
 	"gptpfta/internal/sim"
@@ -156,6 +158,41 @@ type Stack struct {
 	onEvent      func(Event)
 	syncObserver func(domain int, latency time.Duration)
 	aggregations uint64
+
+	// Observability handles, resolved once by Instrument. All remain nil
+	// (inert no-ops) when the stack is not instrumented.
+	obsOffset     map[int]*obs.Histogram
+	obsAggs       *obs.Counter
+	obsDiscarded  *obs.Counter
+	obsStarved    *obs.Counter
+	obsFlagFlips  *obs.Counter
+	obsServoSteps *obs.Counter
+}
+
+// offsetBuckets covers the offsets seen across the experiments: sub-100 ns
+// steady state out to millisecond-scale start-up transients, symmetric
+// around zero because offsets are signed.
+var offsetBuckets = []float64{-1e6, -1e5, -1e4, -1e3, -100, 0, 100, 1e3, 1e4, 1e5, 1e6}
+
+// Instrument registers the stack's metrics with reg: per-domain offset
+// histograms, FTA aggregation counters, flag flips, servo steps, and
+// gauge funcs sampling the shared PI controller. Handles are resolved once
+// here, never per-update; a nil registry leaves every handle nil, and nil
+// handles are no-ops, so the hot path needs no conditionals.
+func (s *Stack) Instrument(reg *obs.Registry) {
+	vm := obs.L("vm", s.cfg.Name)
+	s.obsOffset = make(map[int]*obs.Histogram, len(s.cfg.Domains))
+	for _, d := range s.cfg.Domains {
+		s.obsOffset[d] = reg.Histogram("ptp4l_offset_ns", offsetBuckets, vm, obs.L("domain", strconv.Itoa(d)))
+	}
+	s.obsAggs = reg.Counter("ptp4l_fta_aggregations", vm)
+	s.obsDiscarded = reg.Counter("ptp4l_fta_discarded", vm)
+	s.obsStarved = reg.Counter("ptp4l_fta_starved", vm)
+	s.obsFlagFlips = reg.Counter("ptp4l_flag_flips", vm)
+	s.obsServoSteps = reg.Counter("ptp4l_servo_steps", vm)
+	reg.GaugeFunc("ptp4l_servo_state", func() float64 { return float64(s.shm.Servo().State()) }, vm)
+	reg.GaugeFunc("ptp4l_servo_drift_ppb", func() float64 { return s.shm.Servo().DriftPPB() }, vm)
+	reg.GaugeFunc("ptp4l_mode", func() float64 { return float64(s.mode) }, vm)
 }
 
 // New creates a stack on nic. onEvent, if non-nil, receives stack events.
@@ -354,6 +391,7 @@ func (s *Stack) onOffset(sample gptp.OffsetSample) {
 	nowPHC := s.nic.PHC().Now()
 	s.shm.StoreOffset(sample, nowPHC)
 	s.stats.addDomain(sample.Domain, sample.OffsetNS)
+	s.obsOffset[sample.Domain].Observe(sample.OffsetNS)
 	switch s.mode {
 	case ModeStartup:
 		s.startupStep(sample, nowPHC)
@@ -456,12 +494,17 @@ func (s *Stack) aggregate(nowPHC float64) {
 		s.shm.StoreOwnDomain(s.cfg.GMDomain, nowPHC)
 	}
 	readings := s.shm.Readings(nowPHC)
-	cs, flags, err := fta.Aggregate(readings, s.cfg.F, s.cfg.ValidityThresholdNS, s.cfg.FlagPolicy)
+	cs, flags, info, err := fta.AggregateWithInfo(readings, s.cfg.F, s.cfg.ValidityThresholdNS, s.cfg.FlagPolicy)
 	s.updateFlags(readings, flags)
+	if info.Starved {
+		s.obsStarved.Inc()
+	}
 	if err != nil {
 		return // too few fresh domains: free-run this interval
 	}
 	s.aggregations++
+	s.obsAggs.Inc()
+	s.obsDiscarded.Add(uint64(info.Discarded))
 	s.stats.aggregate.Add(cs)
 	adj, state := s.shm.Servo().Sample(cs, nowPHC)
 	s.applyServo(cs, adj, state)
@@ -476,6 +519,7 @@ func (s *Stack) applyServo(offset, adjPPB float64, state servo.State) {
 		s.nic.PHC().Step(-offset)
 		s.nic.PHC().AdjFreq(adjPPB)
 		s.stats.freqPPB.Add(adjPPB)
+		s.obsServoSteps.Inc()
 		s.emit(EventServoStep, fmt.Sprintf("%.0fns", -offset))
 	case servo.StateLocked:
 		s.nic.PHC().AdjFreq(adjPPB)
@@ -488,9 +532,6 @@ func (s *Stack) Statistics() *Statistics { return s.stats }
 
 func (s *Stack) updateFlags(readings []fta.Reading, flags []bool) {
 	s.shm.SetFlags(flags)
-	if s.onEvent == nil {
-		return
-	}
 	changed := len(s.lastFlags) != len(flags)
 	if !changed {
 		for i := range flags {
@@ -501,13 +542,16 @@ func (s *Stack) updateFlags(readings []fta.Reading, flags []bool) {
 		}
 	}
 	if changed {
-		detail := ""
-		for i, fl := range flags {
-			if !fl && readings[i].Fresh {
-				detail += fmt.Sprintf("domain %d invalid (offset %.0fns); ", readings[i].Domain, readings[i].OffsetNS)
+		s.obsFlagFlips.Inc()
+		if s.onEvent != nil {
+			detail := ""
+			for i, fl := range flags {
+				if !fl && readings[i].Fresh {
+					detail += fmt.Sprintf("domain %d invalid (offset %.0fns); ", readings[i].Domain, readings[i].OffsetNS)
+				}
 			}
+			s.emit(EventFlagChange, detail)
 		}
-		s.emit(EventFlagChange, detail)
 	}
 	s.lastFlags = append(s.lastFlags[:0], flags...)
 }

@@ -25,6 +25,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"gptpfta/internal/obs"
 )
 
 // Run is one independent unit of work: typically a full simulation campaign
@@ -66,7 +68,21 @@ func (o Outcome) Failed() bool { return o.Err != nil }
 // Pool executes runs on a fixed number of workers.
 type Pool struct {
 	workers int
+
+	// Campaign metrics, resolved once by WithMetrics; nil handles are
+	// inert, so Execute records unconditionally. The registry must be the
+	// campaign's own (e.g. the CLI's), never a simulation's: outcomes of
+	// concurrent runs are recorded from worker goroutines.
+	mRuns     *obs.Counter
+	mFailed   *obs.Counter
+	mPanicked *obs.Counter
+	mSkipped  *obs.Counter
+	mWall     *obs.Histogram
 }
+
+// wallBuckets spans experiment wall times from milliseconds (smoke scales)
+// to minutes (full-length campaigns), in seconds.
+var wallBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300}
 
 // New returns a pool with the given worker count; n <= 0 selects
 // GOMAXPROCS.
@@ -77,8 +93,37 @@ func New(n int) *Pool {
 	return &Pool{workers: n}
 }
 
+// WithMetrics instruments the pool: run counts by outcome class and a
+// wall-time histogram, registered with reg. It returns the pool for
+// chaining; a nil registry is a no-op.
+func (p *Pool) WithMetrics(reg *obs.Registry) *Pool {
+	p.mRuns = reg.Counter("runner_runs_total")
+	p.mFailed = reg.Counter("runner_runs_failed")
+	p.mPanicked = reg.Counter("runner_runs_panicked")
+	p.mSkipped = reg.Counter("runner_runs_skipped")
+	p.mWall = reg.Histogram("runner_run_wall_seconds", wallBuckets)
+	return p
+}
+
 // Workers reports the configured worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// record updates the pool's campaign metrics for one outcome. Counter and
+// histogram updates are atomic, so workers record concurrently.
+func (p *Pool) record(o Outcome) {
+	p.mRuns.Inc()
+	switch {
+	case o.Skipped:
+		p.mSkipped.Inc()
+	case o.Panicked:
+		p.mPanicked.Inc()
+	case o.Err != nil:
+		p.mFailed.Inc()
+	}
+	if !o.Skipped {
+		p.mWall.Observe(o.Wall.Seconds())
+	}
+}
 
 // Execute runs every Run and returns their outcomes in submission order.
 // It always returns len(runs) outcomes; individual failures (including
@@ -103,6 +148,7 @@ func (p *Pool) Execute(ctx context.Context, runs []Run) []Outcome {
 			defer wg.Done()
 			for i := range jobs {
 				outcomes[i] = execute(ctx, epoch, i, runs[i])
+				p.record(outcomes[i])
 			}
 		}()
 	}
@@ -124,6 +170,7 @@ feed:
 	// normalise those to the same skipped shape.
 	for i := next; i < len(runs); i++ {
 		outcomes[i] = Outcome{Name: runs[i].Name, Index: i, Err: ctx.Err(), Skipped: true}
+		p.record(outcomes[i])
 	}
 	return outcomes
 }

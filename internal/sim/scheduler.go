@@ -91,6 +91,8 @@ type Scheduler struct {
 	// pastClamps counts At calls that asked for an instant already in the
 	// past and were clamped to now — usually a causality bug upstream.
 	pastClamps uint64
+	// cancels counts effective Cancel calls (stale handles excluded).
+	cancels uint64
 }
 
 // NewScheduler returns a scheduler positioned at the simulation epoch.
@@ -116,10 +118,14 @@ func (s *Scheduler) Drained() bool { return s.live == 0 }
 // causality bug in a component; core.System surfaces it at teardown.
 func (s *Scheduler) PastClamps() uint64 { return s.pastClamps }
 
+// Cancelled reports how many events were cancelled before firing.
+func (s *Scheduler) Cancelled() uint64 { return s.cancels }
+
 // Diagnostics is a point-in-time snapshot of kernel internals, exposed for
 // the profiling harness and teardown logging.
 type Diagnostics struct {
 	Processed  uint64 // events fired
+	Cancelled  uint64 // events cancelled before firing
 	PastClamps uint64 // At calls clamped to now
 	Pending    int    // live queued events
 	QueueLen   int    // heap entries including lazily-deleted ones
@@ -130,6 +136,7 @@ type Diagnostics struct {
 func (s *Scheduler) Diag() Diagnostics {
 	return Diagnostics{
 		Processed:  s.processed,
+		Cancelled:  s.cancels,
 		PastClamps: s.pastClamps,
 		Pending:    s.live,
 		QueueLen:   len(s.heap),
@@ -232,6 +239,7 @@ func (s *Scheduler) Cancel(id EventID) {
 		return
 	}
 	sl.cancelled = true
+	s.cancels++
 	sl.bumpGen()
 	sl.fn, sl.afn, sl.arg = nil, nil, nil
 	if sl.heapIdx >= 0 {

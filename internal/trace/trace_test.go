@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
@@ -79,6 +80,56 @@ func TestReadAllErrors(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-5]
 	if _, err := ReadAll(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated record accepted")
+	}
+}
+
+// corrupt builds a byte stream from the trace magic plus raw tail bytes.
+func corrupt(tail ...byte) *bytes.Reader {
+	return bytes.NewReader(append(append([]byte{}, magic...), tail...))
+}
+
+func TestReadAllCorruptFiles(t *testing.T) {
+	// A short file that is a strict prefix of the magic is not a valid
+	// capture: ReadFull fails with ErrUnexpectedEOF, not a silent success.
+	if _, err := ReadAll(strings.NewReader(string(magic[:4]))); err == nil {
+		t.Fatal("partial magic accepted")
+	}
+	// Magic followed by a short record header (header is 14 bytes).
+	if _, err := ReadAll(corrupt(1, 2, 3, 4, 5)); err == nil || !strings.Contains(err.Error(), "record header") {
+		t.Fatalf("short header: %v", err)
+	}
+	// Implausible name length (> 256) must be rejected before allocating.
+	hdr := make([]byte, 14)
+	binary.BigEndian.PutUint16(hdr[8:10], 300)
+	if _, err := ReadAll(corrupt(hdr...)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible name length: %v", err)
+	}
+	// Implausible wire length (> 64 KiB) likewise.
+	binary.BigEndian.PutUint16(hdr[8:10], 3)
+	binary.BigEndian.PutUint32(hdr[10:14], 1<<20)
+	if _, err := ReadAll(corrupt(hdr...)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible wire length: %v", err)
+	}
+	// A record claiming more body bytes than the file holds.
+	binary.BigEndian.PutUint32(hdr[10:14], 100)
+	if _, err := ReadAll(corrupt(append(hdr, 'c', '2', '2')...)); err == nil || !strings.Contains(err.Error(), "record body") {
+		t.Fatalf("truncated body: %v", err)
+	}
+}
+
+func TestReadAllTruncatedKeepsNothing(t *testing.T) {
+	// Two valid records, then cut the stream mid-second-record: ReadAll
+	// reports the corruption rather than returning the valid prefix, so
+	// callers cannot mistake a truncated capture for a complete one.
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Capture(0, "c22", &netsim.Frame{Src: "nic/c11", Payload: &gptp.Sync{Seq: 1}})
+	rec.Capture(1, "c22", &netsim.Frame{Src: "nic/c11", Payload: &gptp.Sync{Seq: 2}})
+	full := buf.Len()
+	for cut := full - 1; cut > full-10; cut-- {
+		if _, err := ReadAll(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", cut, full)
+		}
 	}
 }
 
