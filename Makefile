@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-all bench-smoke determinism profile verify ci
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -66,7 +66,18 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
 verify: build fmt-check vet test
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/... ./internal/obs/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/... \
+		./internal/obs/... ./internal/chaos/... ./internal/ptp4l/...
+
+# Chaos smoke: a 10-minute-sim-time fault-injection campaign driven by the
+# committed example scenario plan, with the holdover watchdog armed. Fails
+# on a non-zero exit or an empty metrics snapshot.
+chaos-smoke:
+	@mkdir -p .chaos-smoke
+	$(GO) run ./cmd/faultinjection -duration 10m -chaos examples/partition.json \
+		-holdover-window 2s -metrics .chaos-smoke/metrics.jsonl > .chaos-smoke/log.txt
+	@test -s .chaos-smoke/metrics.jsonl || { echo "chaos-smoke: empty metrics snapshot"; exit 1; }
+	@echo "chaos-smoke: ok ($$(wc -l < .chaos-smoke/metrics.jsonl) metric lines)"
 
 # Everything the CI workflow runs, in one local command.
-ci: verify determinism bench-smoke
+ci: verify determinism bench-smoke chaos-smoke

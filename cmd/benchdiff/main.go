@@ -241,11 +241,24 @@ func diffMetrics(oldPath, newPath string, opt options, w io.Writer) (int, error)
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// Series present in only one snapshot are informational, never a
+	// regression or an error: a chaos-only run adds counters (and a plain
+	// run lacks them) without breaking the diff.
+	removed := make([]string, 0)
+	for k := range oldVals {
+		if _, ok := newVals[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Fprintf(w, "  removed %s: only in baseline\n", k)
+	}
 	regressions := 0
 	for _, k := range keys {
 		oldV, ok := oldVals[k]
 		if !ok {
-			fmt.Fprintf(w, "  new    %s: no baseline\n", k)
+			fmt.Fprintf(w, "  added  %s: no baseline\n", k)
 			continue
 		}
 		// Per-series overrides key on the metric name without the run tag.

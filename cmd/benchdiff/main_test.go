@@ -135,6 +135,36 @@ func TestMetricsModeDriftBothDirections(t *testing.T) {
 	}
 }
 
+// TestMetricsModeOneSidedSeries pins the chaos-composition contract: series
+// present in only one snapshot (e.g. chaos_actions counters from a -chaos
+// run diffed against a plain baseline) are reported as added/removed and
+// never fail the comparison.
+func TestMetricsModeOneSidedSeries(t *testing.T) {
+	plain := snapshotFile(t, "plain.jsonl", func(r *obs.Registry) {
+		r.Counter("frames", obs.L("node", "sw1")).Add(100)
+	})
+	withChaos := snapshotFile(t, "chaos.jsonl", func(r *obs.Registry) {
+		r.Counter("frames", obs.L("node", "sw1")).Add(100)
+		r.Counter("chaos_actions", obs.L("op", "partition")).Add(3)
+	})
+
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", plain, withChaos}, &out); err != nil {
+		t.Fatalf("added series must be informational, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "added  run1 chaos_actions") {
+		t.Fatalf("added series not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-metrics", withChaos, plain}, &out); err != nil {
+		t.Fatalf("removed series must be informational, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "removed run1 chaos_actions") {
+		t.Fatalf("removed series not reported:\n%s", out.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	if err := run([]string{"only-one.json"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("one input must be a usage error")

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	faultinjection [-seed N] [-duration 24h] [-gm-period 30m]
+//	faultinjection [-seed N] [-duration 24h] [-gm-period 30m] [-chaos plan.json] [-holdover-window 2s]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"gptpfta/internal/chaos"
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/measure"
 	"gptpfta/internal/obs"
@@ -36,6 +37,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 24*time.Hour, "campaign duration")
 	gmPeriod := fs.Duration("gm-period", 30*time.Minute, "interval between grandmaster shutdowns")
 	fig5 := fs.Duration("fig5-window", time.Hour, "event window width around the max spike")
+	chaosPath := fs.String("chaos", "", "network chaos scenario plan (JSON) to run alongside the VM campaign")
+	holdover := fs.Duration("holdover-window", 0, "arm the ptp4l holdover watchdog with this quorum-starvation window (0 = off)")
 	csvDir := fs.String("csv", "", "directory to write samples.csv, windows.csv and histogram.csv into")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric) to this file")
 	profCfg := &prof.Config{}
@@ -55,11 +58,22 @@ func run(args []string) error {
 		}
 	}()
 
+	var plan *chaos.Plan
+	if *chaosPath != "" {
+		plan, err = chaos.Load(*chaosPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chaos plan %q: %d actions\n", plan.Name, len(plan.Actions))
+	}
+
 	fmt.Printf("=== Fig. 4 / Fig. 5 — fault injection, seed %d, duration %v ===\n", *seed, *duration)
 	res, err := experiments.FaultInjection(experiments.FaultInjectionConfig{
-		Seed:     *seed,
-		Duration: *duration,
-		GMPeriod: *gmPeriod,
+		Seed:           *seed,
+		Duration:       *duration,
+		GMPeriod:       *gmPeriod,
+		ChaosPlan:      plan,
+		HoldoverWindow: *holdover,
 	})
 	if err != nil {
 		return err

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	resilience [-seed N | -seeds 1,2,3] [-parallel N] [-duration 1h] [-diverse] [-series]
+//	resilience [-seed N | -seeds 1,2,3] [-parallel N] [-duration 1h] [-diverse] [-series] [-chaos plan.json]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"gptpfta/internal/chaos"
 	"gptpfta/internal/experiments"
 	"gptpfta/internal/obs"
 	"gptpfta/internal/prof"
@@ -44,6 +45,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
 	series := fs.Bool("series", true, "print the ASCII precision series (single-seed runs only)")
+	chaosPath := fs.String("chaos", "", "network chaos scenario plan (JSON) to run alongside the exploits")
+	holdover := fs.Duration("holdover-window", 0, "arm the ptp4l holdover watchdog with this quorum-starvation window (0 = off)")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per seed) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -61,6 +64,15 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "resilience:", perr)
 		}
 	}()
+
+	var plan *chaos.Plan
+	if *chaosPath != "" {
+		plan, err = chaos.Load(*chaosPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chaos plan %q: %d actions\n", plan.Name, len(plan.Actions))
+	}
 
 	seeds := []int64{*seed}
 	if *seedList != "" {
@@ -88,6 +100,8 @@ func run(args []string) error {
 				Seed:           s,
 				Duration:       *duration,
 				DiverseKernels: *diverse,
+				ChaosPlan:      plan,
+				HoldoverWindow: *holdover,
 			})
 			if err != nil {
 				return nil, err

@@ -60,6 +60,15 @@ type Config struct {
 	ValidityThresholdNS float64
 	FlagPolicy          fta.FlagPolicy
 
+	// Holdover (graceful degradation under quorum starvation). Zero
+	// HoldoverWindow keeps the legacy free-run behavior; see
+	// ptp4l.Config.HoldoverWindow. The paper's default config leaves this
+	// off — chaos experiments opt in.
+	HoldoverWindow       time.Duration
+	ReacquireThresholdNS float64
+	ReacquireStableCount int
+	HoldoverMaxSlewPPB   float64
+
 	// Transient software fault probabilities (per Sync).
 	TxTimestampTimeoutProb float64
 	DeadlineMissProb       float64

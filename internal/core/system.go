@@ -24,10 +24,15 @@ type System struct {
 
 	bridges []*netsim.Bridge
 	links   []*netsim.Link
-	relays  []*gptp.Relay
-	nodes   []*hypervisor.Node
-	vms     map[string]*hypervisor.CSVM
-	agents  map[string]*measure.Agent
+	// linkByName and bridgeByName expose the topology to the chaos engine:
+	// mesh links are named "sw1-sw2" (lower index first), VM uplinks after
+	// their VM ("c11"), bridges "sw1".."swN".
+	linkByName   map[string]*netsim.Link
+	bridgeByName map[string]*netsim.Bridge
+	relays       []*gptp.Relay
+	nodes        []*hypervisor.Node
+	vms          map[string]*hypervisor.CSVM
+	agents       map[string]*measure.Agent
 
 	collector *measure.Collector
 	log       *EventLog
@@ -52,14 +57,16 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	s := &System{
-		cfg:     cfg,
-		sched:   sim.NewScheduler(),
-		streams: sim.NewStreams(cfg.Seed),
-		vms:     make(map[string]*hypervisor.CSVM),
-		agents:  make(map[string]*measure.Agent),
-		log:     NewEventLog(),
-		syncLat: measure.NewLatencyTracker(),
-		obs:     obs.NewRegistry(),
+		cfg:          cfg,
+		sched:        sim.NewScheduler(),
+		streams:      sim.NewStreams(cfg.Seed),
+		vms:          make(map[string]*hypervisor.CSVM),
+		agents:       make(map[string]*measure.Agent),
+		linkByName:   make(map[string]*netsim.Link),
+		bridgeByName: make(map[string]*netsim.Bridge),
+		log:          NewEventLog(),
+		syncLat:      measure.NewLatencyTracker(),
+		obs:          obs.NewRegistry(),
 	}
 	if err := s.buildBridges(); err != nil {
 		return nil, err
@@ -120,6 +127,16 @@ func (s *System) instrumentKernel() {
 		}
 		return float64(n)
 	})
+	reg.GaugeFunc("netsim_frames_fault_dropped", func() float64 {
+		var n uint64
+		for _, l := range s.links {
+			n += l.FaultDropped()
+		}
+		for _, b := range s.bridges {
+			n += b.FaultDropped()
+		}
+		return float64(n)
+	})
 	// The frame pool is process-global (shared across concurrently running
 	// simulations); its hit rate is an aggregate, not per-system.
 	reg.GaugeFunc("netsim_pool_hit_rate", func() float64 {
@@ -173,21 +190,37 @@ func (s *System) buildBridges() error {
 		br := netsim.NewBridge(name, s.sched, s.streams.Stream("br/"+name),
 			s.newPHC(name, static, 0), netsim.BridgeConfig{Ports: ports, Residence: residence})
 		s.bridges = append(s.bridges, br)
+		s.bridgeByName[name] = br
 	}
 	// Full mesh between the integrated switches.
 	for i := 0; i < s.cfg.Nodes; i++ {
 		for j := i + 1; j < s.cfg.Nodes; j++ {
+			linkName := fmt.Sprintf("sw%d-sw%d", i+1, j+1)
 			link, err := netsim.Connect(s.sched,
-				s.streams.Stream(fmt.Sprintf("link/sw%d-sw%d", i+1, j+1)),
-				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
+				s.streams.Stream("link/"+linkName),
+				s.linkConfig(linkName),
 				s.bridges[i].Port(s.meshPort(i, j)), s.bridges[j].Port(s.meshPort(j, i)))
 			if err != nil {
 				return err
 			}
 			s.links = append(s.links, link)
+			s.linkByName[linkName] = link
 		}
 	}
 	return nil
+}
+
+// linkConfig builds the shared link parameters plus a dedicated per-link
+// loss stream. The loss stream is private to the drop decision (see the
+// LinkConfig.LossRNG determinism contract), so installing zero-rate chaos
+// loss models leaves the jitter stream — and the golden digests — intact.
+func (s *System) linkConfig(name string) netsim.LinkConfig {
+	return netsim.LinkConfig{
+		Propagation: s.cfg.LinkPropagation,
+		JitterNS:    s.cfg.LinkJitterNS,
+		LossProb:    s.cfg.LinkLossProb,
+		LossRNG:     s.streams.Stream("loss/" + name),
+	}
 }
 
 func (s *System) buildNodes() error {
@@ -220,12 +253,13 @@ func (s *System) buildNodes() error {
 			boot := s.streams.Stream("boot/"+vmName).Float64() * s.cfg.BootOffsetMaxNS
 			nic := netsim.NewNIC(vmName, s.sched, s.newPHC(vmName, static, boot))
 			link, err := netsim.Connect(s.sched, s.streams.Stream("link/"+vmName),
-				netsim.LinkConfig{Propagation: s.cfg.LinkPropagation, JitterNS: s.cfg.LinkJitterNS, LossProb: s.cfg.LinkLossProb},
+				s.linkConfig(vmName),
 				nic.Port(), s.bridges[i].Port(s.vmPort(v)))
 			if err != nil {
 				return err
 			}
 			s.links = append(s.links, link)
+			s.linkByName[vmName] = link
 			gmDomain := -1
 			if v == 0 && i < s.cfg.NumDomains() {
 				gmDomain = i
@@ -241,6 +275,10 @@ func (s *System) buildNodes() error {
 				StartupThresholdNS:     s.cfg.StartupThresholdNS,
 				ValidityThresholdNS:    s.cfg.ValidityThresholdNS,
 				FlagPolicy:             s.cfg.FlagPolicy,
+				HoldoverWindow:         s.cfg.HoldoverWindow,
+				ReacquireThresholdNS:   s.cfg.ReacquireThresholdNS,
+				ReacquireStableCount:   s.cfg.ReacquireStableCount,
+				HoldoverMaxSlewPPB:     s.cfg.HoldoverMaxSlewPPB,
 				TxTimestampTimeoutProb: s.cfg.TxTimestampTimeoutProb,
 				DeadlineMissProb:       s.cfg.DeadlineMissProb,
 				SkipStartup:            s.cfg.BaselineClientsOnly,
@@ -449,6 +487,17 @@ func (s *System) Streams() *sim.Streams { return s.streams }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Link resolves a named link (chaos.Topology): "sw1-sw2" mesh links, VM
+// uplinks by VM name ("c11"). Nil if unknown.
+func (s *System) Link(name string) *netsim.Link { return s.linkByName[name] }
+
+// Bridge resolves a named bridge (chaos.Topology): "sw1".."swN".
+func (s *System) Bridge(name string) *netsim.Bridge { return s.bridgeByName[name] }
+
+// Links returns every named link (chaos.Topology). The map is the
+// system's own index; callers must not mutate it.
+func (s *System) Links() map[string]*netsim.Link { return s.linkByName }
 
 // Node returns node i.
 func (s *System) Node(i int) *hypervisor.Node { return s.nodes[i] }

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"testing"
+
+	"gptpfta/internal/chaos"
+	"gptpfta/internal/core"
+)
+
+// The chaos engine manipulates the system through this interface.
+var _ chaos.Topology = (*core.System)(nil)
+
+func TestTopologyNamesResolve(t *testing.T) {
+	sys, err := core.NewSystem(core.NewConfig(1))
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+
+	// 4-node full mesh: C(4,2) = 6 switch links, plus 4×2 VM uplinks.
+	if got, want := len(sys.Links()), 14; got != want {
+		t.Fatalf("Links() has %d entries, want %d", got, want)
+	}
+	for _, name := range []string{"sw1-sw2", "sw1-sw4", "sw3-sw4", "c11", "c42"} {
+		if sys.Link(name) == nil {
+			t.Errorf("Link(%q) = nil, want resolved", name)
+		}
+	}
+	for _, name := range []string{"sw1", "sw2", "sw3", "sw4"} {
+		if sys.Bridge(name) == nil {
+			t.Errorf("Bridge(%q) = nil, want resolved", name)
+		}
+	}
+	if sys.Link("sw2-sw1") != nil {
+		t.Error("mesh links are canonically named low-high; sw2-sw1 should not resolve")
+	}
+	if sys.Link("nope") != nil || sys.Bridge("nope") != nil {
+		t.Error("unknown names must resolve to nil")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gptpfta/internal/attack"
+	"gptpfta/internal/chaos"
 	"gptpfta/internal/core"
 	"gptpfta/internal/measure"
 	"gptpfta/internal/sim"
@@ -26,6 +27,12 @@ type CyberResilienceConfig struct {
 	// DiverseKernels selects the Fig. 3b scenario: only c41 keeps the
 	// exploitable kernel; Fig. 3a (false) uses identical kernels.
 	DiverseKernels bool
+	// ChaosPlan optionally runs a network chaos scenario alongside the
+	// exploits.
+	ChaosPlan *chaos.Plan
+	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
+	// runs (zero keeps the paper's free-run default).
+	HoldoverWindow time.Duration
 }
 
 func (c CyberResilienceConfig) withDefaults() CyberResilienceConfig {
@@ -107,6 +114,7 @@ func (r CyberResilienceResult) Rows() [][]string {
 func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) {
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
+	sysCfg.HoldoverWindow = cfg.HoldoverWindow
 	if cfg.DiverseKernels {
 		sysCfg.DiversifyKernels("c41")
 	}
@@ -116,6 +124,17 @@ func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) 
 	}
 	if err := sys.Start(); err != nil {
 		return nil, err
+	}
+	var eng *chaos.Engine
+	if cfg.ChaosPlan != nil {
+		eng, err = chaos.New(sys.Scheduler(), sys, cfg.ChaosPlan)
+		if err != nil {
+			return nil, err
+		}
+		eng.Instrument(sys.Metrics())
+		if err := eng.Start(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Scale the paper's attack instants (21:42 and 31:52 into 1 h).
@@ -142,6 +161,9 @@ func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) 
 
 	if err := sys.RunFor(cfg.Duration); err != nil {
 		return nil, err
+	}
+	if eng != nil {
+		eng.Stop()
 	}
 
 	res.Samples = sys.Collector().Samples()

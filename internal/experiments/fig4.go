@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"gptpfta/internal/chaos"
 	"gptpfta/internal/core"
 	"gptpfta/internal/faultinject"
 	"gptpfta/internal/gptp"
@@ -26,6 +27,12 @@ type FaultInjectionConfig struct {
 	RedundantMaxPerHour float64
 	// Downtime of a failed VM before reboot.
 	Downtime time.Duration
+	// ChaosPlan optionally composes a network chaos scenario with the VM
+	// campaign; its actions are counted in Injection.NetworkFaults.
+	ChaosPlan *chaos.Plan
+	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
+	// campaigns (zero keeps the paper's free-run default).
+	HoldoverWindow time.Duration
 }
 
 func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
@@ -107,7 +114,9 @@ func (r *FaultInjectionResult) Rows() [][]string {
 // failing over and VMs rebooting, for the configured duration.
 func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	cfg = cfg.withDefaults()
-	sys, err := core.NewSystem(core.NewConfig(cfg.Seed))
+	sysCfg := core.NewConfig(cfg.Seed)
+	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	sys, err := core.NewSystem(sysCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -134,10 +143,25 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	if err := inj.Start(); err != nil {
 		return nil, err
 	}
+	var eng *chaos.Engine
+	if cfg.ChaosPlan != nil {
+		eng, err = chaos.New(sys.Scheduler(), sys, cfg.ChaosPlan)
+		if err != nil {
+			return nil, err
+		}
+		eng.Instrument(sys.Metrics())
+		eng.SetActionObserver(func(chaos.Action) { inj.NoteNetworkFault() })
+		if err := eng.Start(); err != nil {
+			return nil, err
+		}
+	}
 	if err := sys.RunFor(cfg.Duration); err != nil {
 		return nil, err
 	}
 	inj.Stop()
+	if eng != nil {
+		eng.Stop()
+	}
 
 	res := &FaultInjectionResult{Config: cfg, Events: sys.EventLog()}
 	res.Samples = sys.Collector().Samples()

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"gptpfta/internal/chaos"
+	"gptpfta/internal/core"
+	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
+	"gptpfta/internal/runner"
+)
+
+// NetworkChaosConfig parameterises the network chaos campaign: a sweep of
+// Gilbert–Elliott burst-loss intensities and network partition durations
+// against the paper's precision bounds, with the shared servo's holdover
+// mode armed.
+type NetworkChaosConfig struct {
+	Seed int64
+	// Duration of each sweep point's run.
+	Duration time.Duration
+	// ChaosStart delays the first fault, letting the system converge.
+	ChaosStart time.Duration
+	// BurstBadLoss sweeps the bad-state loss rate of a periodic burst-loss
+	// storm on every mesh link.
+	BurstBadLoss []float64
+	// PartitionDurations sweeps how long the mesh stays split into
+	// {sw1, sw2} | {sw3, sw4}.
+	PartitionDurations []time.Duration
+	// HoldoverWindow arms the ptp4l holdover watchdog (§ DESIGN.md "Chaos
+	// scenarios"); zero would leave the legacy free-run behavior.
+	HoldoverWindow time.Duration
+	// PlanPath optionally runs one custom plan file instead of the built-in
+	// sweep.
+	PlanPath string
+	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
+	// sequential); the table is identical for every value.
+	Parallel int
+}
+
+func (c NetworkChaosConfig) withDefaults() NetworkChaosConfig {
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Minute
+	}
+	if c.ChaosStart <= 0 {
+		c.ChaosStart = 3 * time.Minute
+	}
+	if len(c.BurstBadLoss) == 0 && c.PlanPath == "" {
+		c.BurstBadLoss = []float64{0.25, 0.9}
+	}
+	if len(c.PartitionDurations) == 0 && c.PlanPath == "" {
+		c.PartitionDurations = []time.Duration{time.Second, 30 * time.Second}
+	}
+	if c.HoldoverWindow <= 0 {
+		c.HoldoverWindow = 2 * time.Second
+	}
+	return c
+}
+
+// ChaosPoint is one sweep point's outcome: precision statistics plus the
+// chaos and holdover accounting read back from the obs registry.
+type ChaosPoint struct {
+	Label           string
+	MeanPrecisionNS float64
+	MaxPrecisionNS  float64
+	BoundNS         float64
+	Violations      int
+	Samples         int
+
+	ChaosActions int
+	// FaultDropped counts frames killed by downed links and failed bridges;
+	// FramesLost counts stochastic (burst) loss.
+	FaultDropped    int
+	FramesLost      int
+	HoldoverEntered int
+	HoldoverExited  int
+}
+
+// NetworkChaosResult is the sweep table plus the last point's metrics
+// snapshot.
+type NetworkChaosResult struct {
+	ObsSnapshot
+	Config NetworkChaosConfig
+	Points []ChaosPoint
+}
+
+// Summary renders the campaign's one-line verdict.
+func (r *NetworkChaosResult) Summary() string {
+	var actions, entered, exited, violations int
+	for _, p := range r.Points {
+		actions += p.ChaosActions
+		entered += p.HoldoverEntered
+		exited += p.HoldoverExited
+		violations += p.Violations
+	}
+	return fmt.Sprintf(
+		"network chaos (%d points, %d actions): holdover entered %d / exited %d; %d samples beyond Π+γ in total",
+		len(r.Points), actions, entered, exited, violations)
+}
+
+// Rows renders the sweep table.
+func (r *NetworkChaosResult) Rows() [][]string {
+	rows := [][]string{{
+		"label", "mean_ns", "max_ns", "bound_ns", "violations", "samples",
+		"chaos_actions", "fault_dropped", "frames_lost", "holdover_entered", "holdover_exited",
+	}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.0f", p.MeanPrecisionNS),
+			fmt.Sprintf("%.0f", p.MaxPrecisionNS),
+			fmt.Sprintf("%.0f", p.BoundNS),
+			strconv.Itoa(p.Violations),
+			strconv.Itoa(p.Samples),
+			strconv.Itoa(p.ChaosActions),
+			strconv.Itoa(p.FaultDropped),
+			strconv.Itoa(p.FramesLost),
+			strconv.Itoa(p.HoldoverEntered),
+			strconv.Itoa(p.HoldoverExited),
+		})
+	}
+	return rows
+}
+
+// meshLinkNames lists the full-mesh switch links of the paper's 4-node
+// testbed in canonical low-high order.
+func meshLinkNames() []string {
+	return []string{"sw1-sw2", "sw1-sw3", "sw1-sw4", "sw2-sw3", "sw2-sw4", "sw3-sw4"}
+}
+
+// burstPlan storms every mesh link with Gilbert–Elliott burst loss: one
+// minute of storm every two minutes, starting at chaosStart.
+func burstPlan(badLoss float64, chaosStart time.Duration) *chaos.Plan {
+	return &chaos.Plan{
+		Name: fmt.Sprintf("burst bad=%.2f", badLoss),
+		Actions: []chaos.Action{{
+			Op:        chaos.OpBurstLoss,
+			Links:     meshLinkNames(),
+			Every:     chaos.Duration(2 * time.Minute),
+			Start:     chaos.Duration(chaosStart),
+			Duration:  chaos.Duration(time.Minute),
+			BadLoss:   badLoss,
+			GoodToBad: 0.05,
+			BadToGood: 0.2,
+		}},
+	}
+}
+
+// partitionPlan splits the mesh into {sw1, sw2} | {sw3, sw4} for d. The
+// measurement VM (c22, on the sw2 side) then sees only two fresh domains —
+// below the 2f+1 = 3 quorum — so a partition longer than the holdover
+// window drives its servo into holdover.
+func partitionPlan(d, chaosStart time.Duration) *chaos.Plan {
+	return &chaos.Plan{
+		Name: fmt.Sprintf("partition %v", d),
+		Actions: []chaos.Action{{
+			Op:       chaos.OpPartition,
+			Groups:   [][]string{{"sw1", "sw2"}, {"sw3", "sw4"}},
+			At:       chaos.Duration(chaosStart),
+			Duration: chaos.Duration(d),
+		}},
+	}
+}
+
+// sumMetric totals a metric's value across all label sets in a snapshot.
+func sumMetric(ms []obs.Metric, name string) int {
+	var s float64
+	for _, m := range ms {
+		if m.Name == name {
+			s += m.Value
+		}
+	}
+	return int(s)
+}
+
+// NetworkChaos runs the chaos campaign: every burst-loss intensity and
+// every partition duration as an independent same-seed run, each executing
+// its scenario plan against the full system with holdover armed. Two runs
+// of the same config are byte-identical (the engine consumes no
+// randomness; all stochastic loss draws come from the per-link seeded loss
+// streams).
+func NetworkChaos(ctx context.Context, cfg NetworkChaosConfig) (*NetworkChaosResult, error) {
+	cfg = cfg.withDefaults()
+
+	var plans []*chaos.Plan
+	if cfg.PlanPath != "" {
+		p, err := chaos.Load(cfg.PlanPath)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	} else {
+		for _, bad := range cfg.BurstBadLoss {
+			plans = append(plans, burstPlan(bad, cfg.ChaosStart))
+		}
+		for _, d := range cfg.PartitionDurations {
+			plans = append(plans, partitionPlan(d, cfg.ChaosStart))
+		}
+	}
+
+	res := &NetworkChaosResult{Config: cfg}
+	runs := make([]runner.Run, len(plans))
+	snapshots := make([][]obs.Metric, len(plans))
+	for i := range plans {
+		i := i
+		runs[i] = runner.Run{Name: plans[i].Name, Do: func(context.Context) (any, error) {
+			point, snap, err := chaosPoint(cfg, plans[i])
+			snapshots[i] = snap
+			return point, err
+		}}
+	}
+	points, err := runner.Values[ChaosPoint](runner.New(cfg.Parallel).Execute(ctx, runs))
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
+	if n := len(snapshots); n > 0 {
+		res.Obs = snapshots[n-1]
+	}
+	return res, nil
+}
+
+// chaosPoint runs one plan against a fresh system and reads the campaign
+// accounting back out of the metrics registry.
+func chaosPoint(cfg NetworkChaosConfig, plan *chaos.Plan) (ChaosPoint, []obs.Metric, error) {
+	sysCfg := core.NewConfig(cfg.Seed)
+	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	sys, err := core.NewSystem(sysCfg)
+	if err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	eng, err := chaos.New(sys.Scheduler(), sys, plan)
+	if err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	eng.Instrument(sys.Metrics())
+	if err := sys.Start(); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	if err := sys.RunFor(cfg.Duration); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	eng.Stop()
+
+	settle := (90 * time.Second).Seconds()
+	var steady []measure.Sample
+	for _, s := range sys.Collector().Samples() {
+		if s.AtSec >= settle {
+			steady = append(steady, s)
+		}
+	}
+	stats := measure.ComputeStats(steady)
+	bound, _ := sys.PrecisionBound()
+	limit := float64(bound + sys.Collector().Gamma())
+	snap := sys.Metrics().Snapshot()
+	return ChaosPoint{
+		Label:           plan.Name,
+		MeanPrecisionNS: stats.MeanNS,
+		MaxPrecisionNS:  stats.MaxNS,
+		BoundNS:         float64(bound),
+		Violations:      measure.ViolationCount(steady, limit),
+		Samples:         len(steady),
+		ChaosActions:    sumMetric(snap, "chaos_actions"),
+		FaultDropped:    sumMetric(snap, "netsim_frames_fault_dropped"),
+		FramesLost:      sumMetric(snap, "netsim_frames_lost"),
+		HoldoverEntered: sumMetric(snap, "ptp4l_holdover_entered"),
+		HoldoverExited:  sumMetric(snap, "ptp4l_holdover_exited"),
+	}, snap, nil
+}

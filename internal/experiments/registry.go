@@ -99,6 +99,11 @@ func init() {
 		func(seed int64) TASStudyConfig { return TASStudyConfig{Seed: seed} },
 		lift(TASStudy))
 
+	RegisterFunc("netchaos",
+		"network chaos campaign: burst-loss and partition scenario plans vs the precision bounds, with servo holdover",
+		func(seed int64) NetworkChaosConfig { return NetworkChaosConfig{Seed: seed} },
+		liftCtx(NetworkChaos))
+
 	RegisterFunc("multiseed",
 		"the headline fault-injection result re-run across independent seeds",
 		func(seed int64) MultiSeedConfig { return MultiSeedConfig{CampaignSeed: seed, SeedCount: 5} },

@@ -13,8 +13,8 @@ import (
 func TestRegistryCatalogue(t *testing.T) {
 	want := []string{
 		"baseline", "bmca", "bounds", "domains", "dynamic", "faultinjection",
-		"flag-policy", "interval", "multiseed", "onestep", "recovery",
-		"resilience", "single-domain", "tas", "voting",
+		"flag-policy", "interval", "multiseed", "netchaos", "onestep",
+		"recovery", "resilience", "single-domain", "tas", "voting",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {

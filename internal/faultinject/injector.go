@@ -10,6 +10,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"gptpfta/internal/sim"
@@ -46,6 +47,54 @@ type Config struct {
 	Start time.Duration
 }
 
+// validate rejects configurations that previously clamped silently. Zero
+// values still mean "use the default" (withDefaults fills them in); what is
+// rejected here is an explicitly invalid request — a negative or NaN rate,
+// an inverted rate window, a negative duration, or a grandmaster index no
+// node has.
+func (c Config) validate(nodes []NodeControl) error {
+	for _, r := range []struct {
+		name string
+		val  float64
+	}{
+		{"RedundantMinPerHour", c.RedundantMinPerHour},
+		{"RedundantMaxPerHour", c.RedundantMaxPerHour},
+	} {
+		if math.IsNaN(r.val) || math.IsInf(r.val, 0) {
+			return fmt.Errorf("faultinject: %s = %v is not a finite rate", r.name, r.val)
+		}
+		if r.val < 0 {
+			return fmt.Errorf("faultinject: %s = %v is negative", r.name, r.val)
+		}
+	}
+	if c.RedundantMinPerHour > 0 && c.RedundantMaxPerHour > 0 &&
+		c.RedundantMaxPerHour < c.RedundantMinPerHour {
+		return fmt.Errorf("faultinject: redundant rate window inverted (%v..%v per hour)",
+			c.RedundantMinPerHour, c.RedundantMaxPerHour)
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"GMPeriod", c.GMPeriod}, {"Downtime", c.Downtime},
+		{"DowntimeJitter", c.DowntimeJitter}, {"Start", c.Start},
+	} {
+		if d.val < 0 {
+			return fmt.Errorf("faultinject: %s = %v is negative", d.name, d.val)
+		}
+	}
+	if c.GMIndex < 0 {
+		return fmt.Errorf("faultinject: GMIndex = %d is negative", c.GMIndex)
+	}
+	for _, n := range nodes {
+		if c.GMIndex >= n.NumVMs() {
+			return fmt.Errorf("faultinject: GMIndex = %d out of range for node %s (%d VMs)",
+				c.GMIndex, n.ControlName(), n.NumVMs())
+		}
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.GMPeriod <= 0 {
 		c.GMPeriod = time.Hour
@@ -75,12 +124,19 @@ type Stats struct {
 	RedundantFailures int
 	SkippedByGuard    int // injections suppressed by the fault hypothesis
 	Reboots           int
+	// NetworkFaults counts chaos-engine actions observed alongside this
+	// campaign (see NoteNetworkFault) — zero unless a chaos plan runs.
+	NetworkFaults int
 }
 
 // String formats the stats like the paper's summary sentence.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d fail-silent clock synchronization VMs, %d of which were grandmaster clock failures (%d redundant, %d suppressed by the fault hypothesis, %d reboots)",
+	base := fmt.Sprintf("%d fail-silent clock synchronization VMs, %d of which were grandmaster clock failures (%d redundant, %d suppressed by the fault hypothesis, %d reboots)",
 		s.TotalFailures, s.GMFailures, s.RedundantFailures, s.SkippedByGuard, s.Reboots)
+	if s.NetworkFaults > 0 {
+		base += fmt.Sprintf("; %d network chaos actions", s.NetworkFaults)
+	}
+	return base
 }
 
 // Injector drives fault injection over a set of nodes.
@@ -97,16 +153,26 @@ type Injector struct {
 	stopped  bool
 }
 
-// New creates an injector over the given nodes.
+// New creates an injector over the given nodes. It rejects invalid
+// configurations (negative or NaN rates, an inverted rate window, a
+// GMIndex no node has) instead of clamping them.
 func New(sched *sim.Scheduler, rng sim.RNG, nodes []NodeControl, cfg Config) (*Injector, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("faultinject: no nodes")
+	}
+	if err := cfg.validate(nodes); err != nil {
+		return nil, err
 	}
 	return &Injector{cfg: cfg.withDefaults(), sched: sched, rng: rng, nodes: nodes}, nil
 }
 
 // Stats reports the injection summary so far.
 func (in *Injector) Stats() Stats { return in.stats }
+
+// NoteNetworkFault records one network chaos action in the campaign stats.
+// Wire it as the chaos engine's action observer to compose the two
+// injectors' accounting.
+func (in *Injector) NoteNetworkFault() { in.stats.NetworkFaults++ }
 
 // Start schedules the injection campaigns.
 func (in *Injector) Start() error {

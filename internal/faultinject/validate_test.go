@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+func twoNodes() []NodeControl {
+	return []NodeControl{newFakeNode("dev1"), newFakeNode("dev2")}
+}
+
+func TestConfigValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nan min rate", Config{RedundantMinPerHour: math.NaN()}, "not a finite rate"},
+		{"inf max rate", Config{RedundantMaxPerHour: math.Inf(1)}, "not a finite rate"},
+		{"negative min rate", Config{RedundantMinPerHour: -1}, "negative"},
+		{"negative max rate", Config{RedundantMaxPerHour: -0.5}, "negative"},
+		{"inverted window", Config{RedundantMinPerHour: 6, RedundantMaxPerHour: 2}, "inverted"},
+		{"negative gm period", Config{GMPeriod: -time.Hour}, "GMPeriod"},
+		{"negative downtime", Config{Downtime: -time.Second}, "Downtime"},
+		{"negative jitter", Config{DowntimeJitter: -time.Second}, "DowntimeJitter"},
+		{"negative start", Config{Start: -time.Minute}, "Start"},
+		{"negative gm index", Config{GMIndex: -1}, "GMIndex"},
+		{"gm index out of range", Config{GMIndex: 2}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(sim.NewScheduler(), nil, twoNodes(), tc.cfg)
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigValidationAcceptsZeroValues(t *testing.T) {
+	// The zero config still means "use the defaults" — validation must not
+	// reject what withDefaults fills in.
+	if _, err := New(sim.NewScheduler(), nil, twoNodes(), Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestNetworkFaultAccounting(t *testing.T) {
+	inj, err := New(sim.NewScheduler(), nil, twoNodes(), Config{})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		inj.NoteNetworkFault()
+	}
+	if got := inj.Stats().NetworkFaults; got != 3 {
+		t.Fatalf("NetworkFaults = %d, want 3", got)
+	}
+	if !strings.Contains(inj.Stats().String(), "3 network chaos actions") {
+		t.Fatalf("stats string omits network faults: %q", inj.Stats().String())
+	}
+	if strings.Contains(Stats{}.String(), "network") {
+		t.Fatal("zero stats must render exactly as before chaos composition")
+	}
+}
+
+// TestFaultHypothesisAcrossDerivedSeeds fuzzes the guard with randomized
+// high-rate schedules: across 100 seeds derived from one campaign seed, no
+// replayed history may ever have both clock-sync VMs of a node down at the
+// same time.
+func TestFaultHypothesisAcrossDerivedSeeds(t *testing.T) {
+	campaign := sim.NewStreams(77)
+	for s := 0; s < 100; s++ {
+		rng := campaign.Stream(fmt.Sprintf("derived/%d", s))
+		sched := sim.NewScheduler()
+		nodes := []*fakeNode{newFakeNode("dev1"), newFakeNode("dev2"), newFakeNode("dev3"), newFakeNode("dev4")}
+		ctl := make([]NodeControl, len(nodes))
+		for i, n := range nodes {
+			ctl[i] = n
+		}
+		inj, err := New(sched, rng, ctl, Config{
+			GMPeriod:            7 * time.Minute,
+			RedundantMinPerHour: 8,
+			RedundantMaxPerHour: 12,
+			Downtime:            2 * time.Minute,
+			DowntimeJitter:      90 * time.Second,
+			Start:               time.Minute,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: new: %v", s, err)
+		}
+		if err := inj.Start(); err != nil {
+			t.Fatalf("seed %d: start: %v", s, err)
+		}
+		if err := sched.RunUntil(sim.Time(4 * time.Hour)); err != nil {
+			t.Fatalf("seed %d: run: %v", s, err)
+		}
+		inj.Stop()
+		for _, n := range nodes {
+			down := map[int]bool{}
+			for _, h := range n.history {
+				var vm int
+				if _, err := fmt.Sscanf(h, "fail:%d", &vm); err == nil {
+					if down[1-vm] {
+						t.Fatalf("seed %d: %s: both VMs down (history %v)", s, n.name, n.history)
+					}
+					down[vm] = true
+					continue
+				}
+				if _, err := fmt.Sscanf(h, "reboot:%d", &vm); err == nil {
+					down[vm] = false
+				}
+			}
+		}
+		if inj.Stats().TotalFailures == 0 {
+			t.Fatalf("seed %d: schedule injected nothing", s)
+		}
+	}
+}

@@ -79,6 +79,11 @@ type Bridge struct {
 
 	forwarded uint64
 	dropped   uint64
+
+	// failed marks the bridge dead (chaos engine): it drops everything at
+	// ingress and egress until restored.
+	failed      bool
+	faultedDrop uint64
 }
 
 // EgressScheduler computes frame departure instants for a shaped egress
@@ -138,6 +143,24 @@ func (b *Bridge) SetEgressScheduler(port int, es EgressScheduler) {
 // Dropped reports frames discarded by egress schedulers (no gate window).
 func (b *Bridge) Dropped() uint64 { return b.dropped }
 
+// FaultDropped reports frames discarded because the bridge was failed.
+func (b *Bridge) FaultDropped() uint64 { return b.faultedDrop }
+
+// Fail kills the bridge: every frame arriving at ingress or reaching
+// egress while failed is dropped (and recycled to the frame pool).
+func (b *Bridge) Fail() { b.failed = true }
+
+// Restore brings a failed bridge back. Frames that entered the residence
+// pipeline before the failure and whose departure lands after the
+// restoration are transmitted normally — an approximation that is
+// harmless because residence times are microseconds while injected
+// outages are seconds; everything that arrived or departed during the
+// outage itself was dropped.
+func (b *Bridge) Restore() { b.failed = false }
+
+// Failed reports whether the bridge is currently failed.
+func (b *Bridge) Failed() bool { return b.failed }
+
 // AddRoute installs a static unicast route: frames for dst egress on port.
 func (b *Bridge) AddRoute(dst Address, port int) { b.unicast[dst] = port }
 
@@ -152,6 +175,11 @@ func (b *Bridge) Forwarded() uint64 { return b.forwarded }
 // Receive implements Device: the relay hook gets first claim; otherwise the
 // frame is forwarded per static routes after a residence delay.
 func (b *Bridge) Receive(p *Port, f *Frame) {
+	if b.failed {
+		b.faultedDrop++
+		f.release()
+		return
+	}
 	rxTS := b.clk.Timestamp()
 	if b.hook != nil && b.hook.Handle(b, p.Index, f, rxTS) {
 		f.release()
@@ -214,6 +242,11 @@ func (b *Bridge) TransmitAfterResidence(egress int, f *Frame) {
 // bridge-clock egress timestamp. Frames on unconnected ports are dropped.
 func (b *Bridge) Transmit(egress int, f *Frame) (txTS float64) {
 	txTS = b.clk.Timestamp()
+	if b.failed {
+		b.faultedDrop++
+		f.release()
+		return txTS
+	}
 	p := &b.ports[egress]
 	if !p.Connected() {
 		f.release()

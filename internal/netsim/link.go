@@ -19,12 +19,35 @@ type LinkConfig struct {
 	// Sync or FollowUp skips one measurement interval, a lost pdelay
 	// exchange skips one link-delay sample.
 	LossProb float64
+	// LossRNG, when set, is a dedicated random stream for loss decisions.
+	//
+	// Determinism contract: with LossRNG set, Send draws exactly one
+	// uniform from it per frame — independent of LossProb, of any
+	// installed loss model, and of the draw's outcome — so enabling a
+	// zero-rate loss model (or flipping LossProb between zero and
+	// non-zero) never perturbs the link's main stream or any downstream
+	// seed stream. Without LossRNG the legacy draw order applies: the loss
+	// uniform comes from the link's main stream and only when
+	// LossProb > 0, which is what the committed golden digests pin.
+	LossRNG sim.RNG
+}
+
+// LossModel decides per-frame loss for a link direction-agnostically. The
+// chaos engine installs models dynamically (burst loss); implementations
+// must draw a fixed number of values from rng per call regardless of their
+// parameters so that a zero-rate model is behaviourally invisible.
+type LossModel interface {
+	// Drop reports whether the frame is lost. u is the per-frame uniform
+	// the link already drew from its loss stream; rng is that same stream
+	// for any additional draws (state transitions).
+	Drop(u float64, rng sim.RNG) bool
 }
 
 // Link connects two ports. Frames sent into one end are delivered to the
 // device at the other end after the propagation delay plus jitter. The two
 // directions share the same nominal delay (symmetric medium); asymmetry in
-// observed path latency arises from bridge residence times.
+// observed path latency arises from bridge residence times — or from a
+// chaos-injected asymmetric delay shift (SetDelayOverride).
 type Link struct {
 	sched *sim.Scheduler
 	rng   sim.RNG
@@ -38,13 +61,33 @@ type Link struct {
 	lastDelivery [2]sim.Time
 	sent         uint64
 	lost         uint64
+
+	// Dynamic fault state (chaos engine). All zero when no plan is active,
+	// in which case none of it draws randomness or alters scheduling.
+	down      bool
+	lossModel LossModel
+	// extraDelay adds latency to both directions; asymDelay additionally
+	// to the a->b direction only, breaking the symmetric-medium assumption
+	// gPTP's pdelay mechanism relies on.
+	extraDelay time.Duration
+	asymDelay  time.Duration
+	// dropBefore marks, per direction, the last delivery instant that was
+	// scheduled before the link last came back up: those frames were on
+	// the wire during the outage and die at their delivery instant.
+	dropBefore  [2]sim.Time
+	faultedDrop uint64
 }
 
-// Lost reports how many frames the link dropped.
+// Lost reports how many frames the link dropped by stochastic loss.
 func (l *Link) Lost() uint64 { return l.lost }
 
+// FaultDropped reports frames discarded by injected faults (link down,
+// frames caught in flight during an outage).
+func (l *Link) FaultDropped() uint64 { return l.faultedDrop }
+
 // Sent reports how many frames were handed to the link for transmission,
-// including those subsequently dropped; delivered frames are Sent - Lost.
+// including those subsequently dropped; delivered frames are
+// Sent - Lost - FaultDropped.
 func (l *Link) Sent() uint64 { return l.sent }
 
 // Connect attaches two ports with a link. It returns an error if either
@@ -54,8 +97,8 @@ func Connect(sched *sim.Scheduler, rng sim.RNG, cfg LinkConfig, a, b *Port) (*Li
 		return nil, fmt.Errorf("netsim: port already connected (%s, %s)", a.Name, b.Name)
 	}
 	l := &Link{sched: sched, rng: rng, cfg: cfg, ends: [2]*Port{a, b}}
-	l.deliver[0] = func(x any) { b.Owner.Receive(b, x.(*Frame)) } // a -> b
-	l.deliver[1] = func(x any) { a.Owner.Receive(a, x.(*Frame)) } // b -> a
+	l.deliver[0] = func(x any) { l.finishDelivery(0, x.(*Frame)) } // a -> b
+	l.deliver[1] = func(x any) { l.finishDelivery(1, x.(*Frame)) } // b -> a
 	a.link = l
 	b.link = l
 	return l, nil
@@ -69,15 +112,58 @@ func (l *Link) Peer(p *Port) *Port {
 	return l.ends[0]
 }
 
+// End returns endpoint i (0 or 1) for topology inspection (the chaos
+// engine's partition actions match links by their endpoint device names).
+func (l *Link) End(i int) *Port { return l.ends[i] }
+
 // Nominal reports the configured one-way propagation delay.
 func (l *Link) Nominal() time.Duration { return l.cfg.Propagation }
+
+// SetDown marks the link physically severed (true) or restored (false). A
+// down link drops frames at Send; frames already in flight die at their
+// delivery instant, including those whose delivery would land after the
+// restoration (they were on the wire during the outage).
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down {
+		// Everything scheduled up to now was sent before the restoration
+		// and therefore crossed the outage; kill it at delivery.
+		l.dropBefore = l.lastDelivery
+	}
+}
+
+// Down reports whether the link is currently severed.
+func (l *Link) Down() bool { return l.down }
+
+// SetLossModel installs (or, with nil, removes) a dynamic loss model that
+// replaces the static LossProb. Models draw from the link's dedicated loss
+// stream when one is configured, keeping the main jitter stream untouched;
+// see the LinkConfig.LossRNG determinism contract.
+func (l *Link) SetLossModel(m LossModel) { l.lossModel = m }
+
+// SetDelayOverride injects extra one-way latency: extra applies to both
+// directions, asym additionally to the a->b direction only (an asymmetry
+// invisible to pdelay's round-trip measurement). Zero values clear the
+// override.
+func (l *Link) SetDelayOverride(extra, asym time.Duration) {
+	l.extraDelay = extra
+	l.asymDelay = asym
+}
 
 // Send transmits a frame from port "from" toward the peer. Delivery is
 // scheduled after propagation plus jitter; deliveries in one direction
 // never reorder.
 func (l *Link) Send(from *Port, f *Frame) {
 	l.sent++
-	if l.cfg.LossProb > 0 && l.rng != nil && l.rng.Float64() < l.cfg.LossProb {
+	if l.down {
+		l.faultedDrop++
+		f.release()
+		return
+	}
+	if l.dropFrame() {
 		l.lost++
 		f.release()
 		return
@@ -86,7 +172,7 @@ func (l *Link) Send(from *Port, f *Frame) {
 	if l.ends[1] == from {
 		dir = 1
 	}
-	at := l.sched.Now().Add(l.delay())
+	at := l.sched.Now().Add(l.delay(dir))
 	if at <= l.lastDelivery[dir] {
 		at = l.lastDelivery[dir] + 1
 	}
@@ -94,7 +180,41 @@ func (l *Link) Send(from *Port, f *Frame) {
 	l.sched.AtArg(at, l.deliver[dir], f)
 }
 
-func (l *Link) delay() time.Duration {
+// dropFrame decides stochastic loss. Draw-order contract: with a dedicated
+// loss stream, exactly one uniform is consumed from it per frame whatever
+// the configured rates, so zero-rate configurations are stream-invisible;
+// an installed loss model may consume additional draws from the loss
+// stream only (its burst state machine), never from the main stream. The
+// legacy path (no LossRNG) preserves the historical order on the shared
+// stream: no draw at all when LossProb == 0, which the golden digests pin.
+func (l *Link) dropFrame() bool {
+	if l.cfg.LossRNG != nil {
+		u := l.cfg.LossRNG.Float64()
+		if l.lossModel != nil {
+			return l.lossModel.Drop(u, l.cfg.LossRNG)
+		}
+		return u < l.cfg.LossProb
+	}
+	if l.lossModel != nil && l.rng != nil {
+		return l.lossModel.Drop(l.rng.Float64(), l.rng)
+	}
+	return l.cfg.LossProb > 0 && l.rng != nil && l.rng.Float64() < l.cfg.LossProb
+}
+
+// finishDelivery hands the frame to the receiving device unless an injected
+// fault killed it in flight: the link is down at the delivery instant, or
+// the delivery was scheduled before the link last came back up.
+func (l *Link) finishDelivery(dir int, f *Frame) {
+	if l.down || l.sched.Now() <= l.dropBefore[dir] {
+		l.faultedDrop++
+		f.release()
+		return
+	}
+	p := l.ends[1-dir]
+	p.Owner.Receive(p, f)
+}
+
+func (l *Link) delay(dir int) time.Duration {
 	d := float64(l.cfg.Propagation)
 	if l.rng != nil && l.cfg.JitterNS > 0 {
 		d += l.rng.NormFloat64() * l.cfg.JitterNS
@@ -102,6 +222,10 @@ func (l *Link) delay() time.Duration {
 	min := float64(l.cfg.Propagation) / 2
 	if d < min {
 		d = min
+	}
+	d += float64(l.extraDelay)
+	if dir == 0 {
+		d += float64(l.asymDelay)
 	}
 	return time.Duration(d)
 }

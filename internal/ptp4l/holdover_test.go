@@ -1,0 +1,183 @@
+package ptp4l
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gptpfta/internal/servo"
+)
+
+// holdoverRig builds a 4-VM rig with holdover enabled on every stack.
+func holdoverRig(t *testing.T, seed int64, window time.Duration) *rig {
+	t.Helper()
+	return newRig(t, seed, 4, func(i int, c *Config) {
+		c.HoldoverWindow = window
+	})
+}
+
+// severAll cuts every VM link (a total partition: no stack can see any
+// foreign domain) or restores them.
+func (r *rig) severAll(down bool) {
+	for _, l := range r.links {
+		l.SetDown(down)
+	}
+}
+
+func (r *rig) countEvents(kind, detail string) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind && e.Detail == detail {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHoldoverEnterAndReacquire(t *testing.T) {
+	r := holdoverRig(t, 11, 2*time.Second)
+	r.start(t)
+	r.run(t, 90*time.Second) // converge into FT operation
+	for _, s := range r.stacks {
+		if s.Mode() != ModeFTOperation {
+			t.Fatalf("%s not in FT operation before outage", s.Name())
+		}
+		if s.Holdover() {
+			t.Fatalf("%s in holdover before outage", s.Name())
+		}
+	}
+
+	r.severAll(true)
+	r.run(t, 10*time.Second)
+	for _, s := range r.stacks {
+		if !s.Holdover() {
+			t.Fatalf("%s not in holdover after 10 s total partition (window 2 s)", s.Name())
+		}
+		if st := s.FTSHMEM().Servo().State(); st != servo.StateHoldover {
+			t.Fatalf("%s servo state %v during holdover", s.Name(), st)
+		}
+	}
+	if n := r.countEvents(EventHoldover, "enter"); n != 4 {
+		t.Fatalf("holdover enter events = %d, want 4", n)
+	}
+
+	r.severAll(false)
+	r.run(t, 30*time.Second)
+	for _, s := range r.stacks {
+		if s.Holdover() {
+			t.Fatalf("%s still in holdover 30 s after heal", s.Name())
+		}
+	}
+	if n := r.countEvents(EventHoldover, "exit"); n != 4 {
+		t.Fatalf("holdover exit events = %d, want 4", n)
+	}
+
+	// Precision must recover after re-acquisition.
+	r.run(t, 30*time.Second)
+	if spread := r.phcSpread(); spread > 2000 {
+		t.Fatalf("post-reacquire PHC spread %v ns, want < 2 µs", spread)
+	}
+}
+
+// TestHoldoverBoundsExcursion compares a partition ridden out in holdover
+// against the free-run baseline's unlimited drift: with the servo frozen on
+// its last good frequency, the offset excursion during the outage stays
+// bounded (no step on re-entry, no runaway).
+func TestHoldoverBoundsExcursion(t *testing.T) {
+	r := holdoverRig(t, 12, 2*time.Second)
+	r.start(t)
+	r.run(t, 90*time.Second)
+
+	r.severAll(true)
+	// Track the worst spread during a 20 s outage: holdover freezes each
+	// PHC at its last corrected frequency, so mutual drift stays in the
+	// low-ppb residual range (≤ 1 µs over 20 s), not the raw ±5 ppm
+	// oscillator spread (which would exceed 100 µs).
+	var worst float64
+	for i := 0; i < 20; i++ {
+		r.run(t, time.Second)
+		if s := r.phcSpread(); s > worst {
+			worst = s
+		}
+	}
+	r.severAll(false)
+	if worst > 50000 {
+		t.Fatalf("holdover excursion %v ns over 20 s outage, want bounded (< 50 µs)", worst)
+	}
+
+	// No servo step may occur during re-acquisition: the slew limit turns
+	// the accumulated offset into a ramp.
+	stepsBefore := 0
+	for _, e := range r.events {
+		if e.Kind == EventServoStep {
+			stepsBefore++
+		}
+	}
+	r.run(t, 30*time.Second)
+	stepsAfter := 0
+	for _, e := range r.events {
+		if e.Kind == EventServoStep {
+			stepsAfter++
+		}
+	}
+	if stepsAfter != stepsBefore {
+		t.Fatalf("servo stepped %d times during re-acquisition, want 0", stepsAfter-stepsBefore)
+	}
+}
+
+// TestHoldoverDisabledByDefault pins the digest-safety property: without
+// HoldoverWindow the watchdog is never scheduled and a starved stack
+// free-runs exactly as before.
+func TestHoldoverDisabledByDefault(t *testing.T) {
+	r := newRig(t, 13, 4, nil)
+	r.start(t)
+	r.run(t, 90*time.Second)
+	r.severAll(true)
+	r.run(t, 10*time.Second)
+	for _, s := range r.stacks {
+		if s.Holdover() {
+			t.Fatalf("%s entered holdover with HoldoverWindow unset", s.Name())
+		}
+		if s.FTSHMEM().Servo().Frozen() {
+			t.Fatalf("%s servo frozen with HoldoverWindow unset", s.Name())
+		}
+	}
+	if n := r.countEvents(EventHoldover, "enter"); n != 0 {
+		t.Fatalf("holdover events with feature disabled: %d", n)
+	}
+}
+
+// TestHoldoverFailClearsState: a VM failing mid-holdover must come back
+// through the normal startup protocol with a clean servo.
+func TestHoldoverFailClearsState(t *testing.T) {
+	r := holdoverRig(t, 14, 2*time.Second)
+	r.start(t)
+	r.run(t, 90*time.Second)
+	r.severAll(true)
+	r.run(t, 10*time.Second)
+	s0 := r.stacks[0]
+	if !s0.Holdover() {
+		t.Fatal("stack not in holdover before Fail")
+	}
+	s0.Fail()
+	if s0.Holdover() {
+		t.Fatal("holdover flag survived Fail")
+	}
+	r.severAll(false)
+	if err := s0.Reboot(); err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	if s0.FTSHMEM().Servo().Frozen() {
+		t.Fatal("servo still frozen after reboot")
+	}
+	r.run(t, 120*time.Second)
+	if s0.Mode() != ModeFTOperation {
+		t.Fatalf("rebooted stack stuck in %v", s0.Mode())
+	}
+	if s0.Holdover() {
+		t.Fatal("rebooted stack re-entered holdover on a healed network")
+	}
+	if math.IsNaN(s0.NIC().PHC().Now()) {
+		t.Fatal("PHC corrupted")
+	}
+}

@@ -58,6 +58,7 @@ const (
 	EventServoStep  = "servo_step"
 	EventFlagChange = "flag_change"
 	EventFault      = "ptp4l_fault"
+	EventHoldover   = "holdover"
 )
 
 // Event is a notable stack occurrence for the experiment event log.
@@ -93,6 +94,25 @@ type Config struct {
 	// StaleIntervals: a stored offset no longer counts as fresh after this
 	// many sync intervals without an update. Default 3.
 	StaleIntervals int
+
+	// HoldoverWindow, when positive, enables graceful degradation: if FTA
+	// quorum starvation persists longer than this window during
+	// fault-tolerant operation, the shared servo enters holdover (integral
+	// frozen, PHC coasting on its last good frequency correction) instead
+	// of free-running on garbage or jumping on the first post-outage
+	// sample. Zero (the default) disables the watchdog entirely, keeping
+	// the legacy free-run behavior and the golden digests bit-identical.
+	HoldoverWindow time.Duration
+	// ReacquireThresholdNS: while in holdover, an aggregate below this
+	// magnitude counts toward re-acquisition. Default 20 µs.
+	ReacquireThresholdNS float64
+	// ReacquireStableCount is how many consecutive below-threshold
+	// aggregates holdover exit requires (hysteresis, so one lucky sample
+	// during a flapping partition cannot thaw the servo). Default 8.
+	ReacquireStableCount int
+	// HoldoverMaxSlewPPB bounds how fast the servo output may move per
+	// sample right after holdover exit. Default 50000 (50 ppm).
+	HoldoverMaxSlewPPB float64
 
 	// Transient software fault probabilities for the grandmaster role.
 	TxTimestampTimeoutProb float64
@@ -131,6 +151,15 @@ func (c Config) withDefaults() Config {
 	if c.StaleIntervals <= 0 {
 		c.StaleIntervals = 3
 	}
+	if c.ReacquireThresholdNS <= 0 {
+		c.ReacquireThresholdNS = 20000
+	}
+	if c.ReacquireStableCount <= 0 {
+		c.ReacquireStableCount = 8
+	}
+	if c.HoldoverMaxSlewPPB <= 0 {
+		c.HoldoverMaxSlewPPB = 50000
+	}
 	return c
 }
 
@@ -159,6 +188,13 @@ type Stack struct {
 	syncObserver func(domain int, latency time.Duration)
 	aggregations uint64
 
+	// Holdover state machine (active only when cfg.HoldoverWindow > 0).
+	holdover     bool
+	lastGoodAgg  sim.Time
+	reacquire    int // consecutive below-threshold aggregates
+	reacquireAny int // successful aggregates since holdover entry
+	watchdog     *sim.Ticker
+
 	// Observability handles, resolved once by Instrument. All remain nil
 	// (inert no-ops) when the stack is not instrumented.
 	obsOffset     map[int]*obs.Histogram
@@ -167,6 +203,8 @@ type Stack struct {
 	obsStarved    *obs.Counter
 	obsFlagFlips  *obs.Counter
 	obsServoSteps *obs.Counter
+	obsHoldEnter  *obs.Counter
+	obsHoldExit   *obs.Counter
 }
 
 // offsetBuckets covers the offsets seen across the experiments: sub-100 ns
@@ -190,6 +228,14 @@ func (s *Stack) Instrument(reg *obs.Registry) {
 	s.obsStarved = reg.Counter("ptp4l_fta_starved", vm)
 	s.obsFlagFlips = reg.Counter("ptp4l_flag_flips", vm)
 	s.obsServoSteps = reg.Counter("ptp4l_servo_steps", vm)
+	s.obsHoldEnter = reg.Counter("ptp4l_holdover_entered", vm)
+	s.obsHoldExit = reg.Counter("ptp4l_holdover_exited", vm)
+	reg.GaugeFunc("ptp4l_holdover", func() float64 {
+		if s.holdover {
+			return 1
+		}
+		return 0
+	}, vm)
 	reg.GaugeFunc("ptp4l_servo_state", func() float64 { return float64(s.shm.Servo().State()) }, vm)
 	reg.GaugeFunc("ptp4l_servo_drift_ppb", func() float64 { return s.shm.Servo().DriftPPB() }, vm)
 	reg.GaugeFunc("ptp4l_mode", func() float64 { return float64(s.mode) }, vm)
@@ -311,6 +357,15 @@ func (s *Stack) Start() error {
 	if err := s.ld.Start(); err != nil {
 		return err
 	}
+	if s.cfg.HoldoverWindow > 0 && s.watchdog == nil {
+		s.lastGoodAgg = s.sched.Now()
+		tick, err := s.sched.Every(s.sched.Now().Add(s.cfg.SyncInterval),
+			s.cfg.SyncInterval, s.holdoverWatch)
+		if err != nil {
+			return err
+		}
+		s.watchdog = tick
+	}
 	if s.master != nil && !s.master.Running() {
 		if err := s.master.Start(); err != nil {
 			return err
@@ -332,6 +387,13 @@ func (s *Stack) Fail() {
 	if s.master != nil {
 		s.master.Stop()
 	}
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+		s.watchdog = nil
+	}
+	s.holdover = false
+	s.reacquire = 0
+	s.reacquireAny = 0
 }
 
 // Reboot restarts a failed VM: shared state is re-established, the servo
@@ -479,7 +541,44 @@ func (s *Stack) initialGMConvergence(nowPHC float64) {
 func (s *Stack) enterFTOperation() {
 	s.mode = ModeFTOperation
 	s.stable = 0
+	// The starvation clock starts now: start-up time must not count toward
+	// the holdover window.
+	s.lastGoodAgg = s.sched.Now()
 	s.emit(EventModeChange, ModeFTOperation.String())
+}
+
+// Holdover reports whether the shared servo is currently in holdover.
+func (s *Stack) Holdover() bool { return s.holdover }
+
+// holdoverWatch is the starvation watchdog (one tick per sync interval,
+// only scheduled when HoldoverWindow > 0): if no full-quorum (2f+1 fresh
+// readings) aggregation happened within the window while in fault-tolerant
+// operation, freeze the servo.
+func (s *Stack) holdoverWatch() {
+	if !s.running || s.mode != ModeFTOperation || s.holdover {
+		return
+	}
+	if s.sched.Now()-s.lastGoodAgg > sim.Time(s.cfg.HoldoverWindow) {
+		s.enterHoldover()
+	}
+}
+
+func (s *Stack) enterHoldover() {
+	s.holdover = true
+	s.reacquire = 0
+	s.reacquireAny = 0
+	s.shm.Servo().Freeze()
+	s.obsHoldEnter.Inc()
+	s.emit(EventHoldover, "enter")
+}
+
+func (s *Stack) exitHoldover() {
+	s.holdover = false
+	s.reacquire = 0
+	s.reacquireAny = 0
+	s.shm.Servo().Thaw(s.cfg.HoldoverMaxSlewPPB)
+	s.obsHoldExit.Inc()
+	s.emit(EventHoldover, "exit")
 }
 
 // aggregate implements the paper's Fig. 1 data path: the first instance per
@@ -500,12 +599,40 @@ func (s *Stack) aggregate(nowPHC float64) {
 		s.obsStarved.Inc()
 	}
 	if err != nil {
-		return // too few fresh domains: free-run this interval
+		return // too few fresh domains: free-run (or hold over) this interval
 	}
 	s.aggregations++
 	s.obsAggs.Inc()
 	s.obsDiscarded.Add(uint64(info.Discarded))
 	s.stats.aggregate.Add(cs)
+	// The aggregation succeeded, but only a full 2f+1 quorum counts toward
+	// the holdover watchdog: the FTA degrades f when domains go stale (a
+	// partition leaves this side with too few fresh readings to mask even
+	// one Byzantine fault), and running on that reduced evidence for longer
+	// than the window is exactly the starvation holdover guards against.
+	fullQuorum := info.Used+info.Discarded >= 2*s.cfg.F+1
+	if fullQuorum {
+		s.lastGoodAgg = s.sched.Now()
+		if s.holdover {
+			// Re-acquire with hysteresis: only a sustained run of sane
+			// full-quorum aggregates thaws the servo, so a flapping
+			// partition cannot make it chase transients. A frozen servo
+			// never shrinks the offset, though, so a stable quorum whose
+			// offsets stay above the threshold must still exit eventually
+			// (escape hatch at 4× the streak) — the slew limit then ramps
+			// the correction in.
+			s.reacquireAny++
+			if math.Abs(cs) < s.cfg.ReacquireThresholdNS {
+				s.reacquire++
+			} else {
+				s.reacquire = 0
+			}
+			if s.reacquire >= s.cfg.ReacquireStableCount ||
+				s.reacquireAny >= 4*s.cfg.ReacquireStableCount {
+				s.exitHoldover()
+			}
+		}
+	}
 	adj, state := s.shm.Servo().Sample(cs, nowPHC)
 	s.applyServo(cs, adj, state)
 }

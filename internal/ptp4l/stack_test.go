@@ -19,6 +19,7 @@ type rig struct {
 	bridge  *netsim.Bridge
 	relay   *gptp.Relay
 	stacks  []*Stack
+	links   []*netsim.Link
 	events  []Event
 }
 
@@ -62,11 +63,13 @@ func newRig(t *testing.T, seed int64, m int, cfgMod func(i int, c *Config)) *rig
 		ppb := clock.UniformPPB(r.streams.Stream("static/"+name), 5000)
 		offset := float64(i) * 200 // boot-time disagreement, ns
 		nic := netsim.NewNIC(name, r.sched, mkPHC(name, ppb, offset))
-		if _, err := netsim.Connect(r.sched, r.streams.Stream("link/"+name),
+		link, err := netsim.Connect(r.sched, r.streams.Stream("link/"+name),
 			netsim.LinkConfig{Propagation: 500 * time.Nanosecond, JitterNS: 20},
-			nic.Port(), r.bridge.Port(i)); err != nil {
+			nic.Port(), r.bridge.Port(i))
+		if err != nil {
 			t.Fatalf("connect: %v", err)
 		}
+		r.links = append(r.links, link)
 		cfg := Config{
 			Name:          name,
 			Domains:       domains,

@@ -1,0 +1,121 @@
+package servo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// lockServo drives a servo to StateLocked with small offsets and returns
+// its last output.
+func lockServo(t *testing.T, p *PI) float64 {
+	t.Helper()
+	var adj float64
+	var st State
+	local := 0.0
+	for i := 0; i < 10; i++ {
+		local += 125e6
+		adj, st = p.Sample(100, local)
+	}
+	if st != StateLocked {
+		t.Fatalf("servo state %v after warm-up, want locked", st)
+	}
+	return adj
+}
+
+func TestFreezeHoldsOutputAndIntegral(t *testing.T) {
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	last := lockServo(t, p)
+	drift := p.DriftPPB()
+
+	p.Freeze()
+	if !p.Frozen() || p.State() != StateHoldover {
+		t.Fatalf("frozen=%v state=%v after Freeze", p.Frozen(), p.State())
+	}
+	// Garbage offsets during the outage must not move anything.
+	for i := 0; i < 5; i++ {
+		adj, st := p.Sample(1e9, 1e18)
+		if st != StateHoldover {
+			t.Fatalf("state %v while frozen, want holdover", st)
+		}
+		if adj != last {
+			t.Fatalf("frozen output %v, want last output %v", adj, last)
+		}
+	}
+	if p.DriftPPB() != drift {
+		t.Fatalf("integral moved while frozen: %v -> %v", drift, p.DriftPPB())
+	}
+}
+
+func TestThawSlewLimitsReacquisition(t *testing.T) {
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	last := lockServo(t, p)
+	p.Freeze()
+	const maxSlew = 50.0
+	p.Thaw(maxSlew)
+	if p.Frozen() {
+		t.Fatal("still frozen after Thaw")
+	}
+
+	// A large post-outage offset transient must never step (acquisition
+	// prologue is skipped) and must move the output by at most maxSlew per
+	// sample until the loop closes again.
+	local := 10 * 125e6
+	prev := last
+	converged := false
+	for i := 0; i < 2000; i++ {
+		local += 125e6
+		offset := 0.0
+		if i < 5 {
+			offset = 50000 // 50 µs accumulated error, corrected over 5 samples
+		}
+		adj, st := p.Sample(offset, local)
+		if st == StateJump {
+			t.Fatal("post-thaw sample requested a clock step")
+		}
+		if d := math.Abs(adj - prev); d > maxSlew+1e-9 {
+			t.Fatalf("sample %d: output moved %v ppb, slew limit %v", i, d, maxSlew)
+		}
+		prev = adj
+		if !p.slewing {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("slew never converged onto the PI trajectory")
+	}
+}
+
+func TestThawWithoutSlewLimit(t *testing.T) {
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	lockServo(t, p)
+	p.Freeze()
+	p.Thaw(0)
+	adj, st := p.Sample(200, 11*125e6)
+	if st != StateLocked {
+		t.Fatalf("state %v after unbounded thaw, want locked", st)
+	}
+	if adj == 0 {
+		t.Fatal("unbounded thaw returned no adjustment")
+	}
+}
+
+func TestResetClearsHoldover(t *testing.T) {
+	p := NewPI(Config{SyncInterval: 125 * time.Millisecond})
+	lockServo(t, p)
+	p.Freeze()
+	p.Reset()
+	if p.Frozen() || p.State() != StateUnlocked {
+		t.Fatalf("frozen=%v state=%v after Reset", p.Frozen(), p.State())
+	}
+	if _, st := p.Sample(100, 1); st != StateUnlocked {
+		t.Fatalf("first post-reset sample state %v, want unlocked", st)
+	}
+}
+
+func TestHoldoverStateString(t *testing.T) {
+	if StateHoldover.String() != "holdover" {
+		t.Fatalf("StateHoldover.String() = %q", StateHoldover.String())
+	}
+}

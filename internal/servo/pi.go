@@ -23,6 +23,9 @@ const (
 	StateJump
 	// StateLocked: the returned frequency adjustment must be applied.
 	StateLocked
+	// StateHoldover: the servo is frozen (quorum starvation); the caller
+	// keeps the last applied frequency and ignores adjPPB.
+	StateHoldover
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +37,8 @@ func (s State) String() string {
 		return "jump"
 	case StateLocked:
 		return "locked"
+	case StateHoldover:
+		return "holdover"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -90,6 +95,14 @@ type PI struct {
 	firstOffset float64
 	firstLocal  float64
 	driftPPB    float64 // integral term: estimated local frequency error
+
+	// Holdover support: while frozen the integral term is immutable and
+	// Sample returns the last output unchanged; after Thaw the output is
+	// slew-limited until it converges back onto the PI trajectory.
+	frozen     bool
+	slewing    bool
+	maxSlewPPB float64
+	lastOut    float64 // last frequency adjustment returned to the caller
 }
 
 // NewPI creates a PI servo.
@@ -114,7 +127,44 @@ func (p *PI) Reset() {
 	p.driftPPB = 0
 	p.firstOffset = 0
 	p.firstLocal = 0
+	p.frozen = false
+	p.slewing = false
+	p.lastOut = 0
 }
+
+// Freeze puts the servo into holdover: the integral term stops updating
+// and Sample returns the last output with StateHoldover, so the
+// disciplined clock coasts on its last good frequency correction instead
+// of chasing starved (or absent) measurements.
+func (p *PI) Freeze() {
+	if p.frozen {
+		return
+	}
+	p.frozen = true
+	p.state = StateHoldover
+}
+
+// Thaw leaves holdover and re-enters closed-loop control. maxSlewPPB, when
+// positive, bounds how fast the output frequency may move per sample until
+// it converges back onto the PI trajectory — the bounded slew that turns a
+// post-outage offset into a ramp instead of a jump. The acquisition
+// prologue is skipped: the pre-freeze drift estimate is retained, so the
+// first post-thaw sample cannot request a clock step.
+func (p *PI) Thaw(maxSlewPPB float64) {
+	if !p.frozen {
+		return
+	}
+	p.frozen = false
+	p.maxSlewPPB = maxSlewPPB
+	p.slewing = maxSlewPPB > 0
+	if p.count < 2 {
+		p.count = 2
+	}
+	p.state = StateLocked
+}
+
+// Frozen reports whether the servo is in holdover.
+func (p *PI) Frozen() bool { return p.frozen }
 
 // Sample feeds one offset measurement (offsetNS = local − master, localTS =
 // local clock time of the measurement in ns) and returns the frequency
@@ -123,7 +173,28 @@ func (p *PI) Reset() {
 //   - StateUnlocked: ignore adjPPB, keep the clock free-running.
 //   - StateJump: step the clock by −offsetNS, then apply adjPPB.
 //   - StateLocked: apply adjPPB.
+//   - StateHoldover: servo frozen; adjPPB repeats the last output.
 func (p *PI) Sample(offsetNS, localTS float64) (adjPPB float64, state State) {
+	if p.frozen {
+		return p.lastOut, StateHoldover
+	}
+	adj, st := p.sampleRaw(offsetNS, localTS)
+	if p.slewing && st == StateLocked {
+		delta := adj - p.lastOut
+		switch {
+		case delta > p.maxSlewPPB:
+			adj = p.lastOut + p.maxSlewPPB
+		case delta < -p.maxSlewPPB:
+			adj = p.lastOut - p.maxSlewPPB
+		default:
+			p.slewing = false // back on the PI trajectory
+		}
+	}
+	p.lastOut = adj
+	return adj, st
+}
+
+func (p *PI) sampleRaw(offsetNS, localTS float64) (adjPPB float64, state State) {
 	switch p.count {
 	case 0:
 		p.firstOffset = offsetNS
