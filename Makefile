@@ -28,10 +28,13 @@ fmt-check:
 race: vet
 	$(GO) test -race ./...
 
-# Golden-digest determinism check: the simulation must produce
-# bit-identical results run-to-run and across instrumentation changes.
+# Determinism check: the golden digests (the simulation must produce
+# bit-identical results run-to-run and across instrumentation changes)
+# plus the fork-equivalence suite (a warm-started run forked from a
+# convergence-prefix snapshot must be bit-identical to the cold run its
+# fallback executes, across several seeds).
 determinism:
-	$(GO) test ./internal/experiments/ -run 'TestGoldenDigest' -count=1 -v
+	$(GO) test ./internal/experiments/ -run 'TestGoldenDigest|TestForkEquivalence|TestWarmFallback' -count=1 -v
 
 # Committed performance evidence: the event-kernel microbenchmarks and the
 # full-system simulation rate, as diffable JSON (ns/op, allocs/op, custom
@@ -41,6 +44,8 @@ bench:
 	$(GO) test -run ^$$ -bench 'BenchmarkSchedulerThroughput|BenchmarkSchedulerCancelHeavy|BenchmarkNetsimFrameBurst' \
 		-benchmem . | $(GO) run ./cmd/benchjson -o BENCH_scheduler.json
 	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_system.json
+	$(GO) test -run ^$$ -bench 'BenchmarkSweepCold|BenchmarkSweepWarmStart' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 
 # One quick pass over every benchmark (figure regeneration smoke test).
 bench-all:
@@ -57,8 +62,11 @@ bench-smoke:
 		-benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o .bench-smoke/scheduler.json
 	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o .bench-smoke/system.json
+	$(GO) test -run ^$$ -bench 'BenchmarkSweepCold|BenchmarkSweepWarmStart' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o .bench-smoke/sweep.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_scheduler.json .bench-smoke/scheduler.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_system.json .bench-smoke/system.json
+	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_sweep.json .bench-smoke/sweep.json
 
 # CPU + heap profile of the full report run; inspect with `go tool pprof`.
 profile:

@@ -18,6 +18,7 @@ import (
 	"gptpfta/internal/fta"
 	"gptpfta/internal/measure"
 	"gptpfta/internal/netsim"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/servo"
 	"gptpfta/internal/sim"
 )
@@ -501,6 +502,58 @@ func BenchmarkCampaign4SeedsSequential(b *testing.B) { benchCampaign(b, 1) }
 // bit-identical (the runner derives each run's streams from its seed and
 // orders outcomes by submission index).
 func BenchmarkCampaign4SeedsParallel4(b *testing.B) { benchCampaign(b, 4) }
+
+// benchChaosSweep runs the network-chaos sweep that the warm-start
+// benchmark pair compares: six plans (three burst intensities, three
+// partition durations) whose divergent tails (95 s each) are short against
+// the shared 265 s convergence prefix — the regime the copy-on-fork
+// snapshot engine is built for. Cold mode pays the prefix six times; warm
+// mode pays it once and forks. The tables are bit-identical either way
+// (see TestForkEquivalenceNetworkChaos), so ns/op is the only difference.
+func benchChaosSweep(b *testing.B, warm bool) {
+	reg := obs.NewRegistry()
+	var last *experiments.NetworkChaosResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NetworkChaos(context.Background(), experiments.NetworkChaosConfig{
+			Seed:               int64(i + 1),
+			Duration:           6 * time.Minute,
+			ChaosStart:         4*time.Minute + 30*time.Second,
+			BurstBadLoss:       []float64{0.25, 0.5, 0.9},
+			PartitionDurations: []time.Duration{time.Second, 10 * time.Second, 30 * time.Second},
+			Parallel:           1, // serial in both modes: compare prefix reuse, not worker count
+			WarmStart:          warm,
+			Metrics:            reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var violations int
+	for _, p := range last.Points {
+		violations += p.Violations
+	}
+	b.ReportMetric(float64(len(last.Points)), "points")
+	b.ReportMetric(float64(violations), "violations")
+	if warm {
+		var forks float64
+		for _, m := range reg.Snapshot() {
+			if m.Name == "runner_forks_served" {
+				forks += m.Value
+			}
+		}
+		b.ReportMetric(forks/float64(b.N), "forks/op")
+	}
+}
+
+// BenchmarkSweepCold — the chaos sweep with every point run cold from t=0:
+// the wall-clock baseline the warm-start claim is measured against.
+func BenchmarkSweepCold(b *testing.B) { benchChaosSweep(b, false) }
+
+// BenchmarkSweepWarmStart — the same sweep forked from one shared
+// convergence-prefix snapshot. Compare ns/op against BenchmarkSweepCold;
+// the committed BENCH_sweep.json records the pair.
+func BenchmarkSweepWarmStart(b *testing.B) { benchChaosSweep(b, true) }
 
 // BenchmarkAblationDynamicMesh — A10: fully dynamic 802.1AS (BMCA +
 // path-trace + relay tree rebuild) over the redundant mesh: the measured

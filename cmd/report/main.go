@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-csv dir]
+//	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-warm-start] [-csv dir]
 //
 // -scale compresses the experiment horizons (1 → the paper's 1 h / 24 h);
 // -full is shorthand for -scale 1.
@@ -61,6 +61,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.05, "time-scale factor (1 = the paper's full horizons)")
 	full := fs.Bool("full", false, "run the paper's full horizons (1 h attack run, 24 h fault injection)")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	warmStart := fs.Bool("warm-start", false, "fork warm-eligible studies from convergence-prefix snapshots (identical results; ineligible studies fall back to cold runs)")
 	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
 	profCfg := profFlags(fs)
@@ -100,8 +101,11 @@ func run(args []string) error {
 		cfg    any
 		render func(experiments.Result) string
 	}
+	campaign := obs.NewRegistry()
 	jobs := []job{
-		{"bounds", "bounds", experiments.BoundsConfig{Seed: *seed}, renderBounds},
+		{"bounds", "bounds",
+			experiments.BoundsConfig{Seed: *seed, WarmStart: *warmStart, Metrics: campaign},
+			renderBounds},
 		{"fig3a", "resilience",
 			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur},
 			func(r experiments.Result) string { return renderFig3(r, false) }},
@@ -109,7 +113,8 @@ func run(args []string) error {
 			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, DiverseKernels: true},
 			func(r experiments.Result) string { return renderFig3(r, true) }},
 		{"fig4", "faultinjection",
-			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur}, renderFig4},
+			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur,
+				WarmStart: *warmStart, Metrics: campaign}, renderFig4},
 		{"ablation-baseline", "baseline", experiments.BaselineConfig{Seed: *seed}, renderSummary},
 		{"ablation-single-domain", "single-domain", experiments.BaselineConfig{Seed: *seed}, renderSummary},
 		{"ablation-flag-policy", "flag-policy", experiments.BaselineConfig{Seed: *seed}, renderSummary},
@@ -130,7 +135,6 @@ func run(args []string) error {
 			return section{name: j.name, text: j.render(res), res: res}, nil
 		}}
 	}
-	campaign := obs.NewRegistry()
 	outcomes := runner.New(*parallel).WithMetrics(campaign).Execute(context.Background(), runs)
 	sections, err := runner.Values[section](outcomes)
 	if err != nil {
@@ -148,6 +152,9 @@ func run(args []string) error {
 	fmt.Println("## A1/A2/A3 — ablations")
 	for _, s := range sections[4:] {
 		fmt.Print(s.text)
+	}
+	if *warmStart {
+		fmt.Println(runner.WarmSummary(campaign))
 	}
 
 	if *csvDir != "" {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	sweep [-seed N] [-parallel N] [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
+//	sweep [-seed N] [-parallel N] [-warm-start] [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
 package main
 
 import (
@@ -124,6 +124,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	warmStart := fs.Bool("warm-start", false, "fork sweep points from a shared warm-state snapshot where eligible (identical tables; prefix-hash mismatches fall back to cold runs)")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -155,6 +156,7 @@ func run(args []string) error {
 	}
 
 	ctx := context.Background()
+	campaign := obs.NewRegistry()
 	runs := make([]runner.Run, len(selected))
 	for i, s := range selected {
 		s := s
@@ -163,7 +165,11 @@ func run(args []string) error {
 			return fmt.Errorf("experiment %q not registered", s.experiment)
 		}
 		runs[i] = runner.Run{Name: s.key, Do: func(ctx context.Context) (any, error) {
-			res, err := exp.Run(ctx, s.cfg(*seed, int64(*parallel)))
+			cfg := s.cfg(*seed, int64(*parallel))
+			if *warmStart {
+				cfg = enableWarm(cfg, campaign)
+			}
+			res, err := exp.Run(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +177,6 @@ func run(args []string) error {
 		}}
 	}
 
-	campaign := obs.NewRegistry()
 	outcomes := runner.New(*parallel).WithMetrics(campaign).Execute(ctx, runs)
 	blocks, err := runner.Values[block](outcomes)
 	if err != nil {
@@ -180,6 +185,9 @@ func run(args []string) error {
 	for _, b := range blocks {
 		fmt.Print(b.text)
 	}
+	if *warmStart {
+		fmt.Println(runner.WarmSummary(campaign))
+	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, blocks, campaign); err != nil {
 			return err
@@ -187,6 +195,21 @@ func run(args []string) error {
 		fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
+}
+
+// enableWarm switches a warm-capable study config into warm-start mode,
+// instrumenting it with the campaign registry; configs without a warm mode
+// pass through unchanged.
+func enableWarm(cfg any, reg *obs.Registry) any {
+	switch c := cfg.(type) {
+	case experiments.IntervalSweepConfig:
+		c.WarmStart, c.Metrics = true, reg
+		return c
+	case experiments.DomainSweepConfig:
+		c.WarmStart, c.Metrics = true, reg
+		return c
+	}
+	return cfg
 }
 
 // block is one study's rendered output plus its result, kept so -metrics

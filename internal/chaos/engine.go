@@ -109,7 +109,10 @@ func (e *Engine) Start() error {
 		if a.Every > 0 {
 			first := e.sched.Now().Add(a.Every.Std())
 			if a.Start > 0 {
-				first = e.sched.Now().Add(a.Start.Std())
+				// Anchor to the absolute plan instant, not the engine start:
+				// a warm-started engine attached after t=0 then fires at the
+				// same instants a cold t=0 engine would.
+				first = sim.Time(a.Start)
 			}
 			tick, err := e.sched.Every(first, a.Every.Std(), func() { e.apply(a) })
 			if err != nil {

@@ -1,0 +1,67 @@
+package clock
+
+import "gptpfta/internal/sim"
+
+// Warm-start snapshot support (sim.Snapshotter). Clocks are advanced lazily
+// on read, so their whole mutable state is a handful of scalars; rewinding
+// them in place keeps every pointer held by servos, NICs and shared-memory
+// segments valid across a fork. The wander stream position itself is
+// restored by sim.Streams.Restore, so advance() re-draws the identical
+// random-walk steps after a fork.
+
+// oscillatorSnapshot captures the lazily-materialised local timescale.
+type oscillatorSnapshot struct {
+	lastTrue  sim.Time
+	localNS   float64
+	wanderPPB float64
+	segEnd    sim.Time
+}
+
+// Snapshot implements sim.Snapshotter.
+func (o *Oscillator) Snapshot() any {
+	return &oscillatorSnapshot{
+		lastTrue:  o.lastTrue,
+		localNS:   o.localNS,
+		wanderPPB: o.wanderPPB,
+		segEnd:    o.segEnd,
+	}
+}
+
+// Restore implements sim.Snapshotter.
+func (o *Oscillator) Restore(snap any) {
+	sn := snap.(*oscillatorSnapshot)
+	o.lastTrue = sn.lastTrue
+	o.localNS = sn.localNS
+	o.wanderPPB = sn.wanderPPB
+	o.segEnd = sn.segEnd
+}
+
+// phcSnapshot captures the discipline state of a PHC plus its oscillator's
+// local timescale, so owners snapshot the whole clock with one call.
+type phcSnapshot struct {
+	adjPPB float64
+	baseNS float64
+	oscRef float64
+	osc    any
+}
+
+// Snapshot implements sim.Snapshotter.
+func (p *PHC) Snapshot() any {
+	return &phcSnapshot{adjPPB: p.adjPPB, baseNS: p.baseNS, oscRef: p.oscRef, osc: p.osc.Snapshot()}
+}
+
+// Restore implements sim.Snapshotter.
+func (p *PHC) Restore(snap any) {
+	sn := snap.(*phcSnapshot)
+	p.adjPPB = sn.adjPPB
+	p.baseNS = sn.baseNS
+	p.oscRef = sn.oscRef
+	p.osc.Restore(sn.osc)
+}
+
+// Snapshot implements sim.Snapshotter. The TSC itself is stateless — reads
+// pass through to the oscillator — so its snapshot is the oscillator's.
+func (t *TSC) Snapshot() any { return t.osc.Snapshot() }
+
+// Restore implements sim.Snapshotter.
+func (t *TSC) Restore(snap any) { t.osc.Restore(snap) }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"gptpfta/internal/obs"
+)
+
+// Warm-start snapshot engine. System.Snapshot captures every stateful
+// component — scheduler (with queued events as re-arm descriptors), RNG
+// stream positions, clocks, bridges, links, relays, nodes (stacks, phc2sys,
+// shared memory), measurement collector and agents, the event log, the Sync
+// latency tracker and the metrics registry — into one opaque value.
+// ForkSystem rewinds the captured system back to that instant, so a sweep
+// campaign pays for the convergence prefix once and forks per sweep point.
+//
+// Forks are in-place: all component pointers (and the closures queued in the
+// scheduler) refer to the original objects, so a snapshot can only be
+// resumed on the System it was taken from, one fork at a time. Anything a
+// fork could mutate through a shared reference — pending frames, relay
+// records, open measurement windows — is deep-copied at Snapshot time and
+// re-cloned on every Restore.
+
+// eventLogSnapshot holds a pristine copy of the log.
+type eventLogSnapshot struct {
+	events []Event
+}
+
+// Snapshot implements sim.Snapshotter.
+func (l *EventLog) Snapshot() any {
+	return &eventLogSnapshot{events: append([]Event(nil), l.events...)}
+}
+
+// Restore implements sim.Snapshotter. The log is rebuilt on a fresh backing
+// array: Events() copies, but results collected from an earlier fork must
+// never share storage with the live log.
+func (l *EventLog) Restore(snap any) {
+	sn := snap.(*eventLogSnapshot)
+	l.events = append([]Event(nil), sn.events...)
+}
+
+// systemSnapshot captures a System; components are stored positionally in
+// build order, which is fixed by the deterministic constructor.
+type systemSnapshot struct {
+	sys *System
+
+	sched   any
+	streams any
+	metrics *obs.RegistryState
+
+	bridges []any
+	links   []any
+	relays  []any
+	nodes   []any
+
+	collector any
+	agents    map[string]any
+	log       any
+	syncLat   any
+
+	started bool
+}
+
+// Snapshot captures the complete system state at the current instant.
+func (s *System) Snapshot() any {
+	sn := &systemSnapshot{
+		sys:       s,
+		sched:     s.sched.Snapshot(),
+		streams:   s.streams.Snapshot(),
+		metrics:   s.obs.StateSnapshot(),
+		bridges:   make([]any, len(s.bridges)),
+		links:     make([]any, len(s.links)),
+		relays:    make([]any, len(s.relays)),
+		nodes:     make([]any, len(s.nodes)),
+		collector: s.collector.Snapshot(),
+		agents:    make(map[string]any, len(s.agents)),
+		log:       s.log.Snapshot(),
+		syncLat:   s.syncLat.Snapshot(),
+		started:   s.started,
+	}
+	for i, b := range s.bridges {
+		sn.bridges[i] = b.Snapshot()
+	}
+	for i, l := range s.links {
+		sn.links[i] = l.Snapshot()
+	}
+	for i, r := range s.relays {
+		sn.relays[i] = r.Snapshot()
+	}
+	for i, n := range s.nodes {
+		sn.nodes[i] = n.Snapshot()
+	}
+	for name, a := range s.agents {
+		sn.agents[name] = a.Snapshot()
+	}
+	return sn
+}
+
+// Restore rewinds the system to a Snapshot taken from it.
+func (s *System) Restore(snap any) {
+	sn := snap.(*systemSnapshot)
+	if sn.sys != s {
+		panic("core: snapshot restored into a different System")
+	}
+	s.sched.Restore(sn.sched)
+	s.streams.Restore(sn.streams)
+	s.obs.RestoreState(sn.metrics)
+	for i, b := range s.bridges {
+		b.RestoreSnapshot(sn.bridges[i])
+	}
+	for i, l := range s.links {
+		l.Restore(sn.links[i])
+	}
+	for i, r := range s.relays {
+		r.Restore(sn.relays[i])
+	}
+	for i, n := range s.nodes {
+		n.Restore(sn.nodes[i])
+	}
+	s.collector.Restore(sn.collector)
+	for name, a := range s.agents {
+		a.Restore(sn.agents[name])
+	}
+	s.log.Restore(sn.log)
+	s.syncLat.Restore(sn.syncLat)
+	s.started = sn.started
+}
+
+// ForkSystem resumes a snapshot: the captured system is rewound in place to
+// the snapshot instant and returned, ready to diverge. Because forks share
+// the component graph, run each fork to completion (and collect its results)
+// before forking again from the same snapshot.
+func ForkSystem(snap any) (*System, error) {
+	sn, ok := snap.(*systemSnapshot)
+	if !ok {
+		return nil, fmt.Errorf("core: ForkSystem: not a System snapshot (%T)", snap)
+	}
+	sn.sys.Restore(sn)
+	return sn.sys, nil
+}
+
+// PrefixHash fingerprints everything that shapes a run's warm-up prefix: the
+// full Config plus the prefix boundary. Two sweep points with equal hashes
+// are guaranteed to execute identical prefixes, so one may fork from the
+// other's snapshot; a differing hash (topology, thresholds, intervals — any
+// Config field at all) forces a cold run. Map fields are serialised in
+// sorted key order, so the hash is stable across processes.
+func PrefixHash(cfg Config, boundary time.Duration) string {
+	h := sha256.New()
+	// fmt prints map keys in sorted order, but serialise Kernels explicitly
+	// so the hash does not depend on that formatting detail.
+	kernels := make([]string, 0, len(cfg.Kernels))
+	for k, v := range cfg.Kernels {
+		kernels = append(kernels, k+"="+v)
+	}
+	sort.Strings(kernels)
+	cfgNoMap := cfg
+	cfgNoMap.Kernels = nil
+	fmt.Fprintf(h, "%#v|%v|%v", cfgNoMap, kernels, boundary)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,17 +1,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"gptpfta/internal/core"
 	"gptpfta/internal/fta"
+	"gptpfta/internal/obs"
+	"gptpfta/internal/runner"
 )
 
 // BoundsConfig parameterises the §III-A3 methodology run.
 type BoundsConfig struct {
 	Seed     int64
 	Duration time.Duration // fault-free observation window
+	// WarmStart runs the first half of the window as a snapshot prefix and
+	// forks the second half from it. The run is fault-free throughout, so
+	// the split run is bit-identical to the unsplit one — this mode exists
+	// to exercise (and regression-test) the fork path on a full system.
+	WarmStart bool
+	// Metrics optionally instruments the run's pool (fork accounting).
+	Metrics *obs.Registry
 }
 
 func (c BoundsConfig) withDefaults() BoundsConfig {
@@ -79,6 +89,9 @@ func (r BoundsResult) Table() []string {
 func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
+	if cfg.WarmStart {
+		return boundsWarm(cfg, sysCfg)
+	}
 	sys, err := core.NewSystem(sysCfg)
 	if err != nil {
 		return nil, err
@@ -89,6 +102,46 @@ func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
 	if err := sys.RunFor(cfg.Duration); err != nil {
 		return nil, err
 	}
+	return boundsCollect(cfg, sysCfg, sys), nil
+}
+
+// boundsWarm is the warm-start form of Bounds: prefix to Duration/2,
+// snapshot, fork, run the remainder. There is no divergent machinery in this
+// study, so the forked run's result is bit-identical to the cold run's; a
+// prefix failure degrades to the cold path via the runner's fallback.
+func boundsWarm(cfg BoundsConfig, sysCfg core.Config) (*BoundsResult, error) {
+	boundary := cfg.Duration / 2
+	hash := core.PrefixHash(sysCfg, boundary)
+	wc := runner.WarmConfig{Hash: hash, Prefix: systemPrefix(sysCfg, boundary)}
+	run := runner.WarmRun{
+		Name: "bounds",
+		Hash: hash,
+		Fork: func(_ context.Context, snap any) (any, error) {
+			sys, err := core.ForkSystem(snap)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.RunFor(cfg.Duration - boundary); err != nil {
+				return nil, err
+			}
+			return boundsCollect(cfg, sysCfg, sys), nil
+		},
+		Cold: func(context.Context) (any, error) {
+			cold := cfg
+			cold.WarmStart = false
+			return Bounds(cold)
+		},
+	}
+	pool := runner.New(1).WithMetrics(cfg.Metrics)
+	vals, err := runner.Values[*BoundsResult](pool.ExecuteWarm(context.Background(), wc, []runner.WarmRun{run}))
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// boundsCollect instantiates the bound from a finished run.
+func boundsCollect(cfg BoundsConfig, sysCfg core.Config, sys *core.System) *BoundsResult {
 	res := &BoundsResult{Config: cfg}
 	res.DMin, res.DMax, _ = sys.SyncLatencies().Extrema()
 	res.ReadingError = res.DMax - res.DMin
@@ -98,5 +151,5 @@ func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
 	res.Gamma = sys.Collector().Gamma()
 	res.SyncPaths = sys.SyncLatencies().Paths()
 	res.Obs = sys.Metrics().Snapshot()
-	return res, nil
+	return res
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -10,7 +11,9 @@ import (
 	"gptpfta/internal/faultinject"
 	"gptpfta/internal/gptp"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/ptp4l"
+	"gptpfta/internal/runner"
 	"gptpfta/internal/sim"
 )
 
@@ -33,6 +36,14 @@ type FaultInjectionConfig struct {
 	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
 	// campaigns (zero keeps the paper's free-run default).
 	HoldoverWindow time.Duration
+	// WarmStart snapshots the fault-free convergence prefix (up to the
+	// injector's start minus a guard) and forks the campaign from it. The
+	// result is bit-identical to the attach-at-boundary cold run the
+	// fallback executes. A chaos plan acting before the boundary (or
+	// anchored relative to engine start) demotes the run to cold.
+	WarmStart bool
+	// Metrics optionally instruments the run's pool (fork accounting).
+	Metrics *obs.Registry
 }
 
 func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
@@ -109,6 +120,11 @@ func (r *FaultInjectionResult) Rows() [][]string {
 	}
 }
 
+// faultInjectStart is the injector's grace period: the system synchronizes
+// undisturbed for this long before the first injection (and warm-start mode
+// snapshots warmGuard before it).
+const faultInjectStart = 2 * time.Minute
+
 // FaultInjection runs the paper's §III-C campaign: rotating grandmaster
 // shutdowns plus random redundant-VM shutdowns, with the dependent clock
 // failing over and VMs rebooting, for the configured duration.
@@ -116,6 +132,9 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
 	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	if cfg.WarmStart {
+		return faultInjectionWarm(cfg, sysCfg)
+	}
 	sys, err := core.NewSystem(sysCfg)
 	if err != nil {
 		return nil, err
@@ -123,7 +142,66 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	if err := sys.Start(); err != nil {
 		return nil, err
 	}
+	return faultInjectionDiverge(cfg, sys, cfg.Duration)
+}
 
+// faultInjectionWarm is the warm-start form of FaultInjection: prefix to the
+// boundary, snapshot, fork, attach the injector (and optional chaos engine)
+// there. Both campaigns anchor their first firings to absolute instants, so
+// the fork injects at exactly the instants a cold run would.
+func faultInjectionWarm(cfg FaultInjectionConfig, sysCfg core.Config) (*FaultInjectionResult, error) {
+	boundary := faultInjectStart - warmGuard
+	if boundary >= cfg.Duration {
+		boundary = 0
+	}
+	if cfg.ChaosPlan != nil {
+		if earliest, ok := planEarliest(cfg.ChaosPlan); !ok || earliest <= boundary {
+			boundary = 0 // the plan acts inside the would-be prefix: run cold
+		}
+	}
+	wc := runner.WarmConfig{}
+	if boundary > 0 {
+		wc.Hash = core.PrefixHash(sysCfg, boundary)
+		wc.Prefix = systemPrefix(sysCfg, boundary)
+	}
+	run := runner.WarmRun{
+		Name: "faultinjection",
+		Hash: core.PrefixHash(sysCfg, boundary),
+		Fork: func(_ context.Context, snap any) (any, error) {
+			sys, err := core.ForkSystem(snap)
+			if err != nil {
+				return nil, err
+			}
+			return faultInjectionDiverge(cfg, sys, cfg.Duration-boundary)
+		},
+		Cold: func(context.Context) (any, error) {
+			sys, err := core.NewSystem(sysCfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Start(); err != nil {
+				return nil, err
+			}
+			if boundary > 0 {
+				if err := sys.RunFor(boundary); err != nil {
+					return nil, err
+				}
+			}
+			return faultInjectionDiverge(cfg, sys, cfg.Duration-boundary)
+		},
+	}
+	pool := runner.New(1).WithMetrics(cfg.Metrics)
+	vals, err := runner.Values[*FaultInjectionResult](pool.ExecuteWarm(context.Background(), wc, []runner.WarmRun{run}))
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// faultInjectionDiverge attaches the injection campaign to a running system
+// (fresh at t=0, or forked at the warm boundary), runs the remainder, and
+// assembles the result.
+func faultInjectionDiverge(cfg FaultInjectionConfig, sys *core.System, remaining time.Duration) (*FaultInjectionResult, error) {
 	controls := sys.NodeControls()
 	nodes := make([]faultinject.NodeControl, len(controls))
 	for i := range controls {
@@ -135,7 +213,7 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 			RedundantMinPerHour: cfg.RedundantMinPerHour,
 			RedundantMaxPerHour: cfg.RedundantMaxPerHour,
 			Downtime:            cfg.Downtime,
-			Start:               2 * time.Minute,
+			Start:               faultInjectStart,
 		})
 	if err != nil {
 		return nil, err
@@ -155,7 +233,7 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 			return nil, err
 		}
 	}
-	if err := sys.RunFor(cfg.Duration); err != nil {
+	if err := sys.RunFor(remaining); err != nil {
 		return nil, err
 	}
 	inj.Stop()

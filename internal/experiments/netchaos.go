@@ -38,6 +38,15 @@ type NetworkChaosConfig struct {
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
 	Parallel int
+	// WarmStart runs the shared convergence prefix (everything before
+	// ChaosStart) once and forks every sweep point from its snapshot. The
+	// table is bit-identical to the cold attach-at-boundary runs the
+	// fallback executes (see DESIGN.md "Warm-state snapshots").
+	WarmStart bool
+	// Metrics optionally instruments the campaign's runner pool (fork and
+	// fallback accounting). The registry must be campaign-level, never a
+	// simulation's.
+	Metrics *obs.Registry
 }
 
 func (c NetworkChaosConfig) withDefaults() NetworkChaosConfig {
@@ -201,17 +210,25 @@ func NetworkChaos(ctx context.Context, cfg NetworkChaosConfig) (*NetworkChaosRes
 	}
 
 	res := &NetworkChaosResult{Config: cfg}
-	runs := make([]runner.Run, len(plans))
 	snapshots := make([][]obs.Metric, len(plans))
-	for i := range plans {
-		i := i
-		runs[i] = runner.Run{Name: plans[i].Name, Do: func(context.Context) (any, error) {
-			point, snap, err := chaosPoint(cfg, plans[i])
-			snapshots[i] = snap
-			return point, err
-		}}
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+
+	var outcomes []runner.Outcome
+	if cfg.WarmStart {
+		outcomes = networkChaosWarm(ctx, cfg, pool, plans, snapshots)
+	} else {
+		runs := make([]runner.Run, len(plans))
+		for i := range plans {
+			i := i
+			runs[i] = runner.Run{Name: plans[i].Name, Do: func(context.Context) (any, error) {
+				point, snap, err := chaosPoint(cfg, plans[i])
+				snapshots[i] = snap
+				return point, err
+			}}
+		}
+		outcomes = pool.Execute(ctx, runs)
 	}
-	points, err := runner.Values[ChaosPoint](runner.New(cfg.Parallel).Execute(ctx, runs))
+	points, err := runner.Values[ChaosPoint](outcomes)
 	if err != nil {
 		return nil, err
 	}
@@ -222,12 +239,61 @@ func NetworkChaos(ctx context.Context, cfg NetworkChaosConfig) (*NetworkChaosRes
 	return res, nil
 }
 
+// networkChaosWarm executes the sweep in warm-start mode: one prefix run to
+// the boundary (ChaosStart − warmGuard), one snapshot, one fork per plan.
+// Every point shares the campaign's core.Config — the plans differ, not the
+// warm-up — so each point's own prefix hash equals the campaign's and the
+// point forks; the cold fallback executes the identical attach-at-boundary
+// structure, keeping the table bit-for-bit independent of the mode.
+func networkChaosWarm(ctx context.Context, cfg NetworkChaosConfig, pool *runner.Pool,
+	plans []*chaos.Plan, snapshots [][]obs.Metric) []runner.Outcome {
+	boundary := cfg.ChaosStart - warmGuard
+	if boundary <= 0 || boundary >= cfg.Duration {
+		boundary = 0 // no usable prefix: every point runs cold
+	}
+	sysCfg := chaosSystemConfig(cfg)
+	wc := runner.WarmConfig{}
+	if boundary > 0 {
+		wc.Hash = core.PrefixHash(sysCfg, boundary)
+		wc.Prefix = systemPrefix(sysCfg, boundary)
+	}
+	wruns := make([]runner.WarmRun, len(plans))
+	for i := range plans {
+		i := i
+		wruns[i] = runner.WarmRun{
+			Name: plans[i].Name,
+			Hash: core.PrefixHash(sysCfg, boundary),
+			Fork: func(_ context.Context, snap any) (any, error) {
+				sys, err := core.ForkSystem(snap)
+				if err != nil {
+					return nil, err
+				}
+				point, ms, err := chaosDiverge(cfg, sys, plans[i], cfg.Duration-boundary)
+				snapshots[i] = ms
+				return point, err
+			},
+			Cold: func(context.Context) (any, error) {
+				point, ms, err := chaosPointFrom(cfg, plans[i], boundary)
+				snapshots[i] = ms
+				return point, err
+			},
+		}
+	}
+	return pool.ExecuteWarm(ctx, wc, wruns)
+}
+
+// chaosSystemConfig is the sweep's shared system configuration: every plan
+// runs against the same seed and holdover window.
+func chaosSystemConfig(cfg NetworkChaosConfig) core.Config {
+	sysCfg := core.NewConfig(cfg.Seed)
+	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	return sysCfg
+}
+
 // chaosPoint runs one plan against a fresh system and reads the campaign
 // accounting back out of the metrics registry.
 func chaosPoint(cfg NetworkChaosConfig, plan *chaos.Plan) (ChaosPoint, []obs.Metric, error) {
-	sysCfg := core.NewConfig(cfg.Seed)
-	sysCfg.HoldoverWindow = cfg.HoldoverWindow
-	sys, err := core.NewSystem(sysCfg)
+	sys, err := core.NewSystem(chaosSystemConfig(cfg))
 	if err != nil {
 		return ChaosPoint{}, nil, err
 	}
@@ -246,7 +312,50 @@ func chaosPoint(cfg NetworkChaosConfig, plan *chaos.Plan) (ChaosPoint, []obs.Met
 		return ChaosPoint{}, nil, err
 	}
 	eng.Stop()
+	return chaosCollect(sys, plan)
+}
 
+// chaosPointFrom is the attach-at-boundary cold run: the reference execution
+// a warm fork of the same plan is bit-identical to.
+func chaosPointFrom(cfg NetworkChaosConfig, plan *chaos.Plan, boundary time.Duration) (ChaosPoint, []obs.Metric, error) {
+	sys, err := core.NewSystem(chaosSystemConfig(cfg))
+	if err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	if boundary > 0 {
+		if err := sys.RunFor(boundary); err != nil {
+			return ChaosPoint{}, nil, err
+		}
+	}
+	return chaosDiverge(cfg, sys, plan, cfg.Duration-boundary)
+}
+
+// chaosDiverge attaches the plan's engine to a system already run to the
+// warm boundary and executes the divergent remainder. The plan's actions are
+// anchored to absolute instants, so the engine fires exactly as a cold t=0
+// engine would.
+func chaosDiverge(cfg NetworkChaosConfig, sys *core.System, plan *chaos.Plan, remaining time.Duration) (ChaosPoint, []obs.Metric, error) {
+	eng, err := chaos.New(sys.Scheduler(), sys, plan)
+	if err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	eng.Instrument(sys.Metrics())
+	if err := eng.Start(); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	if err := sys.RunFor(remaining); err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	eng.Stop()
+	return chaosCollect(sys, plan)
+}
+
+// chaosCollect reads one finished run's precision statistics and chaos
+// accounting back out of the system.
+func chaosCollect(sys *core.System, plan *chaos.Plan) (ChaosPoint, []obs.Metric, error) {
 	settle := (90 * time.Second).Seconds()
 	var steady []measure.Sample
 	for _, s := range sys.Collector().Samples() {

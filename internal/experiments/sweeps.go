@@ -9,6 +9,7 @@ import (
 	"gptpfta/internal/attack"
 	"gptpfta/internal/core"
 	"gptpfta/internal/measure"
+	"gptpfta/internal/obs"
 	"gptpfta/internal/runner"
 	"gptpfta/internal/sim"
 )
@@ -88,6 +89,13 @@ type IntervalSweepConfig struct {
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
 	Parallel int
+	// WarmStart enables snapshot forking. The swept parameter (SyncInterval)
+	// shapes the warm-up itself, so every point except the first falls back
+	// to a cold run via the prefix-hash mismatch — this sweep demonstrates
+	// the fallback detection, not the speed-up.
+	WarmStart bool
+	// Metrics optionally instruments the campaign's runner pool.
+	Metrics *obs.Registry
 }
 
 func (c IntervalSweepConfig) withDefaults() IntervalSweepConfig {
@@ -116,6 +124,13 @@ func IntervalSweep(ctx context.Context, cfg IntervalSweepConfig) (*SweepResult, 
 	for i, s := range cfg.Intervals {
 		labels[i] = fmt.Sprintf("S = %v", s)
 	}
+	if cfg.WarmStart {
+		points, err := intervalSweepWarm(ctx, cfg, labels)
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResult{Name: "synchronization-interval sweep", Points: points}, nil
+	}
 	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
 		return intervalPoint(cfg.Seed, cfg.Intervals[i], cfg.Duration)
 	})
@@ -125,10 +140,53 @@ func IntervalSweep(ctx context.Context, cfg IntervalSweepConfig) (*SweepResult, 
 	return &SweepResult{Name: "synchronization-interval sweep", Points: points}, nil
 }
 
-func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
+// intervalSweepWarm runs the sweep through the warm-start engine. The prefix
+// is built from the first point's config; every other point's SyncInterval
+// changes its prefix hash, so those points run cold and the campaign counts
+// them as fallbacks. The run is fault-free, so the one forked point is
+// bit-identical to its cold (unsplit) run.
+func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []string) ([]SweepPoint, error) {
+	boundary := cfg.Duration / 2
+	prefixCfg := intervalSysCfg(cfg.Seed, cfg.Intervals[0])
+	wc := runner.WarmConfig{
+		Hash:   core.PrefixHash(prefixCfg, boundary),
+		Prefix: systemPrefix(prefixCfg, boundary),
+	}
+	wruns := make([]runner.WarmRun, len(cfg.Intervals))
+	for i := range cfg.Intervals {
+		i := i
+		s := cfg.Intervals[i]
+		wruns[i] = runner.WarmRun{
+			Name: labels[i],
+			Hash: core.PrefixHash(intervalSysCfg(cfg.Seed, s), boundary),
+			Fork: func(_ context.Context, snap any) (any, error) {
+				sys, err := core.ForkSystem(snap)
+				if err != nil {
+					return SweepPoint{}, err
+				}
+				if err := sys.RunFor(cfg.Duration - boundary); err != nil {
+					return SweepPoint{}, err
+				}
+				return intervalCollect(sys, s), nil
+			},
+			Cold: func(context.Context) (any, error) {
+				return intervalPoint(cfg.Seed, s, cfg.Duration)
+			},
+		}
+	}
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+	return runner.Values[SweepPoint](pool.ExecuteWarm(ctx, wc, wruns))
+}
+
+// intervalSysCfg is one interval point's system configuration.
+func intervalSysCfg(seed int64, s time.Duration) core.Config {
 	cfg := core.NewConfig(seed)
 	cfg.SyncInterval = s
-	sys, err := core.NewSystem(cfg)
+	return cfg
+}
+
+func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
+	sys, err := core.NewSystem(intervalSysCfg(seed, s))
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -138,6 +196,11 @@ func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
 	if err := sys.RunFor(duration); err != nil {
 		return SweepPoint{}, err
 	}
+	return intervalCollect(sys, s), nil
+}
+
+// intervalCollect reads one finished interval point out of the system.
+func intervalCollect(sys *core.System, s time.Duration) SweepPoint {
 	settle := (90 * time.Second).Seconds()
 	var steady []measure.Sample
 	for _, smp := range sys.Collector().Samples() {
@@ -154,7 +217,7 @@ func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
 		BoundNS:         float64(bound),
 		Violations:      measure.ViolationCount(steady, float64(bound)),
 		Samples:         len(steady),
-	}, nil
+	}
 }
 
 // DomainSweepConfig parameterises DomainSweep.
@@ -165,6 +228,12 @@ type DomainSweepConfig struct {
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
 	Parallel int
+	// WarmStart enables snapshot forking. The swept parameter (DomainCount)
+	// shapes the warm-up itself, so every point except the first falls back
+	// to a cold run via the prefix-hash mismatch.
+	WarmStart bool
+	// Metrics optionally instruments the campaign's runner pool.
+	Metrics *obs.Registry
 }
 
 func (c DomainSweepConfig) withDefaults() DomainSweepConfig {
@@ -186,6 +255,13 @@ func DomainSweep(ctx context.Context, cfg DomainSweepConfig) (*SweepResult, erro
 	for i, m := range cfg.Counts {
 		labels[i] = fmt.Sprintf("M = %d domains", m)
 	}
+	if cfg.WarmStart {
+		points, err := domainSweepWarm(ctx, cfg, labels)
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResult{Name: "domain-count sweep", Points: points}, nil
+	}
 	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
 		return domainPoint(cfg.Seed, cfg.Counts[i], cfg.Duration)
 	})
@@ -195,15 +271,72 @@ func DomainSweep(ctx context.Context, cfg DomainSweepConfig) (*SweepResult, erro
 	return &SweepResult{Name: "domain-count sweep", Points: points}, nil
 }
 
-func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) {
+// domainSweepWarm runs the sweep through the warm-start engine. The prefix
+// replicates the first point's setup — including its pending compromise
+// event — and snapshots warmGuard before the attack fires, so the forked
+// first point is bit-identical to its cold run; the other counts change the
+// prefix hash and fall back cold.
+func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string) ([]SweepPoint, error) {
+	boundary := cfg.Duration/3 - warmGuard
+	if half := cfg.Duration / 2; boundary > half {
+		boundary = half
+	}
+	wc := runner.WarmConfig{}
+	if boundary > 0 {
+		wc.Hash = core.PrefixHash(domainSysCfg(cfg.Seed, cfg.Counts[0]), boundary)
+		wc.Prefix = func(context.Context) (any, error) {
+			sys, err := domainSetup(cfg.Seed, cfg.Counts[0], cfg.Duration)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.RunFor(boundary); err != nil {
+				return nil, err
+			}
+			return sys.Snapshot(), nil
+		}
+	}
+	wruns := make([]runner.WarmRun, len(cfg.Counts))
+	for i := range cfg.Counts {
+		i := i
+		m := cfg.Counts[i]
+		wruns[i] = runner.WarmRun{
+			Name: labels[i],
+			Hash: core.PrefixHash(domainSysCfg(cfg.Seed, m), boundary),
+			Fork: func(_ context.Context, snap any) (any, error) {
+				sys, err := core.ForkSystem(snap)
+				if err != nil {
+					return SweepPoint{}, err
+				}
+				if err := sys.RunFor(cfg.Duration - boundary); err != nil {
+					return SweepPoint{}, err
+				}
+				return domainCollect(sys, m, cfg.Duration), nil
+			},
+			Cold: func(context.Context) (any, error) {
+				return domainPoint(cfg.Seed, m, cfg.Duration)
+			},
+		}
+	}
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+	return runner.Values[SweepPoint](pool.ExecuteWarm(ctx, wc, wruns))
+}
+
+// domainSysCfg is one domain point's system configuration.
+func domainSysCfg(seed int64, m int) core.Config {
 	cfg := core.NewConfig(seed)
 	cfg.DomainCount = m
-	sys, err := core.NewSystem(cfg)
+	return cfg
+}
+
+// domainSetup builds and starts one domain point's system with its
+// compromise event pending.
+func domainSetup(seed int64, m int, duration time.Duration) (*core.System, error) {
+	sys, err := core.NewSystem(domainSysCfg(seed, m))
 	if err != nil {
-		return SweepPoint{}, err
+		return nil, err
 	}
 	if err := sys.Start(); err != nil {
-		return SweepPoint{}, err
+		return nil, err
 	}
 	// Compromise the highest-numbered domain's grandmaster a third in.
 	target := core.VMName(m-1, 0)
@@ -212,9 +345,22 @@ func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) 
 			vm.Stack.Compromise(attack.MaliciousOriginOffsetNS)
 		}
 	})
+	return sys, nil
+}
+
+func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) {
+	sys, err := domainSetup(seed, m, duration)
+	if err != nil {
+		return SweepPoint{}, err
+	}
 	if err := sys.RunFor(duration); err != nil {
 		return SweepPoint{}, err
 	}
+	return domainCollect(sys, m, duration), nil
+}
+
+// domainCollect reads one finished domain point out of the system.
+func domainCollect(sys *core.System, m int, duration time.Duration) SweepPoint {
 	attackSec := (duration / 3).Seconds()
 	var after []measure.Sample
 	for _, smp := range sys.Collector().Samples() {
@@ -231,7 +377,7 @@ func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) 
 		BoundNS:         float64(bound),
 		Violations:      measure.ViolationCount(after, float64(bound)),
 		Samples:         len(after),
-	}, nil
+	}
 }
 
 // SyncIntervalSweep is the positional-argument predecessor of

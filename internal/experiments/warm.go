@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"gptpfta/internal/chaos"
+	"gptpfta/internal/core"
+)
+
+// Warm-start support shared by the studies (see DESIGN.md "Warm-state
+// snapshots"). A warm-eligible study runs its convergence prefix once per
+// campaign, snapshots the System at a boundary strictly before the first
+// divergent event (fault injection, chaos action, attack), and forks every
+// sweep point from the snapshot. Each point's own config-prefix hash
+// (core.PrefixHash) is compared against the campaign's; a mismatch — the
+// point's parameters shape the warm-up itself — falls back to a cold run,
+// counted by the runner's runner_cold_fallbacks.
+
+// warmGuard is the safety margin between the snapshot boundary and the first
+// divergent event: the boundary is placed this far before the event so the
+// prefix can never execute state the sweep points disagree on.
+const warmGuard = 5 * time.Second
+
+// systemPrefix returns a campaign's shared-prefix executor: build the
+// system, start it, run it fault-free to the boundary, snapshot it.
+func systemPrefix(sysCfg core.Config, boundary time.Duration) func(context.Context) (any, error) {
+	return func(context.Context) (any, error) {
+		sys, err := core.NewSystem(sysCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Start(); err != nil {
+			return nil, err
+		}
+		if err := sys.RunFor(boundary); err != nil {
+			return nil, err
+		}
+		return sys.Snapshot(), nil
+	}
+}
+
+// planEarliest reports the earliest absolute instant at which a chaos plan
+// acts. ok is false when any action is anchored relative to the engine's
+// start (a periodic action without a Start offset): such a plan fires at
+// different instants depending on when the engine attaches, so a warm fork
+// cannot reproduce the cold t=0 schedule and the study must run cold.
+func planEarliest(p *chaos.Plan) (earliest time.Duration, ok bool) {
+	first := true
+	for i := range p.Actions {
+		a := &p.Actions[i]
+		var t time.Duration
+		if a.Every > 0 {
+			if a.Start <= 0 {
+				return 0, false
+			}
+			t = a.Start.Std()
+		} else {
+			t = a.At.Std()
+		}
+		if first || t < earliest {
+			earliest = t
+			first = false
+		}
+	}
+	return earliest, !first
+}

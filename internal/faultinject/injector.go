@@ -177,8 +177,10 @@ func (in *Injector) NoteNetworkFault() { in.stats.NetworkFaults++ }
 // Start schedules the injection campaigns.
 func (in *Injector) Start() error {
 	// Grandmaster rotation: one GM shutdown per GMPeriod, cycling
-	// dev1, dev2, … sequentially.
-	t, err := in.sched.Every(in.sched.Now().Add(in.cfg.Start), in.cfg.GMPeriod, in.failNextGM)
+	// dev1, dev2, … sequentially. The first fire is anchored to the absolute
+	// Start instant, so a warm-started injector attached after t=0 fires at
+	// the same instants a cold t=0 injector would.
+	t, err := in.sched.Every(sim.Time(in.cfg.Start), in.cfg.GMPeriod, in.failNextGM)
 	if err != nil {
 		return err
 	}
@@ -225,7 +227,8 @@ func (in *Injector) scheduleRedundant(nodeIdx int) {
 		rate += in.rng.Float64() * (in.cfg.RedundantMaxPerHour - in.cfg.RedundantMinPerHour)
 	}
 	delay := time.Duration(float64(time.Hour) / rate)
-	in.sched.After(in.cfg.Start+delay, func() {
+	// Absolute anchor, same rationale as the GM rotation above.
+	in.sched.At(sim.Time(in.cfg.Start+delay), func() {
 		if in.stopped {
 			return
 		}

@@ -81,6 +81,9 @@ type Master struct {
 	lastSlot int64
 	ticker   *sim.Ticker
 	onFault  func(kind string)
+	// txFn is the prebound ETF completion callback (snapshot-safe: it
+	// reaches all per-Sync state through the payload argument).
+	txFn func(payload any, txTS float64)
 
 	syncsSent, followUpsSent uint64
 }
@@ -88,7 +91,9 @@ type Master struct {
 // NewMaster creates a grandmaster port on nic. onFault, if non-nil,
 // receives transient-fault notifications.
 func NewMaster(nic *netsim.NIC, sched *sim.Scheduler, rng sim.RNG, cfg MasterConfig, onFault func(kind string)) *Master {
-	return &Master{nic: nic, sched: sched, rng: rng, cfg: cfg.withDefaults(), onFault: onFault, lastSlot: -1}
+	m := &Master{nic: nic, sched: sched, rng: rng, cfg: cfg.withDefaults(), onFault: onFault, lastSlot: -1}
+	m.txFn = m.onSyncTx
+	return m
 }
 
 // Config returns the effective configuration.
@@ -141,8 +146,7 @@ func (m *Master) tick() {
 	launch := float64(launchSlot) * interval
 
 	m.seq++
-	seq := m.seq
-	sync := &Sync{Domain: m.cfg.Domain, Seq: seq}
+	sync := &Sync{Domain: m.cfg.Domain, Seq: m.seq}
 	if m.cfg.OneStep {
 		sync.OneStep = true
 		sync.RateRatio = 1
@@ -159,20 +163,26 @@ func (m *Master) tick() {
 		return
 	}
 
-	err := m.nic.SendAtPHC(launch, syncFrame, func(txTS float64) {
-		m.syncsSent++
-		if m.cfg.OneStep {
-			// The timestamping unit writes the origin into the departing
-			// frame; delivery is scheduled after this callback, so the
-			// mutation is visible to every receiver.
-			sync.Origin = txTS + m.cfg.MaliciousOriginOffsetNS
-			return
-		}
-		m.completeFollowUp(seq, txTS)
-	})
+	err := m.nic.SendAtPHC(launch, syncFrame, m.txFn)
 	if errors.Is(err, netsim.ErrLaunchDeadlineMissed) {
 		m.fault(FaultDeadlineMiss)
 	}
+}
+
+// onSyncTx completes a Sync transmission at the ETF launch instant. The
+// per-Sync state arrives through the payload (the scheduler hands each
+// fork its own deep copy), so the callback itself is snapshot-safe.
+func (m *Master) onSyncTx(payload any, txTS float64) {
+	sync := payload.(*Sync)
+	m.syncsSent++
+	if m.cfg.OneStep {
+		// The timestamping unit writes the origin into the departing
+		// frame; delivery is scheduled after this callback, so the
+		// mutation is visible to every receiver.
+		sync.Origin = txTS + m.cfg.MaliciousOriginOffsetNS
+		return
+	}
+	m.completeFollowUp(sync.Seq, txTS)
 }
 
 func (m *Master) completeFollowUp(seq uint16, txTS float64) {
@@ -206,4 +216,38 @@ func (m *Master) fault(kind string) {
 	if m.onFault != nil {
 		m.onFault(kind)
 	}
+}
+
+// masterSnapshot captures the master's mutable state for warm-start forks.
+type masterSnapshot struct {
+	seq                      uint16
+	lastSlot                 int64
+	ticker                   *sim.Ticker
+	maliciousNS              float64
+	syncsSent, followUpsSent uint64
+}
+
+// Snapshot implements sim.Snapshotter. The ticker handle is captured by
+// pointer: its scheduler slot and generation are restored verbatim by the
+// scheduler's own snapshot, so the handle revalidates on restore.
+func (m *Master) Snapshot() any {
+	return &masterSnapshot{
+		seq:           m.seq,
+		lastSlot:      m.lastSlot,
+		ticker:        m.ticker,
+		maliciousNS:   m.cfg.MaliciousOriginOffsetNS,
+		syncsSent:     m.syncsSent,
+		followUpsSent: m.followUpsSent,
+	}
+}
+
+// Restore implements sim.Snapshotter.
+func (m *Master) Restore(snap any) {
+	sn := snap.(*masterSnapshot)
+	m.seq = sn.seq
+	m.lastSlot = sn.lastSlot
+	m.ticker = sn.ticker
+	m.cfg.MaliciousOriginOffsetNS = sn.maliciousNS
+	m.syncsSent = sn.syncsSent
+	m.followUpsSent = sn.followUpsSent
 }

@@ -239,11 +239,22 @@ func (r *Relay) handleSync(ingress int, f *netsim.Frame, m *Sync, rxTS float64) 
 		egress := egress
 		out := f.Clone()
 		residence := r.bridge.ResidenceFor(f)
-		r.bridge.TransmitAt(egress, residence, out, func(txTS float64) {
+		seq := m.Seq
+		// The callback looks the record up by sequence number at fire time
+		// instead of capturing *relaySync: records are freelist-recycled,
+		// and the lookup keeps the closure snapshot-safe (it captures only
+		// the relay, the domain — both restored in place — and scalars).
+		// Residence times are microseconds while ageing takes seqDelta > 4
+		// intervals, so a pending egress callback never misses its record.
+		r.bridge.TransmitAt(egress, residence, out, func(_ any, txTS float64) {
+			st, ok := d.pending[seq]
+			if !ok {
+				return
+			}
 			st.txTS[egress] = txTS
 			st.haveTx[egress] = true
 			if st.fu != nil {
-				r.forwardFollowUp(d, m.Seq, st, egress)
+				r.forwardFollowUp(d, seq, st, egress)
 			}
 		})
 	}
@@ -265,8 +276,12 @@ func (r *Relay) relayOneStep(d *relayDomain, f *netsim.Frame, m *Sync, rxTS floa
 		copySync.RateRatio = cumRatio
 		out.Payload = &copySync
 		residence := r.bridge.ResidenceFor(f)
-		r.bridge.TransmitAt(egress, residence, out, func(txTS float64) {
-			copySync.Correction = m.Correction + (txTS-rxTS+linkDelay)*cumRatio
+		corr := m.Correction
+		// The callback writes into the payload the scheduler hands it (a
+		// fork receives its own deep copy) and captures only scalars, which
+		// keeps the one-step rewrite snapshot-safe.
+		r.bridge.TransmitAt(egress, residence, out, func(payload any, txTS float64) {
+			payload.(*Sync).Correction = corr + (txTS-rxTS+linkDelay)*cumRatio
 		})
 	}
 }

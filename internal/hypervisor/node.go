@@ -342,3 +342,63 @@ func (n *Node) HealthyVMs() int {
 	}
 	return count
 }
+
+// nodeSnapshot captures a node for warm-start forks: the STSHMEM region,
+// the monitor state, and every clock-synchronization VM (stack + phc2sys +
+// failure flag).
+type nodeSnapshot struct {
+	st        any
+	tsc       any
+	monitor   *sim.Ticker
+	takeovers uint64
+	failedAt  map[int]sim.Time
+	vmFailed  []bool
+	stacks    []any
+	phc2sys   []any
+}
+
+// Snapshot implements sim.Snapshotter.
+func (n *Node) Snapshot() any {
+	sn := &nodeSnapshot{
+		st:        n.st.Snapshot(),
+		tsc:       n.tsc.Snapshot(),
+		monitor:   n.monitor,
+		takeovers: n.takeovers,
+		vmFailed:  make([]bool, len(n.vms)),
+		stacks:    make([]any, len(n.vms)),
+		phc2sys:   make([]any, len(n.vms)),
+	}
+	if n.failedAt != nil {
+		sn.failedAt = make(map[int]sim.Time, len(n.failedAt))
+		for k, v := range n.failedAt {
+			sn.failedAt[k] = v
+		}
+	}
+	for i, vm := range n.vms {
+		sn.vmFailed[i] = vm.failed
+		sn.stacks[i] = vm.Stack.Snapshot()
+		sn.phc2sys[i] = vm.Phc2sys.Snapshot()
+	}
+	return sn
+}
+
+// Restore implements sim.Snapshotter.
+func (n *Node) Restore(snap any) {
+	sn := snap.(*nodeSnapshot)
+	n.st.Restore(sn.st)
+	n.tsc.Restore(sn.tsc)
+	n.monitor = sn.monitor
+	n.takeovers = sn.takeovers
+	n.failedAt = nil
+	if sn.failedAt != nil {
+		n.failedAt = make(map[int]sim.Time, len(sn.failedAt))
+		for k, v := range sn.failedAt {
+			n.failedAt[k] = v
+		}
+	}
+	for i, vm := range n.vms {
+		vm.failed = sn.vmFailed[i]
+		vm.Stack.Restore(sn.stacks[i])
+		vm.Phc2sys.Restore(sn.phc2sys[i])
+	}
+}

@@ -1,0 +1,100 @@
+package measure
+
+import (
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// Warm-start snapshot support (sim.Snapshotter). The collector restores
+// every derived and windowed quantity from the snapshot — open collect
+// windows, the sample series, and the per-path latency extrema — so a fork
+// never inherits measurement state accumulated after the snapshot point.
+// Reply payloads are immutable once sent, so window snapshots share the
+// *Reply pointers and only copy the slices holding them.
+
+type collectorSnapshot struct {
+	ticker  *sim.Ticker
+	seq     uint64
+	windows []pendingWindow
+	samples []Sample
+	pathMin map[string]time.Duration
+	pathMax map[string]time.Duration
+}
+
+func copyWindows(src []pendingWindow) []pendingWindow {
+	out := make([]pendingWindow, len(src))
+	for i := range src {
+		out[i] = pendingWindow{seq: src[i].seq, open: src[i].open}
+		if len(src[i].replies) > 0 {
+			out[i].replies = append([]*Reply(nil), src[i].replies...)
+		}
+	}
+	return out
+}
+
+func copyExtrema(src map[string]time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot implements sim.Snapshotter.
+func (c *Collector) Snapshot() any {
+	return &collectorSnapshot{
+		ticker:  c.ticker,
+		seq:     c.seq,
+		windows: copyWindows(c.windows),
+		samples: append([]Sample(nil), c.samples...),
+		pathMin: copyExtrema(c.pathMin),
+		pathMax: copyExtrema(c.pathMax),
+	}
+}
+
+// Restore implements sim.Snapshotter. The samples slice is rebuilt on a
+// fresh backing array every time: Samples() hands out views of the internal
+// buffer, and results collected from an earlier fork must not be overwritten
+// by this one.
+func (c *Collector) Restore(snap any) {
+	sn := snap.(*collectorSnapshot)
+	c.ticker = sn.ticker
+	c.seq = sn.seq
+	c.windows = copyWindows(sn.windows)
+	c.times = c.times[:0]
+	c.samples = append([]Sample(nil), sn.samples...)
+	c.pathMin = copyExtrema(sn.pathMin)
+	c.pathMax = copyExtrema(sn.pathMax)
+}
+
+type latencyTrackerSnapshot struct {
+	min map[string]time.Duration
+	max map[string]time.Duration
+}
+
+// Snapshot implements sim.Snapshotter.
+func (lt *LatencyTracker) Snapshot() any {
+	return &latencyTrackerSnapshot{min: copyExtrema(lt.min), max: copyExtrema(lt.max)}
+}
+
+// Restore implements sim.Snapshotter.
+func (lt *LatencyTracker) Restore(snap any) {
+	sn := snap.(*latencyTrackerSnapshot)
+	lt.min = copyExtrema(sn.min)
+	lt.max = copyExtrema(sn.max)
+}
+
+type agentSnapshot struct {
+	replies uint64
+}
+
+// Snapshot implements sim.Snapshotter.
+func (a *Agent) Snapshot() any {
+	return &agentSnapshot{replies: a.replies}
+}
+
+// Restore implements sim.Snapshotter.
+func (a *Agent) Restore(snap any) {
+	a.replies = snap.(*agentSnapshot).replies
+}

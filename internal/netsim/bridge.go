@@ -74,8 +74,10 @@ type Bridge struct {
 	egress  map[int]EgressScheduler
 	// txFns holds one prebound transmit callback per port so the generic
 	// forwarding path schedules through AtArg/AfterArg without allocating
-	// a closure per frame.
-	txFns []func(any)
+	// a closure per frame. txAtFn is the equivalent runner for TransmitAt
+	// jobs (egress-timestamped transmissions carrying an onTx callback).
+	txFns  []func(any)
+	txAtFn func(any)
 
 	forwarded uint64
 	dropped   uint64
@@ -112,6 +114,7 @@ func NewBridge(name string, sched *sim.Scheduler, rng sim.RNG, clk *clock.PHC, c
 		i := i
 		b.txFns[i] = func(x any) { b.Transmit(i, x.(*Frame)) }
 	}
+	b.txAtFn = func(x any) { b.fireTxAt(x.(*txAtJob)) }
 	return b
 }
 
@@ -258,13 +261,41 @@ func (b *Bridge) Transmit(egress int, f *Frame) (txTS float64) {
 	return txTS
 }
 
+// txAtJob is a queued TransmitAt transmission. Like the NIC's etfJob, it is
+// an arg descriptor so the snapshot engine can deep-copy the frame; onTx
+// closures must capture only snapshot-restored components or values never
+// mutated after scheduling.
+type txAtJob struct {
+	egress int
+	f      *Frame
+	onTx   func(payload any, txTS float64)
+}
+
+// CloneForSnapshot implements sim.Cloner.
+func (j *txAtJob) CloneForSnapshot() any {
+	c := *j
+	c.f = j.f.CloneForSnapshot().(*Frame)
+	return &c
+}
+
+// fireTxAt transmits a queued TransmitAt job. The payload is captured
+// before Transmit because a drop recycles (zeroes) the frame; payloads are
+// never pooled, so the reference stays valid for onTx.
+func (b *Bridge) fireTxAt(j *txAtJob) {
+	payload := j.f.Payload
+	ts := b.Transmit(j.egress, j.f)
+	if j.onTx != nil {
+		j.onTx(payload, ts)
+	}
+}
+
 // TransmitAt schedules the frame on egress at true-time delay d and invokes
-// onTx with the egress timestamp when it leaves — used by the gPTP relay to
-// measure residence time on the egress side. On a shaped port the shaper's
-// schedule replaces d (the relay's residence draw): the measured egress
-// timestamp still captures the true departure, so the correction field
-// remains exact either way.
-func (b *Bridge) TransmitAt(egress int, d time.Duration, f *Frame, onTx func(txTS float64)) {
+// onTx with the frame's payload and the egress timestamp when it leaves —
+// used by the gPTP relay to measure residence time on the egress side. On a
+// shaped port the shaper's schedule replaces d (the relay's residence
+// draw): the measured egress timestamp still captures the true departure,
+// so the correction field remains exact either way.
+func (b *Bridge) TransmitAt(egress int, d time.Duration, f *Frame, onTx func(payload any, txTS float64)) {
 	if es, ok := b.egress[egress]; ok {
 		const processing = 600 * time.Nanosecond
 		departAt, err := es.Enqueue(b.sched.Now().Add(processing), f.Priority, f.Bytes)
@@ -273,18 +304,41 @@ func (b *Bridge) TransmitAt(egress int, d time.Duration, f *Frame, onTx func(txT
 			f.release()
 			return
 		}
-		b.sched.At(departAt, func() {
-			ts := b.Transmit(egress, f)
-			if onTx != nil {
-				onTx(ts)
-			}
-		})
+		b.sched.AtArg(departAt, b.txAtFn, &txAtJob{egress: egress, f: f, onTx: onTx})
 		return
 	}
-	b.sched.After(d, func() {
-		ts := b.Transmit(egress, f)
-		if onTx != nil {
-			onTx(ts)
-		}
-	})
+	b.sched.AfterArg(d, b.txAtFn, &txAtJob{egress: egress, f: f, onTx: onTx})
+}
+
+// bridgeSnapshot captures a bridge's mutable state for warm-start forks.
+// Routing tables, group membership, the relay hook and egress shapers are
+// build-time configuration and are not captured.
+type bridgeSnapshot struct {
+	forwarded   uint64
+	dropped     uint64
+	failed      bool
+	faultedDrop uint64
+	phc         any
+}
+
+// Snapshot captures the bridge's state for RestoreSnapshot.
+func (b *Bridge) Snapshot() any {
+	return &bridgeSnapshot{
+		forwarded:   b.forwarded,
+		dropped:     b.dropped,
+		failed:      b.failed,
+		faultedDrop: b.faultedDrop,
+		phc:         b.clk.Snapshot(),
+	}
+}
+
+// RestoreSnapshot rewinds the bridge to a Snapshot. (The name avoids the
+// chaos engine's Restore(), which un-fails a failed bridge.)
+func (b *Bridge) RestoreSnapshot(snap any) {
+	sn := snap.(*bridgeSnapshot)
+	b.forwarded = sn.forwarded
+	b.dropped = sn.dropped
+	b.failed = sn.failed
+	b.faultedDrop = sn.faultedDrop
+	b.clk.Restore(sn.phc)
 }

@@ -117,6 +117,29 @@ func (f *Frame) Clone() *Frame {
 	return c
 }
 
+// PayloadCloner is implemented by the rare payload types that are mutated
+// after the frame has been scheduled (a Sync whose origin/correction is
+// written at the transmit instant). The snapshot engine deep-copies such
+// payloads so a fork cannot observe mutations made by another run; all
+// other payloads are immutable once scheduled and are safely shared.
+type PayloadCloner interface {
+	ClonePayload() any
+}
+
+// CloneForSnapshot implements sim.Cloner: a GC-owned value copy for the
+// warm-start snapshot engine. The copy is marked non-pooled so release() is
+// a no-op on it — the pool must never receive a frame the live run did not
+// acquire — and the payload is deep-copied iff it declares itself mutable
+// via PayloadCloner.
+func (f *Frame) CloneForSnapshot() any {
+	c := *f
+	c.pooled = false
+	if pc, ok := c.Payload.(PayloadCloner); ok {
+		c.Payload = pc.ClonePayload()
+	}
+	return &c
+}
+
 // PathLatency reports the frame's true end-to-end latency if delivered at
 // instant now.
 func (f *Frame) PathLatency(now sim.Time) time.Duration {

@@ -214,6 +214,60 @@ func (l *Link) finishDelivery(dir int, f *Frame) {
 	p.Owner.Receive(p, f)
 }
 
+// linkSnapshot captures a link's mutable state for warm-start forks,
+// including the installed loss model and its internal state (a chaos plan
+// may have installed one before the fork boundary).
+type linkSnapshot struct {
+	lastDelivery [2]sim.Time
+	sent         uint64
+	lost         uint64
+	down         bool
+	lossModel    LossModel
+	lossState    any // nested snapshot when the model is stateful
+	extraDelay   time.Duration
+	asymDelay    time.Duration
+	dropBefore   [2]sim.Time
+	faultedDrop  uint64
+}
+
+// Snapshot implements sim.Snapshotter. The RNG stream positions are
+// restored separately by sim.Streams; in-flight frames live in the
+// scheduler's snapshot as AtArg descriptors.
+func (l *Link) Snapshot() any {
+	sn := &linkSnapshot{
+		lastDelivery: l.lastDelivery,
+		sent:         l.sent,
+		lost:         l.lost,
+		down:         l.down,
+		lossModel:    l.lossModel,
+		extraDelay:   l.extraDelay,
+		asymDelay:    l.asymDelay,
+		dropBefore:   l.dropBefore,
+		faultedDrop:  l.faultedDrop,
+	}
+	if s, ok := l.lossModel.(sim.Snapshotter); ok {
+		sn.lossState = s.Snapshot()
+	}
+	return sn
+}
+
+// Restore implements sim.Snapshotter.
+func (l *Link) Restore(snap any) {
+	sn := snap.(*linkSnapshot)
+	l.lastDelivery = sn.lastDelivery
+	l.sent = sn.sent
+	l.lost = sn.lost
+	l.down = sn.down
+	l.lossModel = sn.lossModel
+	if s, ok := l.lossModel.(sim.Snapshotter); ok && sn.lossState != nil {
+		s.Restore(sn.lossState)
+	}
+	l.extraDelay = sn.extraDelay
+	l.asymDelay = sn.asymDelay
+	l.dropBefore = sn.dropBefore
+	l.faultedDrop = sn.faultedDrop
+}
+
 func (l *Link) delay(dir int) time.Duration {
 	d := float64(l.cfg.Propagation)
 	if l.rng != nil && l.cfg.JitterNS > 0 {

@@ -136,7 +136,7 @@ func TestSendAtPHCLaunchTime(t *testing.T) {
 
 	var txTS float64
 	launch := 1e6 // 1 ms on a's PHC
-	if err := a.SendAtPHC(launch, &Frame{Dst: "nic/b"}, func(ts float64) { txTS = ts }); err != nil {
+	if err := a.SendAtPHC(launch, &Frame{Dst: "nic/b"}, func(_ any, ts float64) { txTS = ts }); err != nil {
 		t.Fatalf("send at: %v", err)
 	}
 	if err := fx.sched.Run(); err != nil {

@@ -34,6 +34,9 @@ type NIC struct {
 	port    Port
 	handler RxHandler
 	down    bool
+	// etfFn is the prebound ETF launch runner; SendAtPHC schedules it with
+	// an *etfJob arg so queued launches survive a warm-start snapshot.
+	etfFn func(any)
 
 	txCount, rxCount uint64
 }
@@ -42,6 +45,7 @@ type NIC struct {
 func NewNIC(name string, sched *sim.Scheduler, phc *clock.PHC) *NIC {
 	n := &NIC{name: name, sched: sched, phc: phc}
 	n.port = Port{Name: name + "/p0", Owner: n, Index: 0}
+	n.etfFn = func(x any) { n.fireETF(x.(*etfJob)) }
 	return n
 }
 
@@ -98,13 +102,48 @@ func (n *NIC) Send(f *Frame) (txTS float64, err error) {
 	return txTS, nil
 }
 
+// etfJob is a queued ETF launch. It rides the scheduler as an arg
+// descriptor rather than a closure so the snapshot engine can deep-copy
+// the frame; onTx closures must capture only snapshot-restored components
+// or values never mutated after scheduling (see sim.Cloner).
+type etfJob struct {
+	f    *Frame
+	onTx func(payload any, txTS float64)
+}
+
+// CloneForSnapshot implements sim.Cloner.
+func (j *etfJob) CloneForSnapshot() any {
+	c := *j
+	c.f = j.f.CloneForSnapshot().(*Frame)
+	return &c
+}
+
+// fireETF launches a queued ETF frame. The payload is captured before Send
+// because the link may drop the frame and recycle it (zeroing the struct);
+// payloads are never pooled, so the reference stays valid for onTx.
+func (n *NIC) fireETF(j *etfJob) {
+	if n.down {
+		return
+	}
+	payload := j.f.Payload
+	ts, err := n.Send(j.f)
+	if err != nil {
+		return
+	}
+	if j.onTx != nil {
+		j.onTx(payload, ts)
+	}
+}
+
 // SendAtPHC enqueues a frame into the ETF launch-time queue: it is
 // transmitted when the NIC's PHC reaches launchPHC. onTx, if non-nil, is
-// invoked at transmission with the hardware transmit timestamp (the
-// launch-time gate makes it essentially equal to launchPHC plus timestamp
-// jitter). A launch time in the past returns ErrLaunchDeadlineMissed and
-// the frame is dropped, as the ETF qdisc does.
-func (n *NIC) SendAtPHC(launchPHC float64, f *Frame, onTx func(txTS float64)) error {
+// invoked at transmission with the frame's payload and the hardware
+// transmit timestamp (the launch-time gate makes it essentially equal to
+// launchPHC plus timestamp jitter); onTx runs even if the link then drops
+// the frame — the sender cannot observe in-flight loss. A launch time in
+// the past returns ErrLaunchDeadlineMissed and the frame is dropped, as
+// the ETF qdisc does.
+func (n *NIC) SendAtPHC(launchPHC float64, f *Frame, onTx func(payload any, txTS float64)) error {
 	if n.down {
 		return ErrNICDown
 	}
@@ -113,19 +152,29 @@ func (n *NIC) SendAtPHC(launchPHC float64, f *Frame, onTx func(txTS float64)) er
 		return ErrLaunchDeadlineMissed
 	}
 	wait := n.trueDelayUntilPHC(launchPHC)
-	n.sched.After(wait, func() {
-		if n.down {
-			return
-		}
-		ts, err := n.Send(f)
-		if err != nil {
-			return
-		}
-		if onTx != nil {
-			onTx(ts)
-		}
-	})
+	n.sched.AfterArg(wait, n.etfFn, &etfJob{f: f, onTx: onTx})
 	return nil
+}
+
+// nicSnapshot captures a NIC's mutable state for warm-start forks.
+type nicSnapshot struct {
+	down             bool
+	txCount, rxCount uint64
+	phc              any
+}
+
+// Snapshot implements sim.Snapshotter.
+func (n *NIC) Snapshot() any {
+	return &nicSnapshot{down: n.down, txCount: n.txCount, rxCount: n.rxCount, phc: n.phc.Snapshot()}
+}
+
+// Restore implements sim.Snapshotter.
+func (n *NIC) Restore(snap any) {
+	sn := snap.(*nicSnapshot)
+	n.down = sn.down
+	n.txCount = sn.txCount
+	n.rxCount = sn.rxCount
+	n.phc.Restore(sn.phc)
 }
 
 // trueDelayUntilPHC converts a PHC-timescale deadline into a true-time wait

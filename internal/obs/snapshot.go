@@ -1,0 +1,124 @@
+package obs
+
+import "math"
+
+// Warm-start state capture. Distinct from Snapshot(), which renders the
+// registry for reporting: StateSnapshot/RestoreState rewind the raw series
+// values so a forked simulation's metrics match a cold run bit for bit.
+//
+// The registry is append-only, so series are captured positionally. A series
+// registered after the snapshot (e.g. chaos counters created while a fork
+// ran) is reset to zero on restore rather than dropped — handles stay valid
+// and the next fork re-registers onto the same zeroed series, exactly what a
+// cold run starting from scratch would observe.
+
+type histogramState struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+type seriesState struct {
+	counter uint64
+	gauge   uint64 // float64 bits
+	hist    *histogramState
+}
+
+// RegistryState is an opaque value snapshot of every series in a Registry.
+type RegistryState struct {
+	states []seriesState
+}
+
+func (h *Histogram) state() *histogramState {
+	st := &histogramState{
+		counts: make([]uint64, len(h.counts)),
+		count:  h.count.Load(),
+		sum:    math.Float64frombits(h.sumBits.Load()),
+		min:    math.Float64frombits(h.minBits.Load()),
+		max:    math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.counts {
+		st.counts[i] = h.counts[i].Load()
+	}
+	return st
+}
+
+func (h *Histogram) restoreState(st *histogramState) {
+	for i := range h.counts {
+		h.counts[i].Store(st.counts[i])
+	}
+	h.count.Store(st.count)
+	h.sumBits.Store(math.Float64bits(st.sum))
+	h.minBits.Store(math.Float64bits(st.min))
+	h.maxBits.Store(math.Float64bits(st.max))
+}
+
+func (h *Histogram) zero() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(math.Float64bits(0))
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// StateSnapshot captures the current value of every registered series.
+func (r *Registry) StateSnapshot() *RegistryState {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	series := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+
+	st := &RegistryState{states: make([]seriesState, len(series))}
+	for i, s := range series {
+		switch s.kind {
+		case kindCounter:
+			st.states[i].counter = s.counter.v.Load()
+		case kindGauge:
+			st.states[i].gauge = s.gauge.bits.Load()
+		case kindHistogram:
+			st.states[i].hist = s.hist.state()
+		}
+		// kindGaugeFunc carries no stored state: fn reads component state
+		// that the components' own snapshots restore.
+	}
+	return st
+}
+
+// RestoreState rewinds every series captured by StateSnapshot and zeroes any
+// series registered since.
+func (r *Registry) RestoreState(st *RegistryState) {
+	if r == nil || st == nil {
+		return
+	}
+	r.mu.Lock()
+	series := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+
+	for i, s := range series {
+		if i < len(st.states) {
+			switch s.kind {
+			case kindCounter:
+				s.counter.v.Store(st.states[i].counter)
+			case kindGauge:
+				s.gauge.bits.Store(st.states[i].gauge)
+			case kindHistogram:
+				s.hist.restoreState(st.states[i].hist)
+			}
+			continue
+		}
+		switch s.kind {
+		case kindCounter:
+			s.counter.v.Store(0)
+		case kindGauge:
+			s.gauge.bits.Store(0)
+		case kindHistogram:
+			s.hist.zero()
+		}
+	}
+}

@@ -189,3 +189,35 @@ func (s *Service) publish(tscNow float64) {
 	s.st.Publish(s.cfg.Slot, p)
 	s.updates++
 }
+
+// serviceSnapshot captures the service's mutable state for warm-start
+// forks, including its internal TSC-discipline servo. The STSHMEM region is
+// snapshotted by its owning node.
+type serviceSnapshot struct {
+	params      shmem.ClockParams
+	initialized bool
+	ticker      *sim.Ticker
+	updates     uint64
+	pi          any
+}
+
+// Snapshot implements sim.Snapshotter.
+func (s *Service) Snapshot() any {
+	return &serviceSnapshot{
+		params:      s.params,
+		initialized: s.initialized,
+		ticker:      s.ticker,
+		updates:     s.updates,
+		pi:          s.pi.Snapshot(),
+	}
+}
+
+// Restore implements sim.Snapshotter.
+func (s *Service) Restore(snap any) {
+	sn := snap.(*serviceSnapshot)
+	s.params = sn.params
+	s.initialized = sn.initialized
+	s.ticker = sn.ticker
+	s.updates = sn.updates
+	s.pi.Restore(sn.pi)
+}

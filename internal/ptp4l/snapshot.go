@@ -1,0 +1,117 @@
+package ptp4l
+
+import "gptpfta/internal/sim"
+
+// Warm-start snapshot support (sim.Snapshotter). The stack composes the
+// snapshots of everything it owns — per-domain slaves, the pdelay endpoint,
+// the grandmaster role, the FTSHMEM region and its shared PI servo, and the
+// running summary statistics — so a node-level restore needs one call per
+// VM. Observability counters live in the experiment's obs.Registry and are
+// restored by its own snapshot.
+
+// statisticsSnapshot deep-copies the running summary windows.
+type statisticsSnapshot struct {
+	perDomain map[int]OffsetStats
+	aggregate OffsetStats
+	freqPPB   OffsetStats
+}
+
+func (st *Statistics) snapshot() *statisticsSnapshot {
+	sn := &statisticsSnapshot{
+		perDomain: make(map[int]OffsetStats, len(st.perDomain)),
+		aggregate: st.aggregate,
+		freqPPB:   st.freqPPB,
+	}
+	for d, s := range st.perDomain {
+		sn.perDomain[d] = *s
+	}
+	return sn
+}
+
+func (st *Statistics) restore(sn *statisticsSnapshot) {
+	st.perDomain = make(map[int]*OffsetStats, len(sn.perDomain))
+	for d, s := range sn.perDomain {
+		s := s
+		st.perDomain[d] = &s
+	}
+	st.aggregate = sn.aggregate
+	st.freqPPB = sn.freqPPB
+}
+
+// stackSnapshot captures one extended-ptp4l stack.
+type stackSnapshot struct {
+	mode         Mode
+	stable       int
+	running      bool
+	lastFlags    []bool
+	aggregations uint64
+
+	holdover     bool
+	lastGoodAgg  sim.Time
+	reacquire    int
+	reacquireAny int
+	watchdog     *sim.Ticker
+
+	nic    any
+	ld     any
+	slaves map[int]any
+	master any
+	shm    any
+	pi     any
+	stats  *statisticsSnapshot
+}
+
+// Snapshot implements sim.Snapshotter.
+func (s *Stack) Snapshot() any {
+	sn := &stackSnapshot{
+		mode:         s.mode,
+		stable:       s.stable,
+		running:      s.running,
+		lastFlags:    append([]bool(nil), s.lastFlags...),
+		aggregations: s.aggregations,
+		holdover:     s.holdover,
+		lastGoodAgg:  s.lastGoodAgg,
+		reacquire:    s.reacquire,
+		reacquireAny: s.reacquireAny,
+		watchdog:     s.watchdog,
+		nic:          s.nic.Snapshot(),
+		ld:           s.ld.Snapshot(),
+		slaves:       make(map[int]any, len(s.slaves)),
+		shm:          s.shm.Snapshot(),
+		pi:           s.shm.Servo().Snapshot(),
+		stats:        s.stats.snapshot(),
+	}
+	for d, sl := range s.slaves {
+		sn.slaves[d] = sl.Snapshot()
+	}
+	if s.master != nil {
+		sn.master = s.master.Snapshot()
+	}
+	return sn
+}
+
+// Restore implements sim.Snapshotter.
+func (s *Stack) Restore(snap any) {
+	sn := snap.(*stackSnapshot)
+	s.mode = sn.mode
+	s.stable = sn.stable
+	s.running = sn.running
+	s.lastFlags = append(s.lastFlags[:0], sn.lastFlags...)
+	s.aggregations = sn.aggregations
+	s.holdover = sn.holdover
+	s.lastGoodAgg = sn.lastGoodAgg
+	s.reacquire = sn.reacquire
+	s.reacquireAny = sn.reacquireAny
+	s.watchdog = sn.watchdog
+	s.nic.Restore(sn.nic)
+	s.ld.Restore(sn.ld)
+	for d, sl := range s.slaves {
+		sl.Restore(sn.slaves[d])
+	}
+	if s.master != nil {
+		s.master.Restore(sn.master)
+	}
+	s.shm.Restore(sn.shm)
+	s.shm.Servo().Restore(sn.pi)
+	s.stats.restore(sn.stats)
+}

@@ -78,6 +78,11 @@ type Pool struct {
 	mPanicked *obs.Counter
 	mSkipped  *obs.Counter
 	mWall     *obs.Histogram
+
+	// Warm-start campaign accounting (ExecuteWarm).
+	mPrefixRuns    *obs.Counter
+	mForksServed   *obs.Counter
+	mColdFallbacks *obs.Counter
 }
 
 // wallBuckets spans experiment wall times from milliseconds (smoke scales)
@@ -102,6 +107,9 @@ func (p *Pool) WithMetrics(reg *obs.Registry) *Pool {
 	p.mPanicked = reg.Counter("runner_runs_panicked")
 	p.mSkipped = reg.Counter("runner_runs_skipped")
 	p.mWall = reg.Histogram("runner_run_wall_seconds", wallBuckets)
+	p.mPrefixRuns = reg.Counter("runner_prefix_runs")
+	p.mForksServed = reg.Counter("runner_forks_served")
+	p.mColdFallbacks = reg.Counter("runner_cold_fallbacks")
 	return p
 }
 

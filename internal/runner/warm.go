@@ -1,0 +1,134 @@
+// Warm-start campaign execution: run a shared convergence prefix once,
+// snapshot it, and fork every eligible sweep point from the snapshot instead
+// of re-simulating the prefix per point. Eligibility is decided by a
+// config-prefix hash (core.PrefixHash): a point whose hash differs from the
+// prefix's — its parameters shape the warm-up — automatically falls back to
+// a cold run through the regular pool.
+//
+// Forks resume in place on the prefix's component graph, so warm runs
+// execute serially in submission order; only the cold fallbacks fan out
+// across workers. Determinism is unaffected either way: a forked run is
+// bit-identical to the equivalent cold run by the Snapshotter contract.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"gptpfta/internal/obs"
+)
+
+// WarmRun is one unit of a warm-start campaign.
+type WarmRun struct {
+	// Name labels the run in outcomes and panic reports.
+	Name string
+	// Hash is the run's config-prefix hash. The run forks from the campaign
+	// snapshot iff it equals WarmConfig.Hash; otherwise Cold executes.
+	Hash string
+	// Fork resumes the run from the shared prefix snapshot. It is invoked
+	// serially — never concurrently with another Fork of the same campaign.
+	Fork func(ctx context.Context, snap any) (any, error)
+	// Cold executes the run from scratch (the fallback, pool-parallel).
+	Cold func(ctx context.Context) (any, error)
+}
+
+// WarmConfig describes a campaign's shared prefix.
+type WarmConfig struct {
+	// Hash is the prefix's config hash (core.PrefixHash of the shared
+	// configuration and boundary).
+	Hash string
+	// Prefix executes the shared warm-up once and returns its snapshot. It
+	// only runs when at least one submitted run is fork-eligible.
+	Prefix func(ctx context.Context) (any, error)
+}
+
+// ExecuteWarm executes a warm-start campaign and returns one Outcome per
+// run, in submission order. Fork-eligible runs (hash match) share one prefix
+// execution and fork serially; the rest fall back to cold runs on the pool.
+// A failed or panicking prefix demotes every eligible run to cold — the
+// campaign degrades to Execute, it never fails wholesale.
+func (p *Pool) ExecuteWarm(ctx context.Context, wc WarmConfig, runs []WarmRun) []Outcome {
+	outcomes := make([]Outcome, len(runs))
+	if len(runs) == 0 {
+		return outcomes
+	}
+
+	var warmIdx, coldIdx []int
+	for i, r := range runs {
+		if wc.Prefix != nil && wc.Hash != "" && r.Hash == wc.Hash && r.Fork != nil {
+			warmIdx = append(warmIdx, i)
+		} else {
+			coldIdx = append(coldIdx, i)
+		}
+	}
+
+	epoch := time.Now()
+	var snap any
+	if len(warmIdx) > 0 {
+		var err error
+		snap, err = runPrefix(ctx, wc)
+		if err != nil {
+			// Demote: the prefix could not be produced, every would-be fork
+			// runs cold instead.
+			coldIdx = append(coldIdx, warmIdx...)
+			warmIdx = nil
+		} else {
+			p.mPrefixRuns.Inc()
+		}
+	}
+
+	for _, i := range warmIdx {
+		r := runs[i]
+		outcomes[i] = execute(ctx, epoch, i, Run{Name: r.Name, Do: func(ctx context.Context) (any, error) {
+			return r.Fork(ctx, snap)
+		}})
+		p.mForksServed.Inc()
+		p.record(outcomes[i])
+	}
+
+	if len(coldIdx) > 0 {
+		coldRuns := make([]Run, len(coldIdx))
+		for k, i := range coldIdx {
+			coldRuns[k] = Run{Name: runs[i].Name, Do: runs[i].Cold}
+		}
+		for k, o := range p.Execute(ctx, coldRuns) {
+			o.Index = coldIdx[k]
+			outcomes[coldIdx[k]] = o
+			p.mColdFallbacks.Inc()
+		}
+	}
+	return outcomes
+}
+
+// WarmSummary renders a campaign's warm-start accounting line from the
+// registry its pools were instrumented with: how many shared prefixes ran,
+// how many sweep points were served by a fork, and how many fell back to a
+// cold run (prefix-hash mismatch, missing prefix, or prefix failure).
+func WarmSummary(reg *obs.Registry) string {
+	var prefixes, forks, cold float64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "runner_prefix_runs":
+			prefixes += m.Value
+		case "runner_forks_served":
+			forks += m.Value
+		case "runner_cold_fallbacks":
+			cold += m.Value
+		}
+	}
+	return fmt.Sprintf("warm-start: %.0f prefix runs, %.0f forks served, %.0f cold fallbacks",
+		prefixes, forks, cold)
+}
+
+// runPrefix executes the shared prefix with panic isolation.
+func runPrefix(ctx context.Context, wc WarmConfig) (snap any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			snap = nil
+			err = fmt.Errorf("runner: warm prefix panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	return wc.Prefix(ctx)
+}

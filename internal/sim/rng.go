@@ -14,12 +14,57 @@ type RNG interface {
 	Intn(n int) int
 }
 
+// countingSource wraps the stock math/rand source and counts how many
+// Int63-equivalent steps have been consumed. The stock rngSource implements
+// Uint64 as exactly two Int63 calls, so forwarding both methods and
+// accounting Uint64 as two steps makes the position an exact replay index:
+// re-seeding and discarding n Int63 draws restores the source — and with it
+// every *rand.Rand derived from it — to the counted position, bit for bit.
+// The wrapper never alters the drawn sequence, so the committed golden
+// digests are unaffected by the instrumentation.
+type countingSource struct {
+	src  rand.Source64
+	seed int64
+	n    uint64 // Int63-equivalent steps consumed since the last (re)seed
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n += 2
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.seed = seed
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// rewindTo re-seeds the source and replays it forward to position n.
+func (c *countingSource) rewindTo(n uint64) {
+	c.src.Seed(c.seed)
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+	c.n = n
+}
+
 // Streams derives independent, named random streams from one master seed so
 // that adding a consumer of randomness in one component does not perturb any
 // other component's stream. Every experiment in this repository is
 // reproducible from its master seed alone.
+//
+// Streams also keeps a registry of every source it has handed out, recording
+// each one's replay position, so a warm-state snapshot can capture and later
+// restore the exact position of every stream (see Snapshot/Restore and
+// DESIGN.md, "Warm-state snapshots").
 type Streams struct {
-	seed int64
+	seed    int64
+	sources []*countingSource
 }
 
 // NewStreams returns a stream factory for the given master seed.
@@ -34,7 +79,44 @@ func (s *Streams) Seed() int64 { return s.seed }
 // Stream twice with the same name returns two independent generators with
 // identical sequences; components must create their stream once and keep it.
 func (s *Streams) Stream(name string) *rand.Rand {
-	return rand.New(rand.NewSource(DeriveSeed(s.seed, name))) //nolint:gosec // simulation, not crypto
+	cs := &countingSource{seed: DeriveSeed(s.seed, name)}
+	cs.src = rand.NewSource(cs.seed).(rand.Source64) //nolint:gosec // simulation, not crypto
+	s.sources = append(s.sources, cs)
+	return rand.New(cs) //nolint:gosec // simulation, not crypto
+}
+
+// StreamsSnapshot captures the replay position of every stream handed out
+// so far. It is immutable once taken.
+type StreamsSnapshot struct {
+	counts []uint64
+}
+
+// Snapshot records the current replay position of every stream created so
+// far. Streams created after the snapshot belong to components attached
+// after the fork boundary and are deliberately not captured.
+func (s *Streams) Snapshot() any {
+	sn := &StreamsSnapshot{counts: make([]uint64, len(s.sources))}
+	for i, cs := range s.sources {
+		sn.counts[i] = cs.n
+	}
+	return sn
+}
+
+// Restore rewinds every stream captured by the snapshot to its recorded
+// position by re-seeding and replaying, leaving the *rand.Rand instances
+// components hold valid and positioned exactly where they were. Streams
+// created after the snapshot are dropped from the registry: their owners
+// (post-boundary machinery of a previous fork) are discarded with them, and
+// a re-attached component re-derives the same stream from its name alone.
+func (s *Streams) Restore(snap any) {
+	sn := snap.(*StreamsSnapshot)
+	if len(sn.counts) > len(s.sources) {
+		panic("sim: Streams.Restore: snapshot from a different Streams")
+	}
+	for i, n := range sn.counts {
+		s.sources[i].rewindTo(n)
+	}
+	s.sources = s.sources[:len(sn.counts)]
 }
 
 // Derive returns a stream factory for the named sub-campaign. A campaign

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// runSnapshotRoundTrip drives the kernel and the container/heap reference
+// model through the same randomized schedule/cancel script, snapshots the
+// kernel mid-timeline, finishes both and cross-checks the complete firing
+// traces — then restores the snapshot and replays the suffix, which must be
+// bit-identical to the first completion (same events, same order, same
+// instants), including cancels issued after the snapshot.
+func runSnapshotRoundTrip(t *testing.T, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	type rec struct {
+		id int
+		at Time
+	}
+	var gotNew, gotRef []rec
+
+	s := NewScheduler()
+	r := &refScheduler{}
+	ids := make([]EventID, 0, ops)
+	refEvs := make([]*refEvent, 0, ops)
+
+	next := 0
+	for i := 0; i < ops; i++ {
+		switch {
+		case len(ids) > 0 && rng.Intn(4) == 0: // cancel a random event
+			k := rng.Intn(len(ids))
+			s.Cancel(ids[k])
+			r.cancel(refEvs[k])
+		default:
+			at := Time(rng.Intn(1000))
+			id := next
+			next++
+			ids = append(ids, s.At(at, func() { gotNew = append(gotNew, rec{id: id, at: s.Now()}) }))
+			refEvs = append(refEvs, r.at(at, func() { gotRef = append(gotRef, rec{id: id, at: r.now}) }))
+		}
+	}
+
+	// Drain part of the timeline, then snapshot mid-flight.
+	mid := Time(rng.Intn(1000))
+	if err := s.RunUntil(mid); err != nil {
+		t.Fatal(err)
+	}
+	for len(r.queue) > 0 && r.queue[0].at <= mid {
+		e := heap.Pop(&r.queue).(*refEvent)
+		e.index = -1
+		r.now = e.at
+		e.fn()
+	}
+	if r.now < s.Now() {
+		r.now = s.Now()
+	}
+	snap := s.Snapshot()
+	mark := len(gotNew)
+
+	// Cancels issued after the snapshot must replay identically after the
+	// restore, so record the script.
+	var lateCancels []int
+	for i := 0; i < ops/8; i++ {
+		if len(ids) == 0 {
+			break
+		}
+		k := rng.Intn(len(ids))
+		lateCancels = append(lateCancels, k)
+		s.Cancel(ids[k])
+		r.cancel(refEvs[k])
+	}
+
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r.run()
+	if len(gotNew) != len(gotRef) {
+		t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(gotNew), len(gotRef))
+	}
+	for i := range gotNew {
+		if gotNew[i] != gotRef[i] {
+			t.Fatalf("seed %d: divergence at event %d: kernel %+v, reference %+v",
+				seed, i, gotNew[i], gotRef[i])
+		}
+	}
+
+	// Round trip: rewind to the snapshot and replay the identical suffix
+	// script. Event handles must survive the restore verbatim.
+	suffix := append([]rec(nil), gotNew[mark:]...)
+	gotNew = nil
+	s.Restore(snap)
+	if got, want := s.Now(), mid; got > want {
+		// RunUntil leaves Now at the boundary even with an empty queue;
+		// Restore must bring it back exactly.
+		t.Fatalf("seed %d: restored Now = %v, want <= %v", seed, got, want)
+	}
+	for _, k := range lateCancels {
+		s.Cancel(ids[k])
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNew) != len(suffix) {
+		t.Fatalf("seed %d: replay fired %d events, original suffix fired %d",
+			seed, len(gotNew), len(suffix))
+	}
+	for i := range suffix {
+		if gotNew[i] != suffix[i] {
+			t.Fatalf("seed %d: replay divergence at event %d: replay %+v, original %+v",
+				seed, i, gotNew[i], suffix[i])
+		}
+	}
+}
+
+func TestSchedulerSnapshotRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		runSnapshotRoundTrip(t, seed, 400)
+	}
+}
+
+func FuzzSchedulerSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(100))
+	f.Add(int64(42), uint16(1000))
+	f.Add(int64(-7), uint16(317))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16) {
+		runSnapshotRoundTrip(t, seed, int(ops%2048))
+	})
+}
