@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke determinism profile verify ci
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -87,5 +87,11 @@ chaos-smoke:
 	@test -s .chaos-smoke/metrics.jsonl || { echo "chaos-smoke: empty metrics snapshot"; exit 1; }
 	@echo "chaos-smoke: ok ($$(wc -l < .chaos-smoke/metrics.jsonl) metric lines)"
 
+# Serve smoke: boot cmd/served on an ephemeral port, drive a small
+# netchaos job through POST /v1/jobs, poll it to completion and assert a
+# schema-1 result envelope plus a non-empty metrics JSONL stream.
+serve-smoke:
+	sh scripts/serve_smoke.sh .serve-smoke
+
 # Everything the CI workflow runs, in one local command.
-ci: verify determinism bench-smoke chaos-smoke
+ci: verify determinism bench-smoke chaos-smoke serve-smoke

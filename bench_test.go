@@ -411,12 +411,16 @@ func BenchmarkFutureWorkUnikernelRecovery(b *testing.B) {
 func BenchmarkSweepSyncInterval(b *testing.B) {
 	var points []experiments.SweepPoint
 	for i := 0; i < b.N; i++ {
-		var err error
-		points, err = experiments.SyncIntervalSweep(int64(i+1),
-			[]time.Duration{62500 * time.Microsecond, 250 * time.Millisecond}, 4*time.Minute)
+		res, err := experiments.IntervalSweep(context.Background(), experiments.IntervalSweepConfig{
+			Seed:      int64(i + 1),
+			Intervals: []time.Duration{62500 * time.Microsecond, 250 * time.Millisecond},
+			Duration:  4 * time.Minute,
+			Parallel:  1,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		points = res.Points
 	}
 	b.ReportMetric(points[0].BoundNS, "bound-fast-ns")
 	b.ReportMetric(points[len(points)-1].BoundNS, "bound-slow-ns")
@@ -427,11 +431,16 @@ func BenchmarkSweepSyncInterval(b *testing.B) {
 func BenchmarkSweepDomainCount(b *testing.B) {
 	var points []experiments.SweepPoint
 	for i := 0; i < b.N; i++ {
-		var err error
-		points, err = experiments.DomainCountSweep(int64(i+1), []int{2, 4}, 6*time.Minute)
+		res, err := experiments.DomainSweep(context.Background(), experiments.DomainSweepConfig{
+			Seed:     int64(i + 1),
+			Counts:   []int{2, 4},
+			Duration: 6 * time.Minute,
+			Parallel: 1,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		points = res.Points
 	}
 	b.ReportMetric(float64(points[0].Violations), "m2-violations")
 	b.ReportMetric(float64(points[1].Violations), "m4-violations")

@@ -35,9 +35,9 @@ func run(args []string) error {
 		return err
 	}
 
-	exp, ok := experiments.Lookup("bounds")
-	if !ok {
-		return fmt.Errorf("experiment %q not registered", "bounds")
+	exp, err := experiments.Lookup("bounds")
+	if err != nil {
+		return err
 	}
 	r, err := exp.Run(context.Background(), experiments.BoundsConfig{Seed: *seed, Duration: *duration})
 	if err != nil {

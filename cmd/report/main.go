@@ -9,14 +9,19 @@
 // Usage:
 //
 //	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-warm-start] [-csv dir]
+//	       [-config study=file.json ...]
 //
 // -scale compresses the experiment horizons (1 → the paper's 1 h / 24 h);
-// -full is shorthand for -scale 1.
+// -full is shorthand for -scale 1. -config overlays a JSON config file onto
+// the named study's config through the registry's strict decode path (the
+// same path the job server uses), so the same JSON drives both the CLI and
+// POST /v1/jobs.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,6 +69,19 @@ func run(args []string) error {
 	warmStart := fs.Bool("warm-start", false, "fork warm-eligible studies from convergence-prefix snapshots (identical results; ineligible studies fall back to cold runs)")
 	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
+	overlays := map[string]json.RawMessage{}
+	fs.Func("config", "overlay a JSON config onto one study: study=file.json (repeatable; studies: bounds, fig3a, fig3b, fig4, ablation-*)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want study=file.json, got %q", v)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		overlays[name] = raw
+		return nil
+	})
 	profCfg := profFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +122,7 @@ func run(args []string) error {
 	campaign := obs.NewRegistry()
 	jobs := []job{
 		{"bounds", "bounds",
-			experiments.BoundsConfig{Seed: *seed, WarmStart: *warmStart, Metrics: campaign},
+			experiments.BoundsConfig{Seed: *seed},
 			renderBounds},
 		{"fig3a", "resilience",
 			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur},
@@ -113,22 +131,42 @@ func run(args []string) error {
 			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, DiverseKernels: true},
 			func(r experiments.Result) string { return renderFig3(r, true) }},
 		{"fig4", "faultinjection",
-			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur,
-				WarmStart: *warmStart, Metrics: campaign}, renderFig4},
+			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur}, renderFig4},
 		{"ablation-baseline", "baseline", experiments.BaselineConfig{Seed: *seed}, renderSummary},
 		{"ablation-single-domain", "single-domain", experiments.BaselineConfig{Seed: *seed}, renderSummary},
 		{"ablation-flag-policy", "flag-policy", experiments.BaselineConfig{Seed: *seed}, renderSummary},
+	}
+	known := map[string]bool{}
+	for _, j := range jobs {
+		known[j.name] = true
+	}
+	for name := range overlays {
+		if !known[name] {
+			return fmt.Errorf("-config: unknown study %q", name)
+		}
 	}
 
 	runs := make([]runner.Run, len(jobs))
 	for i, j := range jobs {
 		j := j
-		exp, ok := experiments.Lookup(j.exp)
-		if !ok {
-			return fmt.Errorf("experiment %q not registered", j.exp)
+		exp, err := experiments.Lookup(j.exp)
+		if err != nil {
+			return err
+		}
+		// Every config round-trips through the registry's strict decode
+		// path — the CLI and the job server share one wire contract —
+		// with the study's -config overlay (if any) merged on top.
+		// Runtime handles (campaign metrics, warm-start) are re-attached
+		// after decoding; they do not survive the wire by design.
+		cfg, err := experiments.MergeConfig(exp, j.cfg, overlays[j.name])
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		if *warmStart {
+			cfg, _ = experiments.EnableWarmStart(cfg, campaign, nil)
 		}
 		runs[i] = runner.Run{Name: j.name, Do: func(ctx context.Context) (any, error) {
-			res, err := exp.Run(ctx, j.cfg)
+			res, err := exp.Run(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}

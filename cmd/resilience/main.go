@@ -86,9 +86,9 @@ func run(args []string) error {
 		}
 	}
 
-	exp, ok := experiments.Lookup("resilience")
-	if !ok {
-		return fmt.Errorf("experiment %q not registered", "resilience")
+	exp, err := experiments.Lookup("resilience")
+	if err != nil {
+		return err
 	}
 	showSeries := *series && len(seeds) == 1
 

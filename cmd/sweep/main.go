@@ -8,11 +8,17 @@
 //
 // Usage:
 //
-//	sweep [-seed N] [-parallel N] [-warm-start] [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
+//	sweep [-seed N] [-parallel N] [-warm-start] [-config file.json]
+//	      [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
+//
+// -config overlays a JSON config file onto the selected study's config
+// through the registry's strict decode path (the same path the job server
+// uses); it requires a single-study -which selection.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -125,6 +131,7 @@ func run(args []string) error {
 	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
 	warmStart := fs.Bool("warm-start", false, "fork sweep points from a shared warm-state snapshot where eligible (identical tables; prefix-hash mismatches fall back to cold runs)")
+	configPath := fs.String("config", "", "JSON config file overlaid onto the selected study's config (requires a single-study -which)")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -154,21 +161,39 @@ func run(args []string) error {
 		return fmt.Errorf("unknown study %q (registry knows: %s)", *which,
 			strings.Join(experiments.Names(), ", "))
 	}
+	var overlay json.RawMessage
+	if *configPath != "" {
+		if len(selected) != 1 {
+			return fmt.Errorf("-config requires a single-study -which selection, got %d studies", len(selected))
+		}
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		overlay = raw
+	}
 
 	ctx := context.Background()
 	campaign := obs.NewRegistry()
 	runs := make([]runner.Run, len(selected))
 	for i, s := range selected {
 		s := s
-		exp, ok := experiments.Lookup(s.experiment)
-		if !ok {
-			return fmt.Errorf("experiment %q not registered", s.experiment)
+		exp, err := experiments.Lookup(s.experiment)
+		if err != nil {
+			return err
+		}
+		// The study's flag-built config round-trips through the registry's
+		// strict decode path (shared with the job server), with the
+		// -config overlay merged on top; warm-start runtime handles are
+		// re-attached after decoding.
+		cfg, err := experiments.MergeConfig(exp, s.cfg(*seed, int64(*parallel)), overlay)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.key, err)
+		}
+		if *warmStart {
+			cfg, _ = experiments.EnableWarmStart(cfg, campaign, nil)
 		}
 		runs[i] = runner.Run{Name: s.key, Do: func(ctx context.Context) (any, error) {
-			cfg := s.cfg(*seed, int64(*parallel))
-			if *warmStart {
-				cfg = enableWarm(cfg, campaign)
-			}
 			res, err := exp.Run(ctx, cfg)
 			if err != nil {
 				return nil, err
@@ -195,21 +220,6 @@ func run(args []string) error {
 		fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
-}
-
-// enableWarm switches a warm-capable study config into warm-start mode,
-// instrumenting it with the campaign registry; configs without a warm mode
-// pass through unchanged.
-func enableWarm(cfg any, reg *obs.Registry) any {
-	switch c := cfg.(type) {
-	case experiments.IntervalSweepConfig:
-		c.WarmStart, c.Metrics = true, reg
-		return c
-	case experiments.DomainSweepConfig:
-		c.WarmStart, c.Metrics = true, reg
-		return c
-	}
-	return cfg
 }
 
 // block is one study's rendered output plus its result, kept so -metrics

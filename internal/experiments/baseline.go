@@ -14,8 +14,8 @@ import (
 
 // BaselineConfig parameterises the ablation runs.
 type BaselineConfig struct {
-	Seed     int64
-	Duration time.Duration
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration,omitempty"`
 }
 
 func (c BaselineConfig) withDefaults() BaselineConfig {
@@ -23,6 +23,11 @@ func (c BaselineConfig) withDefaults() BaselineConfig {
 		c.Duration = 20 * time.Minute
 	}
 	return c
+}
+
+// Validate implements Validator.
+func (c BaselineConfig) Validate() error {
+	return checkDurations(field{"duration", c.Duration})
 }
 
 // ComparisonResult contrasts an ablated variant against the paper's

@@ -16,10 +16,21 @@ import (
 // this gap entirely — static external port configuration plus the FTA mask
 // a fail-silent grandmaster continuously.
 type BMCAReconvergenceConfig struct {
-	Seed             int64
-	Systems          int           // chain length; default 4
-	AnnounceInterval time.Duration // default 1 s (802.1AS)
-	TimeoutCount     int           // announce receipt timeout; default 3
+	Seed             int64         `json:"seed"`
+	Systems          int           `json:"systems,omitempty"`           // chain length; default 4
+	AnnounceInterval time.Duration `json:"announce_interval,omitempty"` // default 1 s (802.1AS)
+	TimeoutCount     int           `json:"timeout_count,omitempty"`     // announce receipt timeout; default 3
+}
+
+// Validate implements Validator.
+func (c BMCAReconvergenceConfig) Validate() error {
+	if c.Systems < 0 {
+		return fmt.Errorf("systems must not be negative (got %d)", c.Systems)
+	}
+	if c.TimeoutCount < 0 {
+		return fmt.Errorf("timeout_count must not be negative (got %d)", c.TimeoutCount)
+	}
+	return checkDurations(field{"announce_interval", c.AnnounceInterval})
 }
 
 func (c BMCAReconvergenceConfig) withDefaults() BMCAReconvergenceConfig {

@@ -11,17 +11,21 @@ import (
 	"gptpfta/internal/runner"
 )
 
-// BoundsConfig parameterises the §III-A3 methodology run.
+// BoundsConfig parameterises the §III-A3 methodology run. Durations are
+// nanoseconds on the wire.
 type BoundsConfig struct {
-	Seed     int64
-	Duration time.Duration // fault-free observation window
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration,omitempty"` // fault-free observation window
 	// WarmStart runs the first half of the window as a snapshot prefix and
 	// forks the second half from it. The run is fault-free throughout, so
 	// the split run is bit-identical to the unsplit one — this mode exists
 	// to exercise (and regression-test) the fork path on a full system.
-	WarmStart bool
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Metrics optionally instruments the run's pool (fork accounting).
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
+	// Snapshots optionally shares the prefix snapshot through a campaign
+	// cache (the job server's LRU); nil keeps the per-run prefix.
+	Snapshots runner.SnapshotCache `json:"-"`
 }
 
 func (c BoundsConfig) withDefaults() BoundsConfig {
@@ -29,6 +33,11 @@ func (c BoundsConfig) withDefaults() BoundsConfig {
 		c.Duration = 10 * time.Minute
 	}
 	return c
+}
+
+// Validate implements Validator.
+func (c BoundsConfig) Validate() error {
+	return checkDurations(field{"duration", c.Duration})
 }
 
 // BoundsResult reproduces the paper's bound-instantiation numbers:
@@ -132,7 +141,7 @@ func boundsWarm(cfg BoundsConfig, sysCfg core.Config) (*BoundsResult, error) {
 			return Bounds(cold)
 		},
 	}
-	pool := runner.New(1).WithMetrics(cfg.Metrics)
+	pool := runner.New(1).WithMetrics(cfg.Metrics).WithSnapshots(cfg.Snapshots)
 	vals, err := runner.Values[*BoundsResult](pool.ExecuteWarm(context.Background(), wc, []runner.WarmRun{run}))
 	if err != nil {
 		return nil, err

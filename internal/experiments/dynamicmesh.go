@@ -18,10 +18,18 @@ import (
 // measured synchronization outage is the cost the paper's static + FTA
 // design avoids.
 type DynamicMeshConfig struct {
-	Seed             int64
-	AnnounceInterval time.Duration
-	Settle           time.Duration // before the GM failure
-	Observe          time.Duration // after the GM failure
+	Seed             int64         `json:"seed"`
+	AnnounceInterval time.Duration `json:"announce_interval,omitempty"`
+	Settle           time.Duration `json:"settle,omitempty"`  // before the GM failure
+	Observe          time.Duration `json:"observe,omitempty"` // after the GM failure
+}
+
+// Validate implements Validator.
+func (c DynamicMeshConfig) Validate() error {
+	return checkDurations(
+		field{"announce_interval", c.AnnounceInterval},
+		field{"settle", c.Settle},
+		field{"observe", c.Observe})
 }
 
 func (c DynamicMeshConfig) withDefaults() DynamicMeshConfig {

@@ -18,21 +18,22 @@ import (
 	"gptpfta/internal/sim"
 )
 
-// CyberResilienceConfig parameterises the Fig. 3 experiments.
+// CyberResilienceConfig parameterises the Fig. 3 experiments. Durations are
+// nanoseconds on the wire.
 type CyberResilienceConfig struct {
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Duration of the run; the paper uses 1 h. The attack instants scale
 	// with the duration (the paper attacks at 00:21:42 and 00:31:52).
-	Duration time.Duration
+	Duration time.Duration `json:"duration,omitempty"`
 	// DiverseKernels selects the Fig. 3b scenario: only c41 keeps the
 	// exploitable kernel; Fig. 3a (false) uses identical kernels.
-	DiverseKernels bool
+	DiverseKernels bool `json:"diverse_kernels,omitempty"`
 	// ChaosPlan optionally runs a network chaos scenario alongside the
 	// exploits.
-	ChaosPlan *chaos.Plan
+	ChaosPlan *chaos.Plan `json:"chaos_plan,omitempty"`
 	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
 	// runs (zero keeps the paper's free-run default).
-	HoldoverWindow time.Duration
+	HoldoverWindow time.Duration `json:"holdover_window,omitempty"`
 }
 
 func (c CyberResilienceConfig) withDefaults() CyberResilienceConfig {
@@ -40,6 +41,13 @@ func (c CyberResilienceConfig) withDefaults() CyberResilienceConfig {
 		c.Duration = time.Hour
 	}
 	return c
+}
+
+// Validate implements Validator.
+func (c CyberResilienceConfig) Validate() error {
+	return checkDurations(
+		field{"duration", c.Duration},
+		field{"holdover_window", c.HoldoverWindow})
 }
 
 // CyberResilienceResult is the Fig. 3 output.

@@ -17,33 +17,61 @@ import (
 	"gptpfta/internal/sim"
 )
 
-// FaultInjectionConfig parameterises the Fig. 4/5 experiment.
+// FaultInjectionConfig parameterises the Fig. 4/5 experiment. Durations are
+// nanoseconds on the wire.
 type FaultInjectionConfig struct {
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Duration of the campaign; the paper runs 24 h.
-	Duration time.Duration
+	Duration time.Duration `json:"duration,omitempty"`
 	// GMPeriod between consecutive grandmaster shutdowns (rotating). The
 	// default (30 min) lands at the paper's ≈48 GM failures over 24 h.
-	GMPeriod time.Duration
+	GMPeriod time.Duration `json:"gm_period,omitempty"`
 	// Redundant-VM random failure rate bounds, per hour per node.
-	RedundantMinPerHour float64
-	RedundantMaxPerHour float64
+	RedundantMinPerHour float64 `json:"redundant_min_per_hour,omitempty"`
+	RedundantMaxPerHour float64 `json:"redundant_max_per_hour,omitempty"`
 	// Downtime of a failed VM before reboot.
-	Downtime time.Duration
+	Downtime time.Duration `json:"downtime,omitempty"`
 	// ChaosPlan optionally composes a network chaos scenario with the VM
 	// campaign; its actions are counted in Injection.NetworkFaults.
-	ChaosPlan *chaos.Plan
+	ChaosPlan *chaos.Plan `json:"chaos_plan,omitempty"`
 	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
 	// campaigns (zero keeps the paper's free-run default).
-	HoldoverWindow time.Duration
+	HoldoverWindow time.Duration `json:"holdover_window,omitempty"`
 	// WarmStart snapshots the fault-free convergence prefix (up to the
 	// injector's start minus a guard) and forks the campaign from it. The
 	// result is bit-identical to the attach-at-boundary cold run the
 	// fallback executes. A chaos plan acting before the boundary (or
 	// anchored relative to engine start) demotes the run to cold.
-	WarmStart bool
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Metrics optionally instruments the run's pool (fork accounting).
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
+	// Snapshots optionally shares the prefix snapshot through a campaign
+	// cache (the job server's LRU); nil keeps the per-run prefix.
+	Snapshots runner.SnapshotCache `json:"-"`
+}
+
+// Validate implements Validator. The injector's own Config.validate rejects
+// the full fault-hypothesis space at run time; this check covers the fields
+// before defaulting can mask them.
+func (c FaultInjectionConfig) Validate() error {
+	if err := checkDurations(
+		field{"duration", c.Duration},
+		field{"gm_period", c.GMPeriod},
+		field{"downtime", c.Downtime},
+		field{"holdover_window", c.HoldoverWindow}); err != nil {
+		return err
+	}
+	if err := firstErr(
+		checkNonNegative("redundant_min_per_hour", c.RedundantMinPerHour),
+		checkNonNegative("redundant_max_per_hour", c.RedundantMaxPerHour)); err != nil {
+		return err
+	}
+	if c.RedundantMinPerHour > 0 && c.RedundantMaxPerHour > 0 &&
+		c.RedundantMinPerHour > c.RedundantMaxPerHour {
+		return fmt.Errorf("redundant_min_per_hour (%v) exceeds redundant_max_per_hour (%v)",
+			c.RedundantMinPerHour, c.RedundantMaxPerHour)
+	}
+	return nil
 }
 
 func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
@@ -190,7 +218,7 @@ func faultInjectionWarm(cfg FaultInjectionConfig, sysCfg core.Config) (*FaultInj
 			return faultInjectionDiverge(cfg, sys, cfg.Duration-boundary)
 		},
 	}
-	pool := runner.New(1).WithMetrics(cfg.Metrics)
+	pool := runner.New(1).WithMetrics(cfg.Metrics).WithSnapshots(cfg.Snapshots)
 	vals, err := runner.Values[*FaultInjectionResult](pool.ExecuteWarm(context.Background(), wc, []runner.WarmRun{run}))
 	if err != nil {
 		return nil, err

@@ -18,17 +18,25 @@ type MultiSeedConfig struct {
 	// Seeds lists the per-run master seeds explicitly. When empty,
 	// SeedCount seeds are derived from CampaignSeed (or the classic
 	// {1..5} set when SeedCount is also zero).
-	Seeds []int64
+	Seeds []int64 `json:"seeds,omitempty"`
 	// CampaignSeed + SeedCount derive the per-run seeds via
 	// sim.DeriveSeed, so a whole campaign is reproducible from one number.
-	CampaignSeed int64
-	SeedCount    int
-	Duration     time.Duration
+	CampaignSeed int64         `json:"campaign_seed,omitempty"`
+	SeedCount    int           `json:"seed_count,omitempty"`
+	Duration     time.Duration `json:"duration,omitempty"`
 	// Parallel is the worker count used to fan the seeds across cores:
 	// 0 selects GOMAXPROCS, 1 forces sequential execution. The aggregated
 	// result is identical for every value — each seed runs in its own
 	// simulation with its own sim.Streams.
-	Parallel int
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Validate implements Validator.
+func (c MultiSeedConfig) Validate() error {
+	if c.SeedCount < 0 {
+		return fmt.Errorf("seed_count must not be negative (got %d)", c.SeedCount)
+	}
+	return checkDurations(field{"duration", c.Duration})
 }
 
 func (c MultiSeedConfig) withDefaults() MultiSeedConfig {

@@ -18,35 +18,58 @@ import (
 // against the paper's precision bounds, with the shared servo's holdover
 // mode armed.
 type NetworkChaosConfig struct {
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Duration of each sweep point's run.
-	Duration time.Duration
+	Duration time.Duration `json:"duration,omitempty"`
 	// ChaosStart delays the first fault, letting the system converge.
-	ChaosStart time.Duration
+	ChaosStart time.Duration `json:"chaos_start,omitempty"`
 	// BurstBadLoss sweeps the bad-state loss rate of a periodic burst-loss
 	// storm on every mesh link.
-	BurstBadLoss []float64
+	BurstBadLoss []float64 `json:"burst_bad_loss,omitempty"`
 	// PartitionDurations sweeps how long the mesh stays split into
 	// {sw1, sw2} | {sw3, sw4}.
-	PartitionDurations []time.Duration
+	PartitionDurations []time.Duration `json:"partition_durations,omitempty"`
 	// HoldoverWindow arms the ptp4l holdover watchdog (§ DESIGN.md "Chaos
 	// scenarios"); zero would leave the legacy free-run behavior.
-	HoldoverWindow time.Duration
+	HoldoverWindow time.Duration `json:"holdover_window,omitempty"`
 	// PlanPath optionally runs one custom plan file instead of the built-in
 	// sweep.
-	PlanPath string
+	PlanPath string `json:"plan_path,omitempty"`
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
-	Parallel int
+	Parallel int `json:"parallel,omitempty"`
 	// WarmStart runs the shared convergence prefix (everything before
 	// ChaosStart) once and forks every sweep point from its snapshot. The
 	// table is bit-identical to the cold attach-at-boundary runs the
 	// fallback executes (see DESIGN.md "Warm-state snapshots").
-	WarmStart bool
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Metrics optionally instruments the campaign's runner pool (fork and
 	// fallback accounting). The registry must be campaign-level, never a
 	// simulation's.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
+	// Snapshots optionally shares the prefix snapshot through a campaign
+	// cache (the job server's LRU), so concurrent campaigns with the same
+	// convergence prefix fork from one snapshot; nil keeps the
+	// per-campaign prefix.
+	Snapshots runner.SnapshotCache `json:"-"`
+}
+
+// Validate implements Validator.
+func (c NetworkChaosConfig) Validate() error {
+	for i, p := range c.BurstBadLoss {
+		if err := checkRate(fmt.Sprintf("burst_bad_loss[%d]", i), p); err != nil {
+			return err
+		}
+	}
+	for i, d := range c.PartitionDurations {
+		if d <= 0 {
+			return fmt.Errorf("partition_durations[%d] must be positive (got %v)", i, d)
+		}
+	}
+	return checkDurations(
+		field{"duration", c.Duration},
+		field{"chaos_start", c.ChaosStart},
+		field{"holdover_window", c.HoldoverWindow})
 }
 
 func (c NetworkChaosConfig) withDefaults() NetworkChaosConfig {
@@ -211,7 +234,7 @@ func NetworkChaos(ctx context.Context, cfg NetworkChaosConfig) (*NetworkChaosRes
 
 	res := &NetworkChaosResult{Config: cfg}
 	snapshots := make([][]obs.Metric, len(plans))
-	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics).WithSnapshots(cfg.Snapshots)
 
 	var outcomes []runner.Outcome
 	if cfg.WarmStart {

@@ -18,8 +18,13 @@ import (
 // parity — equal offset accuracy, half the event-message count, and
 // immunity to the tx-timestamp-timeout fault class.
 type OneStepStudyConfig struct {
-	Seed     int64
-	Duration time.Duration
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration,omitempty"`
+}
+
+// Validate implements Validator.
+func (c OneStepStudyConfig) Validate() error {
+	return checkDurations(field{"duration", c.Duration})
 }
 
 func (c OneStepStudyConfig) withDefaults() OneStepStudyConfig {

@@ -16,17 +16,25 @@ import (
 // shrinks the reboot time after a fail-silent fault, which shortens the
 // windows during which a node runs without redundancy.
 type RecoveryConfig struct {
-	Seed     int64
-	Duration time.Duration
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration,omitempty"`
 	// LinuxDowntime is the guest reboot time of the GNU/Linux stack.
 	// Default 45 s (Atom-class ECD).
-	LinuxDowntime time.Duration
+	LinuxDowntime time.Duration `json:"linux_downtime,omitempty"`
 	// UnikernelDowntime is the boot time of a Unikraft-style unikernel.
 	// Default 2 s.
-	UnikernelDowntime time.Duration
+	UnikernelDowntime time.Duration `json:"unikernel_downtime,omitempty"`
 	// Parallel is the runner's worker count for the two stack campaigns
 	// (0 = GOMAXPROCS, 1 = sequential); the result is identical either way.
-	Parallel int
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Validate implements Validator.
+func (c RecoveryConfig) Validate() error {
+	return checkDurations(
+		field{"duration", c.Duration},
+		field{"linux_downtime", c.LinuxDowntime},
+		field{"unikernel_downtime", c.UnikernelDowntime})
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {

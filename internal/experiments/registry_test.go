@@ -31,15 +31,37 @@ func TestRegistryCatalogue(t *testing.T) {
 			t.Fatalf("%s: nil default config", e.Name())
 		}
 	}
-	if _, ok := Lookup("no-such-study"); ok {
+	if _, err := Lookup("no-such-study"); err == nil {
 		t.Fatal("Lookup invented an experiment")
 	}
 }
 
+func TestLookupUnknownError(t *testing.T) {
+	_, err := Lookup("intervl")
+	if err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `did you mean "interval"?`) {
+		t.Fatalf("missing fuzzy suggestion in %q", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list registered name %q: %q", name, msg)
+		}
+	}
+	// A name nowhere near any registered study gets the listing but no
+	// nonsense suggestion.
+	_, err = Lookup("zzzzzzzzzzzzzzz")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("suggestion for hopeless name: %v", err)
+	}
+}
+
 func TestRegistryDispatch(t *testing.T) {
-	exp, ok := Lookup("bounds")
-	if !ok {
-		t.Fatal("bounds not registered")
+	exp, err := Lookup("bounds")
+	if err != nil {
+		t.Fatalf("bounds not registered: %v", err)
 	}
 	res, err := exp.Run(context.Background(), BoundsConfig{Seed: 2, Duration: 3 * time.Minute})
 	if err != nil {

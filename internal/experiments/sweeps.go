@@ -81,21 +81,35 @@ func sweepPoints(ctx context.Context, parallel int, labels []string,
 	return runner.Values[SweepPoint](runner.New(parallel).Execute(ctx, runs))
 }
 
-// IntervalSweepConfig parameterises IntervalSweep.
+// IntervalSweepConfig parameterises IntervalSweep. Durations are
+// nanoseconds on the wire.
 type IntervalSweepConfig struct {
-	Seed      int64
-	Intervals []time.Duration
-	Duration  time.Duration
+	Seed      int64           `json:"seed"`
+	Intervals []time.Duration `json:"intervals,omitempty"`
+	Duration  time.Duration   `json:"duration,omitempty"`
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
-	Parallel int
+	Parallel int `json:"parallel,omitempty"`
 	// WarmStart enables snapshot forking. The swept parameter (SyncInterval)
 	// shapes the warm-up itself, so every point except the first falls back
 	// to a cold run via the prefix-hash mismatch — this sweep demonstrates
 	// the fallback detection, not the speed-up.
-	WarmStart bool
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Metrics optionally instruments the campaign's runner pool.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
+	// Snapshots optionally shares the prefix snapshot through a campaign
+	// cache (the job server's LRU); nil keeps the per-campaign prefix.
+	Snapshots runner.SnapshotCache `json:"-"`
+}
+
+// Validate implements Validator.
+func (c IntervalSweepConfig) Validate() error {
+	for i, s := range c.Intervals {
+		if s <= 0 {
+			return fmt.Errorf("intervals[%d] must be positive (got %v)", i, s)
+		}
+	}
+	return checkDurations(field{"duration", c.Duration})
 }
 
 func (c IntervalSweepConfig) withDefaults() IntervalSweepConfig {
@@ -174,7 +188,7 @@ func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []st
 			},
 		}
 	}
-	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics).WithSnapshots(cfg.Snapshots)
 	return runner.Values[SweepPoint](pool.ExecuteWarm(ctx, wc, wruns))
 }
 
@@ -220,20 +234,34 @@ func intervalCollect(sys *core.System, s time.Duration) SweepPoint {
 	}
 }
 
-// DomainSweepConfig parameterises DomainSweep.
+// DomainSweepConfig parameterises DomainSweep. Durations are nanoseconds on
+// the wire.
 type DomainSweepConfig struct {
-	Seed     int64
-	Counts   []int
-	Duration time.Duration
+	Seed     int64         `json:"seed"`
+	Counts   []int         `json:"counts,omitempty"`
+	Duration time.Duration `json:"duration,omitempty"`
 	// Parallel is the runner's worker count (0 = GOMAXPROCS, 1 =
 	// sequential); the table is identical for every value.
-	Parallel int
+	Parallel int `json:"parallel,omitempty"`
 	// WarmStart enables snapshot forking. The swept parameter (DomainCount)
 	// shapes the warm-up itself, so every point except the first falls back
 	// to a cold run via the prefix-hash mismatch.
-	WarmStart bool
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Metrics optionally instruments the campaign's runner pool.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
+	// Snapshots optionally shares the prefix snapshot through a campaign
+	// cache (the job server's LRU); nil keeps the per-campaign prefix.
+	Snapshots runner.SnapshotCache `json:"-"`
+}
+
+// Validate implements Validator.
+func (c DomainSweepConfig) Validate() error {
+	for i, m := range c.Counts {
+		if m < 2 {
+			return fmt.Errorf("counts[%d] must be at least 2 domains (got %d)", i, m)
+		}
+	}
+	return checkDurations(field{"duration", c.Duration})
 }
 
 func (c DomainSweepConfig) withDefaults() DomainSweepConfig {
@@ -317,7 +345,7 @@ func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string
 			},
 		}
 	}
-	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics)
+	pool := runner.New(cfg.Parallel).WithMetrics(cfg.Metrics).WithSnapshots(cfg.Snapshots)
 	return runner.Values[SweepPoint](pool.ExecuteWarm(ctx, wc, wruns))
 }
 
@@ -378,33 +406,4 @@ func domainCollect(sys *core.System, m int, duration time.Duration) SweepPoint {
 		Violations:      measure.ViolationCount(after, float64(bound)),
 		Samples:         len(after),
 	}
-}
-
-// SyncIntervalSweep is the positional-argument predecessor of
-// IntervalSweep.
-//
-// Deprecated: use IntervalSweep with IntervalSweepConfig; this wrapper will
-// be removed after one release.
-func SyncIntervalSweep(seed int64, intervals []time.Duration, duration time.Duration) ([]SweepPoint, error) {
-	res, err := IntervalSweep(context.Background(), IntervalSweepConfig{
-		Seed: seed, Intervals: intervals, Duration: duration, Parallel: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Points, nil
-}
-
-// DomainCountSweep is the positional-argument predecessor of DomainSweep.
-//
-// Deprecated: use DomainSweep with DomainSweepConfig; this wrapper will be
-// removed after one release.
-func DomainCountSweep(seed int64, counts []int, duration time.Duration) ([]SweepPoint, error) {
-	res, err := DomainSweep(context.Background(), DomainSweepConfig{
-		Seed: seed, Counts: counts, Duration: duration, Parallel: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Points, nil
 }

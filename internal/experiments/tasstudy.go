@@ -17,13 +17,26 @@ import (
 // comes from best-effort interference that the integrated TSN switches'
 // 802.1Qbv schedules remove.
 type TASStudyConfig struct {
-	Seed     int64
-	Duration time.Duration
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration,omitempty"`
 	// BurstBytes / BurstFrames / BurstInterval describe the best-effort
 	// load crossing the same egress port as the Sync path.
-	BurstBytes    int
-	BurstFrames   int
-	BurstInterval time.Duration
+	BurstBytes    int           `json:"burst_bytes,omitempty"`
+	BurstFrames   int           `json:"burst_frames,omitempty"`
+	BurstInterval time.Duration `json:"burst_interval,omitempty"`
+}
+
+// Validate implements Validator.
+func (c TASStudyConfig) Validate() error {
+	if c.BurstBytes < 0 {
+		return fmt.Errorf("burst_bytes must not be negative (got %d)", c.BurstBytes)
+	}
+	if c.BurstFrames < 0 {
+		return fmt.Errorf("burst_frames must not be negative (got %d)", c.BurstFrames)
+	}
+	return checkDurations(
+		field{"duration", c.Duration},
+		field{"burst_interval", c.BurstInterval})
 }
 
 func (c TASStudyConfig) withDefaults() TASStudyConfig {

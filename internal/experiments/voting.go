@@ -15,14 +15,24 @@ import (
 // parameters is voted out; the fail-silent (freshness-only) monitor cannot
 // see it.
 type VotingConfig struct {
-	Seed int64
+	Seed int64 `json:"seed"`
 	// CorruptionNS is the clock error injected into the active VM's PHC
 	// (a fail-consistent fault). Default 1 ms.
-	CorruptionNS float64
+	CorruptionNS float64 `json:"corruption_ns,omitempty"`
 	// Settle before the injection. Default 2 min.
-	Settle time.Duration
+	Settle time.Duration `json:"settle,omitempty"`
 	// Observe after the injection. Default 1 min.
-	Observe time.Duration
+	Observe time.Duration `json:"observe,omitempty"`
+}
+
+// Validate implements Validator.
+func (c VotingConfig) Validate() error {
+	if err := checkFinite("corruption_ns", c.CorruptionNS); err != nil {
+		return err
+	}
+	return checkDurations(
+		field{"settle", c.Settle},
+		field{"observe", c.Observe})
 }
 
 func (c VotingConfig) withDefaults() VotingConfig {

@@ -75,12 +75,13 @@ func TestSyncIntervalSweep(t *testing.T) {
 }
 
 func TestDomainCountSweep(t *testing.T) {
-	// Exercised through the deprecated positional wrapper on purpose: it
-	// must keep matching the config-struct API for one release.
-	points, err := DomainCountSweep(8, []int{2, 4}, 8*time.Minute)
+	res, err := DomainSweep(context.Background(), DomainSweepConfig{
+		Seed: 8, Counts: []int{2, 4}, Duration: 8 * time.Minute, Parallel: 1,
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	points := res.Points
 	// M = 2 cannot mask the Byzantine GM; M = 4 must.
 	if points[0].Violations < points[0].Samples/4 {
 		t.Fatalf("M=2 unexpectedly masked the Byzantine GM: %s", points[0])

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"gptpfta/internal/obs"
+	"gptpfta/internal/runner"
+)
+
+// ResultSchemaVersion is the wire schema of WireResult. It is bumped when
+// the envelope's shape changes incompatibly; additive, optional fields do
+// not bump it. Clients should reject envelopes with a schema they do not
+// know.
+const ResultSchemaVersion = 1
+
+// WireResult is the stable wire form of any experiment Result: a versioned
+// envelope around the generic surface every study exposes — the one-line
+// Summary, the Rows table (first row is the header; golden digests hash
+// exactly these rows, so the wire form and the determinism gate can never
+// disagree) and, when the result carries one, the obs metrics snapshot.
+// The same envelope drives the job server's result endpoint, CSV emission
+// and cross-process result archival.
+type WireResult struct {
+	// Schema is the envelope version (ResultSchemaVersion).
+	Schema int `json:"schema"`
+	// Experiment is the registry name of the study that produced the
+	// result.
+	Experiment string `json:"experiment"`
+	// Summary is the result's one-line verdict.
+	Summary string `json:"summary"`
+	// Rows is the result's generic table; Rows[0] is the header.
+	Rows [][]string `json:"rows"`
+	// Obs is the metrics snapshot taken at experiment end, when the result
+	// carries one.
+	Obs []obs.Metric `json:"obs,omitempty"`
+}
+
+// Wire wraps a Result in its versioned wire envelope.
+func Wire(experiment string, r Result) WireResult {
+	w := WireResult{
+		Schema:     ResultSchemaVersion,
+		Experiment: experiment,
+		Summary:    r.Summary(),
+		Rows:       r.Rows(),
+	}
+	if c, ok := r.(ObsCarrier); ok {
+		w.Obs = c.ObsMetrics()
+	}
+	return w
+}
+
+// EnableWarmStart switches a warm-capable config into warm-start mode,
+// attaching the campaign metrics registry and the shared snapshot cache the
+// study's runner pool should fork through. Configs without a warm mode pass
+// through unchanged; the boolean reports whether the config was
+// warm-capable. Because `json:"-"` fields do not survive the wire, callers
+// that decode a config from JSON re-attach the runtime handles here, after
+// decoding.
+func EnableWarmStart(cfg any, reg *obs.Registry, snaps runner.SnapshotCache) (any, bool) {
+	switch c := cfg.(type) {
+	case BoundsConfig:
+		c.WarmStart, c.Metrics, c.Snapshots = true, reg, snaps
+		return c, true
+	case FaultInjectionConfig:
+		c.WarmStart, c.Metrics, c.Snapshots = true, reg, snaps
+		return c, true
+	case IntervalSweepConfig:
+		c.WarmStart, c.Metrics, c.Snapshots = true, reg, snaps
+		return c, true
+	case DomainSweepConfig:
+		c.WarmStart, c.Metrics, c.Snapshots = true, reg, snaps
+		return c, true
+	case NetworkChaosConfig:
+		c.WarmStart, c.Metrics, c.Snapshots = true, reg, snaps
+		return c, true
+	}
+	return cfg, false
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigRoundTrip is the wire contract of every registered experiment:
+// the default config marshals to JSON and decodes back, through the strict
+// DecodeConfig path, to an equal value. This is what lets one JSON payload
+// drive the CLIs and POST /v1/jobs interchangeably.
+func TestConfigRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			cfg := e.DefaultConfig(7)
+			raw, err := json.Marshal(cfg)
+			if err != nil {
+				t.Fatalf("marshal default config: %v", err)
+			}
+			back, err := e.DecodeConfig(raw)
+			if err != nil {
+				t.Fatalf("decode %s: %v", raw, err)
+			}
+			if !reflect.DeepEqual(cfg, back) {
+				t.Fatalf("round trip drifted:\n  before: %#v\n  after:  %#v", cfg, back)
+			}
+		})
+	}
+}
+
+// TestDecodeConfigNil checks that an absent config body yields the
+// zero-seed defaults.
+func TestDecodeConfigNil(t *testing.T) {
+	for _, e := range All() {
+		cfg, err := e.DecodeConfig(nil)
+		if err != nil {
+			t.Fatalf("%s: decode nil: %v", e.Name(), err)
+		}
+		if !reflect.DeepEqual(cfg, e.DefaultConfig(0)) {
+			t.Fatalf("%s: nil config is not the zero-seed default", e.Name())
+		}
+	}
+}
+
+// TestDecodeConfigUnknownField checks the strict decode: a typo'd key is an
+// error for every experiment, not a silently ignored no-op.
+func TestDecodeConfigUnknownField(t *testing.T) {
+	for _, e := range All() {
+		if _, err := e.DecodeConfig(json.RawMessage(`{"no_such_knob": 1}`)); err == nil {
+			t.Fatalf("%s: unknown field accepted", e.Name())
+		}
+	}
+}
+
+// TestDecodeConfigValidation checks that DecodeConfig runs the config's
+// Validate: a structurally well-formed but semantically invalid payload is
+// rejected at decode time.
+func TestDecodeConfigValidation(t *testing.T) {
+	cases := map[string]string{
+		"bounds":   `{"duration": -1}`,
+		"interval": `{"intervals": [0]}`,
+		"domains":  `{"counts": [1]}`,
+		"netchaos": `{"burst_bad_loss": [1.5]}`,
+	}
+	for name, raw := range cases {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := e.DecodeConfig(json.RawMessage(raw)); err == nil {
+			t.Fatalf("%s: invalid config %s accepted", name, raw)
+		}
+	}
+}
+
+// TestSeededConfigOverlay checks the server's submission path: the overlay
+// wins over the seeded default field-by-field, and the untouched fields keep
+// the seeded defaults.
+func TestSeededConfigOverlay(t *testing.T) {
+	e, err := Lookup("bounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := SeededConfig(e, 42, json.RawMessage(`{"duration": 180000000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, ok := cfg.(BoundsConfig)
+	if !ok {
+		t.Fatalf("config type %T", cfg)
+	}
+	if bc.Seed != 42 {
+		t.Fatalf("seed not applied: %+v", bc)
+	}
+	if bc.Duration != 3*time.Minute {
+		t.Fatalf("overlay not applied: %+v", bc)
+	}
+	// An explicit seed inside the overlay wins over the top-level seed.
+	cfg, err = SeededConfig(e, 42, json.RawMessage(`{"seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.(BoundsConfig).Seed != 7 {
+		t.Fatalf("explicit config seed lost: %+v", cfg)
+	}
+}
+
+// TestWireResultEnvelope pins the versioned result envelope: schema 1, the
+// registry name, the summary and the generic rows — the stable surface the
+// job server's result endpoint serves.
+func TestWireResultEnvelope(t *testing.T) {
+	e, err := Lookup("bounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), BoundsConfig{Seed: 2, Duration: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Wire("bounds", res)
+	if w.Schema != ResultSchemaVersion || ResultSchemaVersion != 1 {
+		t.Fatalf("schema = %d", w.Schema)
+	}
+	if w.Experiment != "bounds" || w.Summary == "" || len(w.Rows) < 2 {
+		t.Fatalf("envelope incomplete: %+v", w)
+	}
+	if len(w.Obs) == 0 {
+		t.Fatal("bounds result carries obs metrics, envelope lost them")
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema":1`, `"experiment":"bounds"`, `"summary":`, `"rows":`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("wire JSON missing %s: %s", key, raw)
+		}
+	}
+}

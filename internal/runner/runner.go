@@ -83,6 +83,11 @@ type Pool struct {
 	mPrefixRuns    *obs.Counter
 	mForksServed   *obs.Counter
 	mColdFallbacks *obs.Counter
+
+	// snapshots optionally shares converged prefix snapshots between
+	// campaigns (WithSnapshots); nil keeps ExecuteWarm's per-campaign
+	// prefix execution.
+	snapshots SnapshotCache
 }
 
 // wallBuckets spans experiment wall times from milliseconds (smoke scales)
@@ -110,6 +115,15 @@ func (p *Pool) WithMetrics(reg *obs.Registry) *Pool {
 	p.mPrefixRuns = reg.Counter("runner_prefix_runs")
 	p.mForksServed = reg.Counter("runner_forks_served")
 	p.mColdFallbacks = reg.Counter("runner_cold_fallbacks")
+	return p
+}
+
+// WithSnapshots attaches a shared prefix-snapshot cache: ExecuteWarm
+// acquires the campaign's prefix snapshot from the cache (computing it on a
+// miss) instead of always executing the prefix itself. A nil cache is a
+// no-op. It returns the pool for chaining.
+func (p *Pool) WithSnapshots(c SnapshotCache) *Pool {
+	p.snapshots = c
 	return p
 }
 

@@ -44,6 +44,26 @@ type WarmConfig struct {
 	Prefix func(ctx context.Context) (any, error)
 }
 
+// SnapshotCache shares converged prefix snapshots between campaigns: a pool
+// configured with WithSnapshots asks the cache for the campaign's prefix
+// snapshot instead of always executing the prefix itself, so concurrent
+// sweeps sharing a convergence prefix pay for it once. The implementation
+// lives with its owner (the job server's LRU, internal/serve); the runner
+// only defines the contract.
+type SnapshotCache interface {
+	// Acquire returns the snapshot stored under hash, running compute to
+	// produce it on a miss. hit reports whether the snapshot came from the
+	// cache (compute did not run).
+	//
+	// The snapshot is exclusively held by the caller until release is
+	// invoked: forks resume in place on the snapshot's component graph, so
+	// only one campaign may fork from it at a time. Concurrent Acquires of
+	// the same hash therefore serialise — the first computes, the rest
+	// block (or give up when ctx is cancelled) and then hit. release must
+	// be called exactly once, and only when err is nil.
+	Acquire(ctx context.Context, hash string, compute func(context.Context) (any, error)) (snap any, hit bool, release func(), err error)
+}
+
 // ExecuteWarm executes a warm-start campaign and returns one Outcome per
 // run, in submission order. Fork-eligible runs (hash match) share one prefix
 // execution and fork serially; the rest fall back to cold runs on the pool.
@@ -66,19 +86,34 @@ func (p *Pool) ExecuteWarm(ctx context.Context, wc WarmConfig, runs []WarmRun) [
 
 	epoch := time.Now()
 	var snap any
+	var release func()
 	if len(warmIdx) > 0 {
 		var err error
-		snap, err = runPrefix(ctx, wc)
+		if p.snapshots != nil {
+			var hit bool
+			snap, hit, release, err = p.snapshots.Acquire(ctx, wc.Hash, func(ctx context.Context) (any, error) {
+				return runPrefix(ctx, wc)
+			})
+			if err == nil && !hit {
+				p.mPrefixRuns.Inc()
+			}
+		} else {
+			snap, err = runPrefix(ctx, wc)
+			if err == nil {
+				p.mPrefixRuns.Inc()
+			}
+		}
 		if err != nil {
 			// Demote: the prefix could not be produced, every would-be fork
 			// runs cold instead.
 			coldIdx = append(coldIdx, warmIdx...)
 			warmIdx = nil
-		} else {
-			p.mPrefixRuns.Inc()
 		}
 	}
 
+	// Forks run serially while the snapshot is held; the cache entry is
+	// released before the cold fallbacks fan out, so a concurrent campaign
+	// waiting on the same prefix can start forking as early as possible.
 	for _, i := range warmIdx {
 		r := runs[i]
 		outcomes[i] = execute(ctx, epoch, i, Run{Name: r.Name, Do: func(ctx context.Context) (any, error) {
@@ -86,6 +121,9 @@ func (p *Pool) ExecuteWarm(ctx context.Context, wc WarmConfig, runs []WarmRun) [
 		}})
 		p.mForksServed.Inc()
 		p.record(outcomes[i])
+	}
+	if release != nil {
+		release()
 	}
 
 	if len(coldIdx) > 0 {

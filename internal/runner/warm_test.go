@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"gptpfta/internal/obs"
+)
+
+// stubCache is a minimal SnapshotCache that records the call sequence.
+type stubCache struct {
+	mu       sync.Mutex
+	store    map[string]any
+	acquires int
+	computes int
+	released bool
+}
+
+func newStubCache() *stubCache { return &stubCache{store: map[string]any{}} }
+
+func (c *stubCache) Acquire(ctx context.Context, hash string, compute func(context.Context) (any, error)) (any, bool, func(), error) {
+	c.mu.Lock()
+	c.acquires++
+	snap, ok := c.store[hash]
+	c.mu.Unlock()
+	release := func() {
+		c.mu.Lock()
+		c.released = true
+		c.mu.Unlock()
+	}
+	if ok {
+		return snap, true, release, nil
+	}
+	c.mu.Lock()
+	c.computes++
+	c.mu.Unlock()
+	snap, err := compute(ctx)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	c.mu.Lock()
+	c.store[hash] = snap
+	c.mu.Unlock()
+	return snap, false, release, nil
+}
+
+func counterValue(reg *obs.Registry, name string) float64 {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestExecuteWarmSharedCache: with WithSnapshots, the prefix is produced
+// through the cache — computed on the first campaign, reused (hit, no
+// prefix re-run) on the second — and runner_prefix_runs counts only the
+// actual prefix executions.
+func TestExecuteWarmSharedCache(t *testing.T) {
+	cache := newStubCache()
+	reg := obs.NewRegistry()
+	pool := New(1).WithMetrics(reg).WithSnapshots(cache)
+
+	prefixRuns := 0
+	wc := WarmConfig{Hash: "h", Prefix: func(context.Context) (any, error) {
+		prefixRuns++
+		return "snapshot", nil
+	}}
+	runs := []WarmRun{{
+		Name: "warm",
+		Hash: "h",
+		Fork: func(_ context.Context, snap any) (any, error) { return "fork:" + snap.(string), nil },
+		Cold: func(context.Context) (any, error) { return "cold", nil },
+	}}
+
+	for campaign := 0; campaign < 2; campaign++ {
+		vals, err := Values[string](pool.ExecuteWarm(context.Background(), wc, runs))
+		if err != nil {
+			t.Fatalf("campaign %d: %v", campaign, err)
+		}
+		if vals[0] != "fork:snapshot" {
+			t.Fatalf("campaign %d: %q", campaign, vals[0])
+		}
+	}
+	if prefixRuns != 1 {
+		t.Fatalf("prefix ran %d times, want 1 (second campaign hits the cache)", prefixRuns)
+	}
+	if cache.acquires != 2 || cache.computes != 1 {
+		t.Fatalf("acquires=%d computes=%d, want 2/1", cache.acquires, cache.computes)
+	}
+	if v := counterValue(reg, "runner_prefix_runs"); v != 1 {
+		t.Fatalf("runner_prefix_runs = %v, want 1", v)
+	}
+	if v := counterValue(reg, "runner_forks_served"); v != 2 {
+		t.Fatalf("runner_forks_served = %v, want 2", v)
+	}
+}
+
+// TestExecuteWarmReleaseBeforeCold pins the hold window: the cache entry is
+// released after the serial forks, before the cold fallbacks fan out — a
+// concurrent campaign waiting on the prefix is not blocked behind unrelated
+// cold work.
+func TestExecuteWarmReleaseBeforeCold(t *testing.T) {
+	cache := newStubCache()
+	pool := New(1).WithSnapshots(cache)
+	releasedAtCold := false
+	wc := WarmConfig{Hash: "h", Prefix: func(context.Context) (any, error) { return "snap", nil }}
+	runs := []WarmRun{
+		{
+			Name: "warm", Hash: "h",
+			Fork: func(context.Context, any) (any, error) { return "fork", nil },
+			Cold: func(context.Context) (any, error) { return "cold", nil },
+		},
+		{
+			Name: "mismatch", Hash: "other",
+			Fork: func(context.Context, any) (any, error) { return "fork", nil },
+			Cold: func(context.Context) (any, error) {
+				cache.mu.Lock()
+				releasedAtCold = cache.released
+				cache.mu.Unlock()
+				return "cold", nil
+			},
+		},
+	}
+	vals, err := Values[string](pool.ExecuteWarm(context.Background(), wc, runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != "fork" || vals[1] != "cold" {
+		t.Fatalf("outcomes %v", vals)
+	}
+	if !releasedAtCold {
+		t.Fatal("snapshot still held while cold fallbacks ran")
+	}
+}
+
+// TestExecuteWarmCacheFailureDemotes: a failing cache/prefix demotes every
+// eligible run to its cold path instead of failing the campaign.
+func TestExecuteWarmCacheFailureDemotes(t *testing.T) {
+	cache := newStubCache()
+	reg := obs.NewRegistry()
+	pool := New(1).WithMetrics(reg).WithSnapshots(cache)
+	wc := WarmConfig{Hash: "h", Prefix: func(context.Context) (any, error) {
+		return nil, errors.New("no convergence")
+	}}
+	runs := []WarmRun{{
+		Name: "warm", Hash: "h",
+		Fork: func(context.Context, any) (any, error) { return "fork", nil },
+		Cold: func(context.Context) (any, error) { return "cold", nil },
+	}}
+	vals, err := Values[string](pool.ExecuteWarm(context.Background(), wc, runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != "cold" {
+		t.Fatalf("demoted run returned %q, want cold", vals[0])
+	}
+	if v := counterValue(reg, "runner_prefix_runs"); v != 0 {
+		t.Fatalf("runner_prefix_runs = %v after failed prefix", v)
+	}
+}

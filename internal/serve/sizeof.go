@@ -1,0 +1,137 @@
+// Deep size estimation for cached snapshots. A converged System snapshot is
+// an arbitrary object graph (scheduler slab, component structs, queued
+// frames, closures), so the cache's byte bound walks it reflectively and
+// sums what the graph plausibly pins in memory. The estimate is approximate
+// by design — interior pointers, allocator slack and closure captures are
+// invisible to reflection — but it is stable for a given snapshot shape,
+// which is all an eviction bound needs.
+package serve
+
+import "reflect"
+
+// deepSize estimates the bytes reachable from v: the value itself plus
+// everything its pointers, slices, maps, strings and interfaces reference.
+// Shared referents (the same pointer, backing array or map reached twice)
+// are counted once, and cycles terminate. Channels and funcs count as their
+// header word only — their referents are not reachable via reflection.
+func deepSize(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	rv := reflect.ValueOf(v)
+	seen := make(map[uintptr]struct{})
+	return int64(rv.Type().Size()) + referenced(rv, seen)
+}
+
+// referenced returns the bytes v points at beyond its own inline size.
+func referenced(v reflect.Value, seen map[uintptr]struct{}) int64 {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() || visited(v.Pointer(), seen) {
+			return 0
+		}
+		e := v.Elem()
+		return int64(e.Type().Size()) + referenced(e, seen)
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		e := v.Elem()
+		if e.Kind() == reflect.Pointer {
+			// The interface data word holds the pointer itself.
+			return referenced(e, seen)
+		}
+		// Non-pointer values are boxed behind the data word.
+		return int64(e.Type().Size()) + referenced(e, seen)
+
+	case reflect.Slice:
+		if v.IsNil() || visited(v.Pointer(), seen) {
+			return 0
+		}
+		n := int64(v.Cap()) * int64(v.Type().Elem().Size())
+		if hasRefs(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				n += referenced(v.Index(i), seen)
+			}
+		}
+		return n
+
+	case reflect.Array:
+		var n int64
+		if hasRefs(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				n += referenced(v.Index(i), seen)
+			}
+		}
+		return n
+
+	case reflect.String:
+		return int64(v.Len())
+
+	case reflect.Map:
+		if v.IsNil() || visited(v.Pointer(), seen) {
+			return 0
+		}
+		// Bucket overhead is opaque; approximate each entry as its key and
+		// value sizes plus two words of bucket bookkeeping.
+		entry := int64(v.Type().Key().Size()) + int64(v.Type().Elem().Size()) + 16
+		n := int64(v.Len()) * entry
+		if hasRefs(v.Type().Key()) || hasRefs(v.Type().Elem()) {
+			iter := v.MapRange()
+			for iter.Next() {
+				n += referenced(iter.Key(), seen)
+				n += referenced(iter.Value(), seen)
+			}
+		}
+		return n
+
+	case reflect.Struct:
+		var n int64
+		for i := 0; i < v.NumField(); i++ {
+			n += referenced(v.Field(i), seen)
+		}
+		return n
+
+	default:
+		// Scalars are inline; chans and funcs stop the walk.
+		return 0
+	}
+}
+
+// visited records p in seen and reports whether it was already there.
+func visited(p uintptr, seen map[uintptr]struct{}) bool {
+	if p == 0 {
+		return true
+	}
+	if _, ok := seen[p]; ok {
+		return true
+	}
+	seen[p] = struct{}{}
+	return false
+}
+
+// hasRefs reports whether values of type t can reference further memory —
+// the element-walk gate that keeps deepSize from visiting every float64 in
+// a large numeric slice.
+func hasRefs(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return false
+	case reflect.Array:
+		return hasRefs(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasRefs(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}

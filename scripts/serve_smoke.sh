@@ -1,0 +1,75 @@
+#!/bin/sh
+# Serve smoke test: boot cmd/served on an ephemeral port, submit a small
+# netchaos job over HTTP, poll it to completion and assert the job went
+# done with a non-empty metrics JSONL stream. Mirrors the CI serve-smoke
+# job; run via `make serve-smoke`.
+set -eu
+
+WORKDIR=${1:-.serve-smoke}
+mkdir -p "$WORKDIR"
+LOG="$WORKDIR/served.log"
+: > "$LOG"
+
+go build -o "$WORKDIR/served" ./cmd/served
+
+"$WORKDIR/served" -addr 127.0.0.1:0 -workers 1 > "$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the bound address to appear in the log.
+ADDR=
+for _ in $(seq 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: server never announced its address" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+BASE="http://$ADDR"
+
+# The same strict wire config the CLIs use: a 4.5-minute netchaos campaign,
+# one loss burst and one partition point (durations are nanosecond ints).
+JOB='{"experiment":"netchaos","config":{"seed":5,"duration":270000000000,"burst_bad_loss":[0.5],"partition_durations":[10000000000],"parallel":1}}'
+
+SUBMIT=$(curl -sS -X POST -H 'Content-Type: application/json' -d "$JOB" "$BASE/v1/jobs")
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+if [ -z "$ID" ]; then
+    echo "serve-smoke: submission failed: $SUBMIT" >&2
+    exit 1
+fi
+echo "serve-smoke: submitted $ID to $BASE"
+
+STATE=
+for _ in $(seq 600); do
+    STATUS=$(curl -sS "$BASE/v1/jobs/$ID")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done) break ;;
+        failed|cancelled)
+            echo "serve-smoke: job finished $STATE: $STATUS" >&2
+            exit 1 ;;
+    esac
+    sleep 0.2
+done
+if [ "$STATE" != "done" ]; then
+    echo "serve-smoke: job never finished (last state: ${STATE:-unknown})" >&2
+    exit 1
+fi
+
+curl -sS "$BASE/v1/jobs/$ID/result" > "$WORKDIR/result.json"
+grep -q '"schema": *1' "$WORKDIR/result.json" || {
+    echo "serve-smoke: result is not a schema-1 envelope" >&2
+    cat "$WORKDIR/result.json" >&2
+    exit 1
+}
+
+curl -sS "$BASE/v1/jobs/$ID/metrics" > "$WORKDIR/metrics.jsonl"
+if ! [ -s "$WORKDIR/metrics.jsonl" ]; then
+    echo "serve-smoke: empty metrics stream" >&2
+    exit 1
+fi
+
+echo "serve-smoke: ok ($(wc -l < "$WORKDIR/metrics.jsonl") metric lines)"
