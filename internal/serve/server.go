@@ -127,14 +127,26 @@ func (s *Server) Start() {
 	}
 }
 
-// Stop rejects further submissions, cancels running jobs and waits for the
-// workers to drain.
+// Stop rejects further submissions, cancels running jobs (they finish as
+// cancelled), waits for the workers to drain, and marks jobs still sitting
+// in the queue cancelled so no job is left "queued" forever.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	// Workers are gone; anything still queued will never start. Submits
+	// check closed and enqueue inside one s.mu critical section, so no
+	// job can land in the queue after this drain.
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(JobCancelled, errors.New("server shutdown before the job started"), nil)
+		default:
+			return
+		}
+	}
 }
 
 // submit registers and enqueues a job built from req.
@@ -182,18 +194,17 @@ func (s *Server) submit(req JobRequest) (*job, int, error) {
 		state:   JobQueued,
 		created: time.Now(),
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.mu.Unlock()
-
+	// Enqueue while still holding s.mu (the default arm keeps this
+	// non-blocking) so registration and enqueue are atomic: a failed send
+	// never has to roll back state that concurrent submits built on.
 	select {
 	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
 		s.mSubmitted.Inc()
 		return j, http.StatusAccepted, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		s.mRejected.Inc()
 		return nil, http.StatusServiceUnavailable,
@@ -215,10 +226,15 @@ func (s *Server) lookup(id string) (*job, bool) {
 // through the shared snapshot cache.
 func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	if j.timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
-	}
 	defer cancel()
+	if j.timeout > 0 {
+		// Chain the timeout onto the cancellable context so both cancel
+		// funcs run (the outer one via the defer above) and neither
+		// registration on baseCtx outlives the job.
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, j.timeout)
+		defer cancelTimeout()
+	}
 	if !j.start(cancel) {
 		return // cancelled while queued
 	}
@@ -263,7 +279,12 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		j.finish(JobDone, nil, results)
-	case errors.Is(err, context.Canceled) && s.baseCtx.Err() == nil && (j.timeout == 0 || !errors.Is(ctx.Err(), context.DeadlineExceeded)):
+	case errors.Is(err, context.Canceled) && !errors.Is(ctx.Err(), context.DeadlineExceeded):
+		// Client cancellation and server shutdown both land here; only
+		// timeouts fall through to failed.
+		if s.baseCtx.Err() != nil {
+			err = fmt.Errorf("server shutdown interrupted the job: %w", err)
+		}
 		j.finish(JobCancelled, err, nil)
 	default:
 		j.finish(JobFailed, err, nil)

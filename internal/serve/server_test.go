@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
-
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -421,5 +423,123 @@ func TestServerExperimentListing(t *testing.T) {
 	}
 	if warmCount != 5 {
 		t.Fatalf("%d warm-capable experiments, want 5 (bounds, faultinjection, interval, domains, netchaos)", warmCount)
+	}
+}
+
+// TestServerQueueFullConcurrentSubmits hammers a full queue from many
+// goroutines: rejected submissions must not corrupt the job list (a former
+// rollback race truncated the wrong order entry, leaving nil jobs that
+// panicked GET /v1/jobs).
+func TestServerQueueFullConcurrentSubmits(t *testing.T) {
+	s := New(Options{QueueDepth: 2}) // never Start()ed: nothing drains
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := func() []byte {
+		raw, err := json.Marshal(JobRequest{Experiment: "bounds",
+			Config: rawConfig(t, experiments.BoundsConfig{Seed: 1, Duration: 3 * time.Minute})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}()
+
+	var wg sync.WaitGroup
+	var accepted atomic.Int32
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				accepted.Add(1)
+			case http.StatusServiceUnavailable:
+			default:
+				errs <- fmt.Errorf("unexpected submit status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := accepted.Load(); got != 2 {
+		t.Fatalf("%d submissions accepted, want 2 (queue depth)", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("%d jobs listed, want 2", len(out.Jobs))
+	}
+	for _, j := range out.Jobs {
+		if j.State != JobQueued {
+			t.Fatalf("job %s listed %s, want queued", j.ID, j.State)
+		}
+	}
+}
+
+// TestServerStopCancelsQueued: Stop marks jobs that never left the queue
+// cancelled instead of stranding them "queued" forever.
+func TestServerStopCancelsQueued(t *testing.T) {
+	s := New(Options{QueueDepth: 4}) // never Start()ed: job stays queued
+	j, _, err := s.submit(JobRequest{Experiment: "bounds",
+		Config: rawConfig(t, experiments.BoundsConfig{Seed: 1, Duration: 3 * time.Minute})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	st := j.status()
+	if st.State != JobCancelled {
+		t.Fatalf("queued job finished %s after Stop, want cancelled", st.State)
+	}
+	if !strings.Contains(st.Error, "shutdown") {
+		t.Fatalf("queued job error %q does not mention shutdown", st.Error)
+	}
+}
+
+// TestServerStopCancelsRunning: a job interrupted mid-run by Stop finishes
+// cancelled (with a shutdown error), not failed.
+func TestServerStopCancelsRunning(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Start()
+	j, _, err := s.submit(JobRequest{Experiment: "bounds", Points: 32,
+		Config: rawConfig(t, experiments.BoundsConfig{Seed: 1, Duration: 3 * time.Minute})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for j.status().State == JobQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	st := j.status()
+	if st.State != JobCancelled {
+		t.Fatalf("running job finished %s after Stop (err %q), want cancelled", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "shutdown") {
+		t.Fatalf("running job error %q does not mention shutdown", st.Error)
 	}
 }
