@@ -29,12 +29,15 @@ race: vet
 	$(GO) test -race ./...
 
 # Determinism check: the golden digests (the simulation must produce
-# bit-identical results run-to-run and across instrumentation changes)
-# plus the fork-equivalence suite (a warm-started run forked from a
+# bit-identical results run-to-run and across instrumentation changes),
+# the fork-equivalence suite (a warm-started run forked from a
 # convergence-prefix snapshot must be bit-identical to the cold run its
-# fallback executes, across several seeds).
+# fallback executes, across several seeds), and the PDES shard-equivalence
+# suites (every shard count must reproduce the single-scheduler run
+# bit-for-bit, at both the core and the experiments layer).
 determinism:
-	$(GO) test ./internal/experiments/ -run 'TestGoldenDigest|TestForkEquivalence|TestWarmFallback' -count=1 -v
+	$(GO) test ./internal/experiments/ -run 'TestGoldenDigest|TestForkEquivalence|TestWarmFallback|TestShardEquivalence' -count=1 -v
+	$(GO) test ./internal/core/ -run 'TestShardEquivalence' -count=1 -v
 
 # Committed performance evidence: the event-kernel microbenchmarks and the
 # full-system simulation rate, as diffable JSON (ns/op, allocs/op, custom
@@ -46,6 +49,8 @@ bench:
 	$(GO) test -run ^$$ -bench 'BenchmarkSystemSimulationRate' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_system.json
 	$(GO) test -run ^$$ -bench 'BenchmarkSweepCold|BenchmarkSweepWarmStart' -benchtime 3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+	$(GO) test -run ^$$ -bench 'BenchmarkPDESFabric' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_pdes.json
 
 # One quick pass over every benchmark (figure regeneration smoke test).
 bench-all:
@@ -64,9 +69,12 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -o .bench-smoke/system.json
 	$(GO) test -run ^$$ -bench 'BenchmarkSweepCold|BenchmarkSweepWarmStart' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o .bench-smoke/sweep.json
+	$(GO) test -run ^$$ -bench 'BenchmarkPDESFabric' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o .bench-smoke/pdes.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_scheduler.json .bench-smoke/scheduler.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_system.json .bench-smoke/system.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_sweep.json .bench-smoke/sweep.json
+	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_pdes.json .bench-smoke/pdes.json
 
 # CPU + heap profile of the full report run; inspect with `go tool pprof`.
 profile:
@@ -75,7 +83,7 @@ profile:
 
 verify: build fmt-check vet test
 	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/netsim/... \
-		./internal/obs/... ./internal/chaos/... ./internal/ptp4l/...
+		./internal/obs/... ./internal/chaos/... ./internal/ptp4l/... ./internal/core/...
 
 # Chaos smoke: a 10-minute-sim-time fault-injection campaign driven by the
 # committed example scenario plan, with the holdover watchdog armed. Fails

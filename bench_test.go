@@ -595,3 +595,42 @@ func BenchmarkOneStepVsTwoStep(b *testing.B) {
 	b.ReportMetric(last.TwoStep.OffsetErrRMS, "two-step-rms-ns")
 	b.ReportMetric(last.OneStep.OffsetErrRMS, "one-step-rms-ns")
 }
+
+// BenchmarkPDESFabric measures the sharded conservative PDES kernel on a
+// generated thousand-element TSN fabric (84 sites × 4 switches × 2 ECD VMs
+// per switch = 336 switches + 672 VMs). Each op simulates one second of
+// fabric time after convergence; sim_s_per_wall_s > 1 means the fabric
+// simulates faster than real time. The same seed produces bit-identical
+// results at every shard count (TestShardEquivalenceScale), so the curve
+// isolates kernel cost, not behaviour. Parallel speedup requires cores:
+// on a single-core host the sharded points only measure barrier overhead.
+func BenchmarkPDESFabric(b *testing.B) {
+	const simPerOp = time.Second
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := core.ScaleConfig(1, 84, 4, 2, shards)
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Start(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.RunFor(2 * time.Second); err != nil { // converge first
+				b.Fatal(err)
+			}
+			startEvents := sys.ProcessedEvents()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := sys.RunFor(simPerOp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wall := time.Since(start)
+			b.ReportMetric(float64(simPerOp)*float64(b.N)/float64(wall), "sim_s_per_wall_s")
+			b.ReportMetric(float64(cfg.TotalNodes()+cfg.TotalNodes()*cfg.VMsPerNode), "nodes")
+			b.ReportMetric(float64(sys.ProcessedEvents()-startEvents)/float64(b.N), "events/op")
+		})
+	}
+}

@@ -16,6 +16,11 @@
 // keys are "BenchmarkName:metric" (most specific), "BenchmarkName", or
 // "metric". -warn-only reports but always exits zero, for informational CI
 // jobs. Exit status: 0 clean, 1 regression found, 2 usage or parse error.
+//
+// An input file that exists on only one side is treated as an added or
+// removed benchmark suite: its series are listed informationally and the
+// comparison exits 0, so introducing a new BENCH_*.json (or retiring one)
+// never breaks the CI gate before its baseline is committed.
 package main
 
 import (
@@ -97,6 +102,9 @@ func run(args []string, w io.Writer) error {
 	}
 
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	if done, err := reportOneSided(oldPath, newPath, opt, w); done || err != nil {
+		return err
+	}
 	var regressions int
 	if opt.metrics {
 		regressions, err = diffMetrics(oldPath, newPath, opt, w)
@@ -115,6 +123,62 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %d series beyond threshold", errRegression, regressions)
+}
+
+// reportOneSided handles an evidence file that exists on only one side of
+// the diff — a benchmark suite that was just added (no committed baseline
+// yet) or removed. That is information, not a failure: the series are
+// listed as added/removed and the comparison succeeds with no regressions.
+// Both files missing is still an operational error (fall through to the
+// normal read path, which reports it with exit 2).
+func reportOneSided(oldPath, newPath string, opt options, w io.Writer) (bool, error) {
+	_, oldErr := os.Stat(oldPath)
+	_, newErr := os.Stat(newPath)
+	oldMissing := errors.Is(oldErr, os.ErrNotExist)
+	newMissing := errors.Is(newErr, os.ErrNotExist)
+	if oldMissing == newMissing {
+		return false, nil
+	}
+	verb, path := "added", newPath
+	if newMissing {
+		verb, path = "removed", oldPath
+	}
+	names, err := seriesNames(path, opt.metrics)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-7s %s: only in %s\n", verb, name, path)
+	}
+	fmt.Fprintf(w, "benchdiff: %s suite (%d series %s, no baseline comparison)\n", verb, len(names), verb)
+	return true, nil
+}
+
+// seriesNames lists the series in one evidence file, for the one-sided
+// added/removed report.
+func seriesNames(path string, metrics bool) ([]string, error) {
+	if metrics {
+		vals, err := readMetricValues(path)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	doc, err := readDoc(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(doc.Results))
+	for _, r := range doc.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // parsePer decodes "key=ratio,key=ratio" overrides.

@@ -175,3 +175,53 @@ func TestUsageErrors(t *testing.T) {
 		t.Fatalf("parse failure must be an operational error, got: %v", err)
 	}
 }
+
+func TestOneSidedFileIsInformational(t *testing.T) {
+	present := writeFile(t, "present.json", baselineDoc)
+	absent := filepath.Join(t.TempDir(), "absent.json")
+
+	var out bytes.Buffer
+	if err := run([]string{absent, present}, &out); err != nil {
+		t.Fatalf("new suite without baseline must pass, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "added   BenchmarkScheduler") ||
+		!strings.Contains(out.String(), "added suite (2 series added") {
+		t.Fatalf("missing added report:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{present, absent}, &out); err != nil {
+		t.Fatalf("removed suite must pass, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "removed BenchmarkSystem") ||
+		!strings.Contains(out.String(), "removed suite (2 series removed") {
+		t.Fatalf("missing removed report:\n%s", out.String())
+	}
+
+	// Both sides missing stays an operational error (exit 2 path).
+	out.Reset()
+	if err := run([]string{absent, filepath.Join(t.TempDir(), "gone.json")}, &out); err == nil ||
+		errors.Is(err, errRegression) {
+		t.Fatalf("both files missing must be an operational error, got: %v", err)
+	}
+}
+
+func TestOneSidedMetricsFileIsInformational(t *testing.T) {
+	path := writeFile(t, "metrics.jsonl", "")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, "run", []obs.Metric{{Name: "sim_events_processed", Value: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", filepath.Join(t.TempDir(), "absent.jsonl"), path}, &out); err != nil {
+		t.Fatalf("one-sided metrics snapshot must pass, got: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "added   run sim_events_processed") {
+		t.Fatalf("missing added series report:\n%s", out.String())
+	}
+}

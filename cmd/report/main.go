@@ -8,8 +8,11 @@
 //
 // Usage:
 //
-//	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-warm-start] [-csv dir]
-//	       [-config study=file.json ...]
+//	report [-seed N] [-scale 0.25] [-full] [-parallel N] [-shards N] [-warm-start]
+//	       [-csv dir] [-config study=file.json ...]
+//
+// -shards runs every study on the sharded PDES kernel; the report is
+// bit-identical at every shard count.
 //
 // -scale compresses the experiment horizons (1 → the paper's 1 h / 24 h);
 // -full is shorthand for -scale 1. -config overlays a JSON config file onto
@@ -66,6 +69,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.05, "time-scale factor (1 = the paper's full horizons)")
 	full := fs.Bool("full", false, "run the paper's full horizons (1 h attack run, 24 h fault injection)")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	shards := fs.Int("shards", 1, "PDES shard count for every study (1 = legacy single scheduler; results are bit-identical)")
 	warmStart := fs.Bool("warm-start", false, "fork warm-eligible studies from convergence-prefix snapshots (identical results; ineligible studies fall back to cold runs)")
 	csvDir := fs.String("csv", "", "directory to write one <study>.csv per result into")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
@@ -122,19 +126,19 @@ func run(args []string) error {
 	campaign := obs.NewRegistry()
 	jobs := []job{
 		{"bounds", "bounds",
-			experiments.BoundsConfig{Seed: *seed},
+			experiments.BoundsConfig{Seed: *seed, Shards: *shards},
 			renderBounds},
 		{"fig3a", "resilience",
-			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur},
+			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, Shards: *shards},
 			func(r experiments.Result) string { return renderFig3(r, false) }},
 		{"fig3b", "resilience",
-			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, DiverseKernels: true},
+			experiments.CyberResilienceConfig{Seed: *seed, Duration: attackDur, DiverseKernels: true, Shards: *shards},
 			func(r experiments.Result) string { return renderFig3(r, true) }},
 		{"fig4", "faultinjection",
-			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur}, renderFig4},
-		{"ablation-baseline", "baseline", experiments.BaselineConfig{Seed: *seed}, renderSummary},
-		{"ablation-single-domain", "single-domain", experiments.BaselineConfig{Seed: *seed}, renderSummary},
-		{"ablation-flag-policy", "flag-policy", experiments.BaselineConfig{Seed: *seed}, renderSummary},
+			experiments.FaultInjectionConfig{Seed: *seed, Duration: injectDur, Shards: *shards}, renderFig4},
+		{"ablation-baseline", "baseline", experiments.BaselineConfig{Seed: *seed, Shards: *shards}, renderSummary},
+		{"ablation-single-domain", "single-domain", experiments.BaselineConfig{Seed: *seed, Shards: *shards}, renderSummary},
+		{"ablation-flag-policy", "flag-policy", experiments.BaselineConfig{Seed: *seed, Shards: *shards}, renderSummary},
 	}
 	known := map[string]bool{}
 	for _, j := range jobs {

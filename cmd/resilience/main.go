@@ -11,7 +11,10 @@
 //
 // Usage:
 //
-//	resilience [-seed N | -seeds 1,2,3] [-parallel N] [-duration 1h] [-diverse] [-series] [-chaos plan.json]
+//	resilience [-seed N | -seeds 1,2,3] [-parallel N] [-shards N] [-duration 1h] [-diverse] [-series] [-chaos plan.json]
+//
+// -shards runs each seed's simulation on the sharded PDES kernel; the
+// output is bit-identical at every shard count.
 package main
 
 import (
@@ -42,6 +45,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	seedList := fs.String("seeds", "", "comma-separated seed list; runs one experiment per seed")
 	parallel := fs.Int("parallel", 0, "worker count for multi-seed runs (0 = GOMAXPROCS, 1 = sequential)")
+	shards := fs.Int("shards", 1, "PDES shard count (1 = legacy single scheduler; results are bit-identical)")
 	duration := fs.Duration("duration", time.Hour, "experiment duration (attacks scale with it)")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels (Fig. 3b); default identical (Fig. 3a)")
 	series := fs.Bool("series", true, "print the ASCII precision series (single-seed runs only)")
@@ -102,6 +106,7 @@ func run(args []string) error {
 				DiverseKernels: *diverse,
 				ChaosPlan:      plan,
 				HoldoverWindow: *holdover,
+				Shards:         *shards,
 			})
 			if err != nil {
 				return nil, err

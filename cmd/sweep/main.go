@@ -8,8 +8,12 @@
 //
 // Usage:
 //
-//	sweep [-seed N] [-parallel N] [-warm-start] [-config file.json]
+//	sweep [-seed N] [-parallel N] [-shards N] [-warm-start] [-config file.json]
 //	      [-which all|interval|domains|dynamic|bmca|voting|tas|recovery]
+//
+// -shards runs shard-aware studies on the sharded PDES kernel (the tables
+// are bit-identical at every shard count); studies without a shards knob
+// ignore it.
 //
 // -config overlays a JSON config file onto the selected study's config
 // through the registry's strict decode path (the same path the job server
@@ -43,7 +47,7 @@ type study struct {
 	key        string
 	header     string
 	experiment string
-	cfg        func(seed, parallel int64) any
+	cfg        func(seed, parallel, shards int64) any
 	footnotes  []string
 }
 
@@ -53,16 +57,16 @@ func studies() []study {
 			key:        "interval",
 			header:     "synchronization-interval sweep (Γ = 2·r_max·S)",
 			experiment: "interval",
-			cfg: func(seed, parallel int64) any {
-				return experiments.IntervalSweepConfig{Seed: seed, Parallel: int(parallel)}
+			cfg: func(seed, parallel, shards int64) any {
+				return experiments.IntervalSweepConfig{Seed: seed, Parallel: int(parallel), Shards: int(shards)}
 			},
 		},
 		{
 			key:        "domains",
 			header:     "domain-count sweep under one Byzantine grandmaster",
 			experiment: "domains",
-			cfg: func(seed, parallel int64) any {
-				return experiments.DomainSweepConfig{Seed: seed, Parallel: int(parallel)}
+			cfg: func(seed, parallel, shards int64) any {
+				return experiments.DomainSweepConfig{Seed: seed, Parallel: int(parallel), Shards: int(shards)}
 			},
 			footnotes: []string{"(M = 2 cannot mask any Byzantine fault: N < 2f+1)"},
 		},
@@ -70,7 +74,7 @@ func studies() []study {
 			key:        "dynamic",
 			header:     "fully dynamic 802.1AS over the redundant mesh",
 			experiment: "dynamic",
-			cfg: func(seed, _ int64) any {
+			cfg: func(seed, _, _ int64) any {
 				return experiments.DynamicMeshConfig{Seed: seed}
 			},
 		},
@@ -78,7 +82,7 @@ func studies() []study {
 			key:        "bmca",
 			header:     "BMCA re-election vs static external port configuration (announce 1s)",
 			experiment: "bmca",
-			cfg: func(seed, _ int64) any {
+			cfg: func(seed, _, _ int64) any {
 				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: time.Second}
 			},
 		},
@@ -86,7 +90,7 @@ func studies() []study {
 			key:        "bmca-500ms",
 			header:     "BMCA re-election, announce 500ms",
 			experiment: "bmca",
-			cfg: func(seed, _ int64) any {
+			cfg: func(seed, _, _ int64) any {
 				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: 500 * time.Millisecond}
 			},
 		},
@@ -94,7 +98,7 @@ func studies() []study {
 			key:        "bmca-250ms",
 			header:     "BMCA re-election, announce 250ms",
 			experiment: "bmca",
-			cfg: func(seed, _ int64) any {
+			cfg: func(seed, _, _ int64) any {
 				return experiments.BMCAReconvergenceConfig{Seed: seed, AnnounceInterval: 250 * time.Millisecond}
 			},
 		},
@@ -102,15 +106,15 @@ func studies() []study {
 			key:        "voting",
 			header:     "2f+1 fail-consistent monitor voting (§II-A)",
 			experiment: "voting",
-			cfg: func(seed, _ int64) any {
-				return experiments.VotingConfig{Seed: seed}
+			cfg: func(seed, _, shards int64) any {
+				return experiments.VotingConfig{Seed: seed, Shards: int(shards)}
 			},
 		},
 		{
 			key:        "tas",
 			header:     "TSN egress (802.1Qbv + preemption) vs commodity FIFO",
 			experiment: "tas",
-			cfg: func(seed, _ int64) any {
+			cfg: func(seed, _, _ int64) any {
 				return experiments.TASStudyConfig{Seed: seed}
 			},
 		},
@@ -118,8 +122,8 @@ func studies() []study {
 			key:        "recovery",
 			header:     "§IV future work: GNU/Linux vs unikernel recovery",
 			experiment: "recovery",
-			cfg: func(seed, parallel int64) any {
-				return experiments.RecoveryConfig{Seed: seed, Parallel: int(parallel)}
+			cfg: func(seed, parallel, shards int64) any {
+				return experiments.RecoveryConfig{Seed: seed, Parallel: int(parallel), Shards: int(shards)}
 			},
 		},
 	}
@@ -130,6 +134,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	which := fs.String("which", "all", "study selection: all|interval|domains|dynamic|bmca|voting|tas|recovery")
 	parallel := fs.Int("parallel", 0, "worker count for independent studies (0 = GOMAXPROCS, 1 = sequential)")
+	shards := fs.Int("shards", 1, "PDES shard count for shard-aware studies (1 = legacy single scheduler; results are bit-identical)")
 	warmStart := fs.Bool("warm-start", false, "fork sweep points from a shared warm-state snapshot where eligible (identical tables; prefix-hash mismatches fall back to cold runs)")
 	configPath := fs.String("config", "", "JSON config file overlaid onto the selected study's config (requires a single-study -which)")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per study) to this file")
@@ -186,7 +191,7 @@ func run(args []string) error {
 		// strict decode path (shared with the job server), with the
 		// -config overlay merged on top; warm-start runtime handles are
 		// re-attached after decoding.
-		cfg, err := experiments.MergeConfig(exp, s.cfg(*seed, int64(*parallel)), overlay)
+		cfg, err := experiments.MergeConfig(exp, s.cfg(*seed, int64(*parallel), int64(*shards)), overlay)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.key, err)
 		}

@@ -85,6 +85,26 @@ type Config struct {
 	// DomainCount overrides the number of gPTP domains (default: one per
 	// node). The single-domain ablation uses DomainCount = 1.
 	DomainCount int
+
+	// Shards splits the event kernel into this many conservatively
+	// synchronized parallel schedulers (sim.Fabric). Nodes are assigned to
+	// shards contiguously; links whose endpoints land in different shards
+	// become deferred-mailbox boundaries. 0 or 1 keeps the legacy
+	// single-scheduler kernel. Results are bit-identical at every shard
+	// count (see DESIGN.md, "Parallel kernel").
+	Shards int
+	// Sites scales the topology: each site is one full copy of the paper's
+	// mesh (Nodes switches × VMsPerNode ECD VMs, its own gPTP domains and
+	// grandmasters), and site gateways (node 0 of each site) are joined in
+	// a chain by InterSitePropagation links. The measurement VLAN rooted at
+	// site 0 spans the whole fabric, so probe/reply traffic crosses every
+	// site boundary. 0 or 1 reproduces the paper topology exactly.
+	Sites int
+	// InterSitePropagation is the one-way latency of the gateway chain
+	// links (a metro/long-haul span, so orders of magnitude above the
+	// in-site LinkPropagation — it is also the cross-shard lookahead when
+	// shard boundaries align with sites).
+	InterSitePropagation time.Duration
 	// BaselineClientsOnly reproduces the Kyriakakis-style baseline the
 	// paper criticises: no start-up protocol, and grandmaster nodes do not
 	// aggregate (their clocks free-run) — multi-domain aggregation is for
@@ -92,12 +112,36 @@ type Config struct {
 	BaselineClientsOnly bool
 }
 
-// NumDomains resolves the effective domain count.
+// NumDomains resolves the effective domain count per site.
 func (c Config) NumDomains() int {
 	if c.DomainCount > 0 {
 		return c.DomainCount
 	}
 	return c.Nodes
+}
+
+// NumSites resolves the effective site count (0 means 1, the paper setup).
+func (c Config) NumSites() int {
+	if c.Sites > 1 {
+		return c.Sites
+	}
+	return 1
+}
+
+// TotalNodes is the number of switches across all sites.
+func (c Config) TotalNodes() int { return c.NumSites() * c.Nodes }
+
+// effectiveShards resolves the shard count: at least 1, at most one shard
+// per switch (extra shards would only sit empty at every barrier).
+func (c Config) effectiveShards() int {
+	s := c.Shards
+	if s < 1 {
+		s = 1
+	}
+	if t := c.TotalNodes(); s > t {
+		s = t
+	}
+	return s
 }
 
 // NewConfig returns the paper's testbed configuration for the given seed.
@@ -147,8 +191,25 @@ func NewConfig(seed int64) Config {
 		MeasurementNode: 1, // dev2
 		MeasurementVM:   1, // c22
 
+		Shards:               1,
+		Sites:                1,
+		InterSitePropagation: 50 * time.Microsecond,
+
 		Kernels: map[string]string{},
 	}
+}
+
+// ScaleConfig builds a multi-site fabric configuration for scale and PDES
+// benchmarks: sites copies of the paper mesh with nodes switches and vms
+// clock VMs each, gateways chained at metro latency, simulated on shards
+// parallel schedulers. Network element count = sites × nodes × (1 + vms).
+func ScaleConfig(seed int64, sites, nodes, vms, shards int) Config {
+	cfg := NewConfig(seed)
+	cfg.Nodes = nodes
+	cfg.VMsPerNode = vms
+	cfg.Sites = sites
+	cfg.Shards = shards
+	return cfg
 }
 
 // VMName names VM vm on node (both zero-based): c11 … c42.

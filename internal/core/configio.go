@@ -51,6 +51,10 @@ type configJSON struct {
 
 	DomainCount         int  `json:"domainCount,omitempty"`
 	BaselineClientsOnly bool `json:"baselineClientsOnly,omitempty"`
+
+	Shards                 int   `json:"shards,omitempty"`
+	Sites                  int   `json:"sites,omitempty"`
+	InterSitePropagationNS int64 `json:"interSitePropagationNs,omitempty"`
 }
 
 type residenceJSON struct {
@@ -139,6 +143,10 @@ func (c Config) WriteJSON(w io.Writer) error {
 
 		DomainCount:         c.DomainCount,
 		BaselineClientsOnly: c.BaselineClientsOnly,
+
+		Shards:                 c.Shards,
+		Sites:                  c.Sites,
+		InterSitePropagationNS: c.InterSitePropagation.Nanoseconds(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -197,6 +205,10 @@ func ReadConfigJSON(r io.Reader) (Config, error) {
 
 		DomainCount:         j.DomainCount,
 		BaselineClientsOnly: j.BaselineClientsOnly,
+
+		Shards:               j.Shards,
+		Sites:                j.Sites,
+		InterSitePropagation: time.Duration(j.InterSitePropagationNS),
 	}, nil
 }
 

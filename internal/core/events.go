@@ -30,8 +30,10 @@ func (e Event) String() string {
 	return s
 }
 
-// EventLog accumulates events in time order (the scheduler is
-// single-threaded, so appends are naturally ordered).
+// EventLog accumulates events in time order. Each log has a single writer
+// (one shard's scheduler, or the control scheduler), so appends are
+// naturally ordered; a sharded system keeps one log per scheduler and
+// presents MergeEventLogs of them.
 type EventLog struct {
 	events []Event
 }
@@ -41,6 +43,36 @@ func NewEventLog() *EventLog { return &EventLog{} }
 
 // Append records an event.
 func (l *EventLog) Append(e Event) { l.events = append(l.events, e) }
+
+// MergeEventLogs combines per-scheduler logs into one time-ordered log.
+// Entries at equal timestamps keep the argument order of their source logs
+// (pass the control log first: its events fire before same-instant shard
+// events), and within one source log the original append order. The merge
+// is deterministic, so the combined view is independent of shard count for
+// order-insensitive consumers (counts, windows) by construction.
+func MergeEventLogs(logs ...*EventLog) *EventLog {
+	n := 0
+	for _, l := range logs {
+		n += len(l.events)
+	}
+	out := &EventLog{events: make([]Event, 0, n)}
+	// Index-based k-way merge; k is tiny (shard count + 1).
+	pos := make([]int, len(logs))
+	for len(out.events) < n {
+		best := -1
+		for i, l := range logs {
+			if pos[i] >= len(l.events) {
+				continue
+			}
+			if best < 0 || l.events[pos[i]].At < logs[best].events[pos[best]].At {
+				best = i
+			}
+		}
+		out.events = append(out.events, logs[best].events[pos[best]])
+		pos[best]++
+	}
+	return out
+}
 
 // Events snapshots the full log.
 func (l *EventLog) Events() []Event {

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// runFingerprint runs a system for d and reduces everything downstream
+// experiments consume to a comparable value: the exact measurement sample
+// series, the event log as a sorted multiset, the Sync latency extrema and
+// the kernel traffic counters. Shard-count equivalence means these are
+// bit-identical, because every derived experiment row is a pure function of
+// them.
+type runFingerprint struct {
+	samples  any
+	events   []string
+	minNS    int64
+	maxNS    int64
+	haveLat  bool
+	precOK   bool
+	precNS   float64
+	ftaReady bool
+	frames   uint64
+}
+
+func fingerprint(t *testing.T, cfg Config, d time.Duration) runFingerprint {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.RunFor(d); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	fp := runFingerprint{samples: sys.Collector().Samples()}
+	for _, e := range sys.EventLog().Events() {
+		fp.events = append(fp.events, e.String())
+	}
+	sort.Strings(fp.events)
+	min, max, ok := sys.SyncLatencies().Extrema()
+	fp.minNS, fp.maxNS, fp.haveLat = int64(min), int64(max), ok
+	fp.precNS, fp.precOK = sys.TruePrecision()
+	fp.ftaReady = sys.AllInFTOperation()
+	fp.frames = framesTotal(sys)
+	sys.Stop()
+	return fp
+}
+
+func framesTotal(sys *System) uint64 {
+	var n uint64
+	for _, l := range sys.links {
+		n += l.Sent() + l.Lost()
+	}
+	for _, b := range sys.bridges {
+		n += b.Forwarded() + b.Dropped()
+	}
+	return n
+}
+
+func requireSameFingerprint(t *testing.T, label string, want, got runFingerprint) {
+	t.Helper()
+	if !reflect.DeepEqual(want.samples, got.samples) {
+		t.Errorf("%s: measurement samples diverge", label)
+	}
+	if !reflect.DeepEqual(want.events, got.events) {
+		t.Errorf("%s: event logs diverge (%d vs %d events)", label, len(want.events), len(got.events))
+		for i := range want.events {
+			if i < len(got.events) && want.events[i] != got.events[i] {
+				t.Errorf("%s: first difference:\n  want %s\n  got  %s", label, want.events[i], got.events[i])
+				break
+			}
+		}
+	}
+	if want.minNS != got.minNS || want.maxNS != got.maxNS || want.haveLat != got.haveLat {
+		t.Errorf("%s: latency extrema diverge: want [%d %d %v], got [%d %d %v]",
+			label, want.minNS, want.maxNS, want.haveLat, got.minNS, got.maxNS, got.haveLat)
+	}
+	if want.precOK != got.precOK || want.precNS != got.precNS {
+		t.Errorf("%s: true precision diverges: want %v/%v, got %v/%v",
+			label, want.precNS, want.precOK, got.precNS, got.precOK)
+	}
+	if want.ftaReady != got.ftaReady {
+		t.Errorf("%s: FT-operation state diverges", label)
+	}
+	if want.frames != got.frames {
+		t.Errorf("%s: frame counters diverge: want %d, got %d", label, want.frames, got.frames)
+	}
+}
+
+// TestShardEquivalencePaper proves the determinism contract on the paper
+// topology: every shard count reproduces the single-scheduler run
+// bit-for-bit, even though in-site shard cuts shrink the lookahead to the
+// 500 ns link propagation.
+func TestShardEquivalencePaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard sweep")
+	}
+	const d = 2 * time.Second
+	for _, seed := range []int64{31, 32, 33, 34, 35} {
+		ref := fingerprint(t, NewConfig(seed), d)
+		if !ref.haveLat {
+			t.Fatal("reference run observed no Sync latencies")
+		}
+		for _, shards := range []int{2, 4, 8} {
+			cfg := NewConfig(seed)
+			cfg.Shards = shards
+			requireSameFingerprint(t, fmt.Sprintf("seed=%d shards=%d", seed, shards),
+				ref, fingerprint(t, cfg, d))
+		}
+	}
+}
+
+// TestShardEquivalencePaperLong is the regression anchor for same-key tie
+// ordering at barriers. Cross-shard sends whose delivery keys collide must
+// commit in the exact order a single scheduler would have inserted them,
+// which takes both extra sort keys:
+//
+//   - Key3 (the sending event's own cause): two key-tied sends from
+//     different shards are ordered the way their senders' heap keys would
+//     have interleaved. Without it, seed 11 first diverges around t≈83 s.
+//   - Ord (the source shard's issuance ordinal): key-tied sends leaving
+//     one shard through different boundary links keep issuance order, not
+//     boundary registration order. Without it, seed 1 first diverges
+//     around t≈494 s.
+//
+// Both symptoms start as sub-ns probe-sample shifts that later grow into
+// ns-shifted events, so the duration must stay well past 500 s.
+func TestShardEquivalencePaperLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long multi-shard run")
+	}
+	const d = 600 * time.Second
+	for _, seed := range []int64{1, 11} {
+		ref := fingerprint(t, NewConfig(seed), d)
+		cfg := NewConfig(seed)
+		cfg.Shards = 4
+		requireSameFingerprint(t, fmt.Sprintf("long seed=%d shards=4", seed),
+			ref, fingerprint(t, cfg, d))
+	}
+}
+
+// TestShardEquivalenceScale proves the contract on a generated multi-site
+// fabric, where shard boundaries align with the metro-latency gateway links
+// and cross-shard measurement traffic exercises the mailbox path.
+func TestShardEquivalenceScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard sweep")
+	}
+	const d = 1200 * time.Millisecond
+	ref := fingerprint(t, ScaleConfig(7, 3, 3, 2, 1), d)
+	if len(ref.events) == 0 {
+		t.Fatal("reference scale run produced no events")
+	}
+	for _, shards := range []int{2, 3, 6} {
+		requireSameFingerprint(t, fmt.Sprintf("shards=%d", shards), ref,
+			fingerprint(t, ScaleConfig(7, 3, 3, 2, shards), d))
+	}
+}
+
+// TestScaleTopologyRuns sanity-checks the generated fabric itself: the
+// fabric-wide measurement VLAN returns replies across the gateway chain and
+// the PDES machinery actually exercises its mailbox path.
+func TestScaleTopologyRuns(t *testing.T) {
+	cfg := ScaleConfig(5, 2, 3, 2, 2)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.RunFor(5 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	samples := sys.Collector().Samples()
+	if len(samples) == 0 {
+		t.Fatal("collector gathered no samples")
+	}
+	// Agents on the remote site are reachable through the gateway chain.
+	want := cfg.TotalNodes()*cfg.VMsPerNode - 2 // minus collector and excluded GM
+	got := samples[len(samples)-1].Replies
+	if got != want {
+		t.Errorf("probe replies = %d, want %d (remote site unreachable?)", got, want)
+	}
+	if sys.Fabric() == nil {
+		t.Fatal("sharded system has no fabric")
+	}
+	st := sys.Fabric().Stats()
+	if st.Windows == 0 || st.Committed == 0 {
+		t.Errorf("fabric idle: windows=%d committed=%d", st.Windows, st.Committed)
+	}
+	sys.Stop()
+}

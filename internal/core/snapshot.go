@@ -48,7 +48,12 @@ func (l *EventLog) Restore(snap any) {
 type systemSnapshot struct {
 	sys *System
 
-	sched   any
+	// scheds and logs mirror System.scheds/System.logs positionally; control
+	// is captured separately only when sharded (unsharded it aliases
+	// scheds[0]). Snapshots are taken at driver time, when every shard is
+	// parked at the same instant and all boundary outboxes are empty.
+	scheds  []any
+	control any
 	streams any
 	metrics *obs.RegistryState
 
@@ -59,7 +64,7 @@ type systemSnapshot struct {
 
 	collector any
 	agents    map[string]any
-	log       any
+	logs      []any
 	syncLat   any
 
 	started bool
@@ -69,7 +74,7 @@ type systemSnapshot struct {
 func (s *System) Snapshot() any {
 	sn := &systemSnapshot{
 		sys:       s,
-		sched:     s.sched.Snapshot(),
+		scheds:    make([]any, len(s.scheds)),
 		streams:   s.streams.Snapshot(),
 		metrics:   s.obs.StateSnapshot(),
 		bridges:   make([]any, len(s.bridges)),
@@ -78,9 +83,18 @@ func (s *System) Snapshot() any {
 		nodes:     make([]any, len(s.nodes)),
 		collector: s.collector.Snapshot(),
 		agents:    make(map[string]any, len(s.agents)),
-		log:       s.log.Snapshot(),
+		logs:      make([]any, len(s.logs)),
 		syncLat:   s.syncLat.Snapshot(),
 		started:   s.started,
+	}
+	for i, sc := range s.scheds {
+		sn.scheds[i] = sc.Snapshot()
+	}
+	if s.fabric != nil {
+		sn.control = s.control.Snapshot()
+	}
+	for i, l := range s.logs {
+		sn.logs[i] = l.Snapshot()
 	}
 	for i, b := range s.bridges {
 		sn.bridges[i] = b.Snapshot()
@@ -106,7 +120,13 @@ func (s *System) Restore(snap any) {
 	if sn.sys != s {
 		panic("core: snapshot restored into a different System")
 	}
-	s.sched.Restore(sn.sched)
+	for i, sc := range s.scheds {
+		sc.Restore(sn.scheds[i])
+	}
+	if s.fabric != nil {
+		s.control.Restore(sn.control)
+		s.fabric.Resync()
+	}
 	s.streams.Restore(sn.streams)
 	s.obs.RestoreState(sn.metrics)
 	for i, b := range s.bridges {
@@ -125,7 +145,9 @@ func (s *System) Restore(snap any) {
 	for name, a := range s.agents {
 		a.Restore(sn.agents[name])
 	}
-	s.log.Restore(sn.log)
+	for i, l := range s.logs {
+		l.Restore(sn.logs[i])
+	}
 	s.syncLat.Restore(sn.syncLat)
 	s.started = sn.started
 }

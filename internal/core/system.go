@@ -16,17 +16,28 @@ import (
 	"gptpfta/internal/sim"
 )
 
-// System is one fully wired testbed instance.
+// System is one fully wired testbed instance. With Config.Shards > 1 the
+// event kernel is split into per-shard schedulers coordinated by a
+// sim.Fabric (conservative PDES); switches are assigned to shards
+// contiguously by global index and links that straddle a shard cut become
+// deferred-mailbox boundaries. Shards == 1 keeps the single legacy
+// scheduler, which then also serves as the control scheduler.
 type System struct {
-	cfg     Config
-	sched   *sim.Scheduler
+	cfg Config
+	// scheds holds one scheduler per shard. control is the shard-less
+	// scheduler driving chaos plans, fault injectors and driver At/Every
+	// calls; unsharded it aliases scheds[0].
+	scheds  []*sim.Scheduler
+	control *sim.Scheduler
+	fabric  *sim.Fabric // nil when unsharded
 	streams *sim.Streams
 
 	bridges []*netsim.Bridge
 	links   []*netsim.Link
 	// linkByName and bridgeByName expose the topology to the chaos engine:
 	// mesh links are named "sw1-sw2" (lower index first), VM uplinks after
-	// their VM ("c11"), bridges "sw1".."swN".
+	// their VM ("c11"), gateway-chain links by their end switches
+	// ("sw1-sw5"), bridges "sw1".."swN".
 	linkByName   map[string]*netsim.Link
 	bridgeByName map[string]*netsim.Bridge
 	relays       []*gptp.Relay
@@ -35,9 +46,11 @@ type System struct {
 	agents       map[string]*measure.Agent
 
 	collector *measure.Collector
-	log       *EventLog
-	syncLat   *measure.LatencyTracker
-	obs       *obs.Registry
+	// logs holds one event log per shard plus, when sharded, a trailing
+	// control log; EventLog() presents the deterministic merged view.
+	logs    []*EventLog
+	syncLat *measure.LatencyTracker
+	obs     *obs.Registry
 
 	started bool
 }
@@ -58,15 +71,29 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s := &System{
 		cfg:          cfg,
-		sched:        sim.NewScheduler(),
 		streams:      sim.NewStreams(cfg.Seed),
 		vms:          make(map[string]*hypervisor.CSVM),
 		agents:       make(map[string]*measure.Agent),
 		linkByName:   make(map[string]*netsim.Link),
 		bridgeByName: make(map[string]*netsim.Bridge),
-		log:          NewEventLog(),
 		syncLat:      measure.NewLatencyTracker(),
 		obs:          obs.NewRegistry(),
+	}
+	nShards := cfg.effectiveShards()
+	s.scheds = make([]*sim.Scheduler, nShards)
+	for i := range s.scheds {
+		s.scheds[i] = sim.NewScheduler()
+	}
+	if nShards == 1 {
+		// Legacy kernel: one scheduler plays every role, one log.
+		s.control = s.scheds[0]
+		s.logs = []*EventLog{NewEventLog()}
+	} else {
+		s.control = sim.NewScheduler()
+		s.logs = make([]*EventLog, nShards+1)
+		for i := range s.logs {
+			s.logs[i] = NewEventLog()
+		}
 	}
 	if err := s.buildBridges(); err != nil {
 		return nil, err
@@ -78,9 +105,54 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.buildForwarding()
+	if nShards > 1 {
+		var bounds []sim.Boundary
+		for _, l := range s.links {
+			if l.Boundary() {
+				bounds = append(bounds, l)
+			}
+		}
+		s.fabric = sim.NewFabric(s.scheds, s.control, bounds)
+	}
 	s.instrumentKernel()
 	return s, nil
 }
+
+// Topology helpers. Switches carry a global index g in [0, TotalNodes);
+// site = g / Nodes, local in-site index = g % Nodes. Shard assignment is
+// contiguous in g, so with Shards == Sites every shard is exactly one site
+// and the only boundaries are the metro-latency gateway links.
+
+func (s *System) siteOf(g int) int  { return g / s.cfg.Nodes }
+func (s *System) localOf(g int) int { return g % s.cfg.Nodes }
+
+func (s *System) shardOf(g int) int {
+	return g * len(s.scheds) / s.cfg.TotalNodes()
+}
+
+// shardSched returns the scheduler owning global switch g and everything
+// attached to it (its relay, node, VMs and their NICs).
+func (s *System) shardSched(g int) *sim.Scheduler { return s.scheds[s.shardOf(g)] }
+
+// eventNow timestamps an event emitted by a component owned by sc. Control
+// callbacks (fault injection, chaos) run while shards are paused one
+// nanosecond behind the control instant; taking the later of the two clocks
+// reproduces the timestamp a single-scheduler run would have logged. Both
+// reads are race-free: during shard windows the control scheduler is
+// parked, and control callbacks run only while every shard is parked.
+func (s *System) eventNow(sc *sim.Scheduler) sim.Time {
+	t := sc.Now()
+	if s.fabric != nil {
+		if ct := s.control.Now(); ct > t {
+			t = ct
+		}
+	}
+	return t
+}
+
+// controlLog is where driver/control-context events land (the trailing log,
+// which unsharded is the only log).
+func (s *System) controlLog() *EventLog { return s.logs[len(s.logs)-1] }
 
 // Metrics exposes the system's private metrics registry. Each System owns
 // its own registry so the parallel experiment runner never mixes metrics of
@@ -89,16 +161,50 @@ func NewSystem(cfg Config) (*System, error) {
 // digests are unaffected.
 func (s *System) Metrics() *obs.Registry { return s.obs }
 
+// ProcessedEvents totals the events executed across every shard scheduler
+// (plus the control scheduler when sharded) — the benchmark-facing
+// throughput counter.
+func (s *System) ProcessedEvents() uint64 {
+	var n uint64
+	for _, sc := range s.scheds {
+		n += sc.Diag().Processed
+	}
+	if s.fabric != nil {
+		n += s.control.Diag().Processed
+	}
+	return n
+}
+
 // instrumentKernel registers gauge funcs over the kernel-level counters the
 // components already maintain: scheduler diagnostics, bridge and link
-// traffic, and frame-pool hit rate. Sampling happens only at Snapshot, so
-// the hot paths pay nothing.
+// traffic, frame-pool hit rate and — when sharded — the PDES fabric
+// counters. Sampling happens only at Snapshot, so the hot paths pay
+// nothing. Wall-clock quantities (barrier waits) are observability only and
+// never part of a determinism surface.
 func (s *System) instrumentKernel() {
 	reg := s.obs
-	reg.GaugeFunc("sim_events_processed", func() float64 { return float64(s.sched.Diag().Processed) })
-	reg.GaugeFunc("sim_events_cancelled", func() float64 { return float64(s.sched.Diag().Cancelled) })
-	reg.GaugeFunc("sim_past_clamps", func() float64 { return float64(s.sched.Diag().PastClamps) })
-	reg.GaugeFunc("sim_events_pending", func() float64 { return float64(s.sched.Diag().Pending) })
+	eachSched := func(fn func(d sim.Diagnostics) uint64) float64 {
+		var n uint64
+		for _, sc := range s.scheds {
+			n += fn(sc.Diag())
+		}
+		if s.fabric != nil {
+			n += fn(s.control.Diag())
+		}
+		return float64(n)
+	}
+	reg.GaugeFunc("sim_events_processed", func() float64 {
+		return eachSched(func(d sim.Diagnostics) uint64 { return d.Processed })
+	})
+	reg.GaugeFunc("sim_events_cancelled", func() float64 {
+		return eachSched(func(d sim.Diagnostics) uint64 { return d.Cancelled })
+	})
+	reg.GaugeFunc("sim_past_clamps", func() float64 {
+		return eachSched(func(d sim.Diagnostics) uint64 { return d.PastClamps })
+	})
+	reg.GaugeFunc("sim_events_pending", func() float64 {
+		return eachSched(func(d sim.Diagnostics) uint64 { return uint64(d.Pending) })
+	})
 	reg.GaugeFunc("netsim_frames_forwarded", func() float64 {
 		var n uint64
 		for _, b := range s.bridges {
@@ -146,9 +252,27 @@ func (s *System) instrumentKernel() {
 		}
 		return float64(gets-news) / float64(gets)
 	})
+	if s.fabric == nil {
+		return
+	}
+	for i := range s.scheds {
+		sc := s.scheds[i]
+		reg.GaugeFunc("pdes_shard_events", func() float64 {
+			return float64(sc.Diag().Processed)
+		}, obs.L("shard", itoa(i)))
+	}
+	reg.GaugeFunc("pdes_shards", func() float64 { return float64(len(s.scheds)) })
+	reg.GaugeFunc("pdes_windows", func() float64 { return float64(s.fabric.Stats().Windows) })
+	reg.GaugeFunc("pdes_control_rounds", func() float64 { return float64(s.fabric.Stats().ControlRounds) })
+	reg.GaugeFunc("pdes_mailbox_frames", func() float64 { return float64(s.fabric.Stats().Committed) })
+	reg.GaugeFunc("pdes_lookahead_ns", func() float64 { return float64(s.fabric.Stats().LookaheadNS) })
+	reg.GaugeFunc("pdes_barrier_wait_ns_total", func() float64 { return float64(s.fabric.Stats().BarrierWaitNS) })
+	hist := reg.Histogram("pdes_barrier_wait_ns", []float64{1e3, 1e4, 1e5, 1e6, 1e7})
+	s.fabric.BarrierObserver = hist.Observe
 }
 
-// meshPort returns the port index on bridge i that faces bridge j.
+// meshPort returns the port index on a bridge (in-site index i) that faces
+// in-site bridge j.
 func (s *System) meshPort(i, j int) int {
 	p := 0
 	for k := 0; k < s.cfg.Nodes; k++ {
@@ -166,46 +290,108 @@ func (s *System) meshPort(i, j int) int {
 // vmPort returns the port index on a bridge for local VM vm.
 func (s *System) vmPort(vm int) int { return s.cfg.Nodes - 1 + vm }
 
-func (s *System) newPHC(name string, staticPPB, bootOffset float64) *clock.PHC {
+// Gateway uplink ports sit after the VM ports, and exist only on each
+// site's node 0 when Sites > 1: the first uplink faces the previous site
+// (or, on site 0, the next), middle gateways add a second one facing the
+// next site.
+func (s *System) uplinkBase() int { return s.cfg.Nodes - 1 + s.cfg.VMsPerNode }
+
+func (s *System) uplinkToPrev(site int) int { return s.uplinkBase() } // site > 0
+
+func (s *System) uplinkToNext(site int) int {
+	if site == 0 {
+		return s.uplinkBase()
+	}
+	return s.uplinkBase() + 1
+}
+
+// numPorts sizes global switch g's port array.
+func (s *System) numPorts(g int) int {
+	n := s.uplinkBase()
+	if s.cfg.NumSites() > 1 && s.localOf(g) == 0 {
+		site := s.siteOf(g)
+		if site > 0 {
+			n++ // uplink toward the previous site
+		}
+		if site < s.cfg.NumSites()-1 {
+			n++ // uplink toward the next site
+		}
+	}
+	return n
+}
+
+func (s *System) newPHC(sc *sim.Scheduler, name string, staticPPB, bootOffset float64) *clock.PHC {
 	osc := clock.NewOscillator(clock.OscillatorConfig{
 		StaticPPB:           staticPPB,
 		WanderPPBPerSqrtSec: s.cfg.WanderPPBPerSqrtSec,
-	}, s.streams.Stream("osc/"+name), s.sched.Now())
-	return clock.NewPHC(s.sched, osc, s.streams.Stream("ts/"+name), clock.PHCConfig{
+	}, s.streams.Stream("osc/"+name), sc.Now())
+	return clock.NewPHC(sc, osc, s.streams.Stream("ts/"+name), clock.PHCConfig{
 		TimestampJitterNS: s.cfg.TimestampJitterNS,
 		InitialOffsetNS:   bootOffset,
 	})
 }
 
+// interSitePropagation resolves the gateway-chain latency with the default
+// for configs assembled without NewConfig.
+func (s *System) interSitePropagation() time.Duration {
+	if s.cfg.InterSitePropagation > 0 {
+		return s.cfg.InterSitePropagation
+	}
+	return 50 * time.Microsecond
+}
+
 func (s *System) buildBridges() error {
-	ports := s.cfg.Nodes - 1 + s.cfg.VMsPerNode
 	residence := map[int]netsim.ResidenceModel{
 		netsim.PriorityBestEffort: s.cfg.ResidenceBE,
 		netsim.PriorityPTP:        s.cfg.ResidencePTP,
 		netsim.PriorityMeasure:    s.cfg.ResidenceMeas,
 	}
-	for i := 0; i < s.cfg.Nodes; i++ {
-		name := "sw" + itoa(i+1)
+	total := s.cfg.TotalNodes()
+	for g := 0; g < total; g++ {
+		name := "sw" + itoa(g+1)
+		sc := s.shardSched(g)
 		static := clock.UniformPPB(s.streams.Stream("static/"+name), s.cfg.MaxStaticPPB)
-		br := netsim.NewBridge(name, s.sched, s.streams.Stream("br/"+name),
-			s.newPHC(name, static, 0), netsim.BridgeConfig{Ports: ports, Residence: residence})
+		br := netsim.NewBridge(name, sc, s.streams.Stream("br/"+name),
+			s.newPHC(sc, name, static, 0), netsim.BridgeConfig{Ports: s.numPorts(g), Residence: residence})
 		s.bridges = append(s.bridges, br)
 		s.bridgeByName[name] = br
 	}
-	// Full mesh between the integrated switches.
-	for i := 0; i < s.cfg.Nodes; i++ {
-		for j := i + 1; j < s.cfg.Nodes; j++ {
-			linkName := fmt.Sprintf("sw%d-sw%d", i+1, j+1)
-			link, err := netsim.Connect(s.sched,
-				s.streams.Stream("link/"+linkName),
-				s.linkConfig(linkName),
-				s.bridges[i].Port(s.meshPort(i, j)), s.bridges[j].Port(s.meshPort(j, i)))
-			if err != nil {
-				return err
+	// Full mesh between each site's integrated switches. ConnectBoundary
+	// degrades to a plain local link when both ends share a scheduler, so a
+	// shard cut through the middle of a site is merely slower (the in-site
+	// propagation shrinks the fabric lookahead), never incorrect.
+	for site := 0; site < s.cfg.NumSites(); site++ {
+		base := site * s.cfg.Nodes
+		for i := 0; i < s.cfg.Nodes; i++ {
+			for j := i + 1; j < s.cfg.Nodes; j++ {
+				gi, gj := base+i, base+j
+				linkName := fmt.Sprintf("sw%d-sw%d", gi+1, gj+1)
+				link, err := netsim.ConnectBoundary(s.shardSched(gi), s.shardSched(gj),
+					s.streams.Stream("link/"+linkName),
+					s.linkConfig(linkName),
+					s.bridges[gi].Port(s.meshPort(i, j)), s.bridges[gj].Port(s.meshPort(j, i)))
+				if err != nil {
+					return err
+				}
+				s.links = append(s.links, link)
+				s.linkByName[linkName] = link
 			}
-			s.links = append(s.links, link)
-			s.linkByName[linkName] = link
 		}
+	}
+	// Gateway chain: node 0 of consecutive sites, at metro latency.
+	for site := 1; site < s.cfg.NumSites(); site++ {
+		ga, gb := (site-1)*s.cfg.Nodes, site*s.cfg.Nodes
+		linkName := fmt.Sprintf("sw%d-sw%d", ga+1, gb+1)
+		cfg := s.linkConfig(linkName)
+		cfg.Propagation = s.interSitePropagation()
+		link, err := netsim.ConnectBoundary(s.shardSched(ga), s.shardSched(gb),
+			s.streams.Stream("link/"+linkName), cfg,
+			s.bridges[ga].Port(s.uplinkToNext(site-1)), s.bridges[gb].Port(s.uplinkToPrev(site)))
+		if err != nil {
+			return err
+		}
+		s.links = append(s.links, link)
+		s.linkByName[linkName] = link
 	}
 	return nil
 }
@@ -224,48 +410,54 @@ func (s *System) linkConfig(name string) netsim.LinkConfig {
 }
 
 func (s *System) buildNodes() error {
-	for i := 0; i < s.cfg.Nodes; i++ {
-		nodeName := NodeName(i)
+	total := s.cfg.TotalNodes()
+	for g := 0; g < total; g++ {
+		sc := s.shardSched(g)
+		shardLog := s.logs[s.shardOf(g)]
+		nodeName := NodeName(g)
 		tscOsc := clock.NewOscillator(clock.OscillatorConfig{
 			StaticPPB:           clock.UniformPPB(s.streams.Stream("tsc/"+nodeName), s.cfg.MaxStaticPPB),
 			WanderPPBPerSqrtSec: s.cfg.WanderPPBPerSqrtSec,
-		}, s.streams.Stream("tscosc/"+nodeName), s.sched.Now())
-		tsc := clock.NewTSC(s.sched, tscOsc, s.streams.Stream("tscrd/"+nodeName), s.cfg.TSCReadNoiseNS)
-		node := hypervisor.NewNode(nodeName, s.sched, tsc, s.cfg.VMsPerNode,
+		}, s.streams.Stream("tscosc/"+nodeName), sc.Now())
+		tsc := clock.NewTSC(sc, tscOsc, s.streams.Stream("tscrd/"+nodeName), s.cfg.TSCReadNoiseNS)
+		node := hypervisor.NewNode(nodeName, sc, tsc, s.cfg.VMsPerNode,
 			hypervisor.MonitorConfig{
 				Period:          s.cfg.MonitorPeriod,
 				StaleAfter:      4 * s.cfg.Phc2sysInterval,
 				VoteThresholdNS: s.cfg.VoteThresholdNS,
 			},
 			func(e hypervisor.Event) {
-				s.log.Append(Event{At: s.sched.Now(), Node: e.Node, VM: e.VM, Kind: e.Kind, Detail: e.Detail})
+				shardLog.Append(Event{At: s.eventNow(sc), Node: e.Node, VM: e.VM, Kind: e.Kind, Detail: e.Detail})
 			})
 		node.Instrument(s.obs)
 		s.nodes = append(s.nodes, node)
 
+		// gPTP domains are site-local: every site is a full copy of the
+		// paper's multi-domain aggregation fabric with its own grandmasters,
+		// and PTP frames never cross the gateway chain.
 		domains := make([]int, s.cfg.NumDomains())
 		for d := range domains {
 			domains[d] = d
 		}
 		for v := 0; v < s.cfg.VMsPerNode; v++ {
-			vmName := VMName(i, v)
+			vmName := VMName(g, v)
 			static := clock.UniformPPB(s.streams.Stream("static/"+vmName), s.cfg.MaxStaticPPB)
 			boot := s.streams.Stream("boot/"+vmName).Float64() * s.cfg.BootOffsetMaxNS
-			nic := netsim.NewNIC(vmName, s.sched, s.newPHC(vmName, static, boot))
-			link, err := netsim.Connect(s.sched, s.streams.Stream("link/"+vmName),
+			nic := netsim.NewNIC(vmName, sc, s.newPHC(sc, vmName, static, boot))
+			link, err := netsim.Connect(sc, s.streams.Stream("link/"+vmName),
 				s.linkConfig(vmName),
-				nic.Port(), s.bridges[i].Port(s.vmPort(v)))
+				nic.Port(), s.bridges[g].Port(s.vmPort(v)))
 			if err != nil {
 				return err
 			}
 			s.links = append(s.links, link)
 			s.linkByName[vmName] = link
 			gmDomain := -1
-			if v == 0 && i < s.cfg.NumDomains() {
-				gmDomain = i
+			if v == 0 && s.localOf(g) < s.cfg.NumDomains() {
+				gmDomain = s.localOf(g)
 			}
 			nodeNameCopy, vmNameCopy := nodeName, vmName
-			stack, err := ptp4l.New(nic, s.sched, s.streams.Stream("stack/"+vmName), ptp4l.Config{
+			stack, err := ptp4l.New(nic, sc, s.streams.Stream("stack/"+vmName), ptp4l.Config{
 				Name:                   vmName,
 				Domains:                domains,
 				GMDomain:               gmDomain,
@@ -284,7 +476,7 @@ func (s *System) buildNodes() error {
 				SkipStartup:            s.cfg.BaselineClientsOnly,
 				DisableDiscipline:      s.cfg.BaselineClientsOnly && gmDomain >= 0,
 			}, func(e ptp4l.Event) {
-				s.log.Append(Event{At: s.sched.Now(), Node: nodeNameCopy, VM: vmNameCopy, Kind: e.Kind, Detail: e.Detail})
+				shardLog.Append(Event{At: s.eventNow(sc), Node: nodeNameCopy, VM: vmNameCopy, Kind: e.Kind, Detail: e.Detail})
 			})
 			if err != nil {
 				return err
@@ -292,11 +484,13 @@ func (s *System) buildNodes() error {
 			stack.Instrument(s.obs)
 			// Precompute the per-domain tracker keys: the observer runs once
 			// per received Sync, and a Sprintf there dominated the system
-			// allocation profile.
+			// allocation profile. Preregistering them also keeps the tracker's
+			// sharded fast path race-free (one writer per key).
 			syncKeys := make([]string, s.cfg.NumDomains())
 			for d := range syncKeys {
 				syncKeys[d] = fmt.Sprintf("dom%d->%s", d+1, vmNameCopy)
 			}
+			s.syncLat.Preregister(syncKeys...)
 			stack.SetSyncObserver(func(domain int, latency time.Duration) {
 				if domain >= 0 && domain < len(syncKeys) {
 					s.syncLat.Observe(syncKeys[domain], latency)
@@ -305,7 +499,7 @@ func (s *System) buildNodes() error {
 				// Unknown domain (malformed or adversarial Sync): fall back.
 				s.syncLat.Observe(fmt.Sprintf("dom%d->%s", domain+1, vmNameCopy), latency)
 			})
-			p2s := phc2sys.New(s.sched, nic.PHC(), tsc, node.STSHMEM(),
+			p2s := phc2sys.New(sc, nic.PHC(), tsc, node.STSHMEM(),
 				s.streams.Stream("phc2sys/"+vmName),
 				phc2sys.Config{
 					Interval: s.cfg.Phc2sysInterval,
@@ -333,34 +527,40 @@ func (s *System) buildNodes() error {
 				return err
 			}
 			s.vms[vmName] = vm
-			s.installMeasurement(node, vm, i, v)
+			s.installMeasurement(node, vm, sc, g, v)
 		}
 	}
 	return nil
 }
 
 // installMeasurement attaches the probe agent or the collector to the VM.
-func (s *System) installMeasurement(node *hypervisor.Node, vm *hypervisor.CSVM, nodeIdx, vmIdx int) {
+// The collector lives on site 0; every other VM in the fabric answers its
+// probes, so with Sites > 1 the measurement VLAN is the cross-site (and
+// cross-shard) traffic source.
+func (s *System) installMeasurement(node *hypervisor.Node, vm *hypervisor.CSVM, sc *sim.Scheduler, nodeIdx, vmIdx int) {
 	if nodeIdx == s.cfg.MeasurementNode && vmIdx == s.cfg.MeasurementVM {
 		excluded := VMName(s.cfg.MeasurementNode, 0) // c_m1, asymmetric path
-		s.collector = measure.NewCollector(vm.Name, s.sched, vm.Stack.NIC(), measure.CollectorConfig{
+		s.collector = measure.NewCollector(vm.Name, sc, vm.Stack.NIC(), measure.CollectorConfig{
 			Exclude: []string{excluded},
 		})
 		vm.Stack.SetAuxHandler(s.collector.Handle)
 		return
 	}
-	agent := measure.NewAgent(vm.Name, s.sched, vm.Stack.NIC(), node.SyncTimeNow)
+	agent := measure.NewAgent(vm.Name, sc, vm.Stack.NIC(), node.SyncTimeNow)
 	vm.Stack.SetAuxHandler(agent.Handle)
 	s.agents[vm.Name] = agent
 }
 
 func (s *System) buildRelays() error {
-	for b := 0; b < s.cfg.Nodes; b++ {
+	total := s.cfg.TotalNodes()
+	for g := 0; g < total; g++ {
+		local := s.localOf(g)
 		domainPorts := make(map[int]gptp.DomainPorts, s.cfg.NumDomains())
 		for d := 0; d < s.cfg.NumDomains(); d++ {
-			if b == d {
+			if local == d {
 				// The domain's grandmaster is local: relay from the GM's
-				// VM port to the mesh and the redundant VM.
+				// VM port to the in-site mesh and the redundant VM. Gateway
+				// uplink ports are never domain ports — PTP stays in-site.
 				masters := make([]int, 0, s.cfg.Nodes-1+s.cfg.VMsPerNode-1)
 				for k := 0; k < s.cfg.Nodes-1; k++ {
 					masters = append(masters, k)
@@ -375,9 +575,9 @@ func (s *System) buildRelays() error {
 			for v := 0; v < s.cfg.VMsPerNode; v++ {
 				masters = append(masters, s.vmPort(v))
 			}
-			domainPorts[d] = gptp.DomainPorts{SlavePort: s.meshPort(b, d), MasterPorts: masters}
+			domainPorts[d] = gptp.DomainPorts{SlavePort: s.meshPort(local, d), MasterPorts: masters}
 		}
-		relay, err := gptp.NewRelay(s.bridges[b], s.sched, s.streams.Stream("relay/"+itoa(b+1)),
+		relay, err := gptp.NewRelay(s.bridges[g], s.shardSched(g), s.streams.Stream("relay/"+itoa(g+1)),
 			gptp.RelayConfig{Domains: domainPorts, DefaultLinkDelayNS: float64(s.cfg.LinkPropagation)})
 		if err != nil {
 			return err
@@ -388,31 +588,65 @@ func (s *System) buildRelays() error {
 }
 
 // buildForwarding installs static unicast routes for every VM NIC and the
-// measurement VLAN's multicast tree rooted at the measurement node.
+// measurement VLAN's multicast tree rooted at the measurement node (site 0).
+// Cross-site traffic funnels through each site's gateway and along the
+// chain; the static tree stays loop-free because only gateways forward
+// between sites and non-root in-site switches flood to VM ports only.
 func (s *System) buildForwarding() {
-	for b := 0; b < s.cfg.Nodes; b++ {
-		for n := 0; n < s.cfg.Nodes; n++ {
+	total := s.cfg.TotalNodes()
+	lastSite := s.cfg.NumSites() - 1
+	for g := 0; g < total; g++ {
+		site, local := s.siteOf(g), s.localOf(g)
+		br := s.bridges[g]
+		for n := 0; n < total; n++ {
+			nSite, nLocal := s.siteOf(n), s.localOf(n)
 			for v := 0; v < s.cfg.VMsPerNode; v++ {
 				addr := netsim.Address("nic/" + VMName(n, v))
-				if n == b {
-					s.bridges[b].AddRoute(addr, s.vmPort(v))
-				} else {
-					s.bridges[b].AddRoute(addr, s.meshPort(b, n))
+				switch {
+				case n == g:
+					br.AddRoute(addr, s.vmPort(v))
+				case nSite == site:
+					br.AddRoute(addr, s.meshPort(local, nLocal))
+				case local != 0:
+					// Remote site, non-gateway switch: toward the gateway.
+					br.AddRoute(addr, s.meshPort(local, 0))
+				case nSite < site:
+					br.AddRoute(addr, s.uplinkToPrev(site))
+				default:
+					br.AddRoute(addr, s.uplinkToNext(site))
 				}
 			}
 		}
-		if b == s.cfg.MeasurementNode {
+		isRoot := g == s.cfg.MeasurementNode
+		switch {
+		case isRoot:
 			// Root switch: flood to every mesh port and both local VMs.
 			for k := 0; k < s.cfg.Nodes-1; k++ {
-				s.bridges[b].AddGroupMember(measure.MulticastAddr, k)
+				br.AddGroupMember(measure.MulticastAddr, k)
 			}
 			for v := 0; v < s.cfg.VMsPerNode; v++ {
-				s.bridges[b].AddGroupMember(measure.MulticastAddr, s.vmPort(v))
+				br.AddGroupMember(measure.MulticastAddr, s.vmPort(v))
 			}
-		} else {
+			if local == 0 && lastSite > 0 {
+				br.AddGroupMember(measure.MulticastAddr, s.uplinkToNext(site))
+			}
+		case local == 0 && lastSite > 0:
+			// Gateways extend the VLAN along the chain and into their site.
+			if site > 0 {
+				for k := 0; k < s.cfg.Nodes-1; k++ {
+					br.AddGroupMember(measure.MulticastAddr, k)
+				}
+			}
+			for v := 0; v < s.cfg.VMsPerNode; v++ {
+				br.AddGroupMember(measure.MulticastAddr, s.vmPort(v))
+			}
+			if site < lastSite {
+				br.AddGroupMember(measure.MulticastAddr, s.uplinkToNext(site))
+			}
+		default:
 			// Leaf switches: local VM ports only (loop-free static VLAN).
 			for v := 0; v < s.cfg.VMsPerNode; v++ {
-				s.bridges[b].AddGroupMember(measure.MulticastAddr, s.vmPort(v))
+				br.AddGroupMember(measure.MulticastAddr, s.vmPort(v))
 			}
 		}
 	}
@@ -463,24 +697,52 @@ func (s *System) Stop() {
 	// Surface scheduler diagnostics: past-time clamps mean some component
 	// asked for an instant that had already elapsed (usually a drift-induced
 	// deadline miss) and silently ran late instead.
-	if n := s.sched.PastClamps(); n > 0 {
-		s.log.Append(Event{At: s.sched.Now(), Kind: "sched_past_clamps",
-			Detail: fmt.Sprintf("%d events clamped to now", n)})
+	var clamps uint64
+	for _, sc := range s.scheds {
+		clamps += sc.PastClamps()
+	}
+	if s.fabric != nil {
+		clamps += s.control.PastClamps()
+	}
+	if clamps > 0 {
+		s.controlLog().Append(Event{At: s.Now(), Kind: "sched_past_clamps",
+			Detail: fmt.Sprintf("%d events clamped to now", clamps)})
 	}
 	s.started = false
 }
 
 // RunFor advances the simulation by d.
-func (s *System) RunFor(d time.Duration) error { return s.sched.RunFor(d) }
+func (s *System) RunFor(d time.Duration) error {
+	if s.fabric != nil {
+		return s.fabric.RunFor(d)
+	}
+	return s.control.RunFor(d)
+}
 
 // RunUntil advances the simulation to absolute instant t.
-func (s *System) RunUntil(t sim.Time) error { return s.sched.RunUntil(t) }
+func (s *System) RunUntil(t sim.Time) error {
+	if s.fabric != nil {
+		return s.fabric.RunUntil(t)
+	}
+	return s.control.RunUntil(t)
+}
 
 // Now reports the current simulation instant.
-func (s *System) Now() sim.Time { return s.sched.Now() }
+func (s *System) Now() sim.Time {
+	if s.fabric != nil {
+		return s.fabric.Now()
+	}
+	return s.control.Now()
+}
 
-// Scheduler exposes the event scheduler (fault-injection drivers, tests).
-func (s *System) Scheduler() *sim.Scheduler { return s.sched }
+// Scheduler exposes the control scheduler: the home for fault-injection
+// drivers, chaos plans and test hooks. Unsharded it is the simulation's
+// only scheduler; sharded, its events fire at barriers between windows,
+// never concurrently with shard execution.
+func (s *System) Scheduler() *sim.Scheduler { return s.control }
+
+// Fabric exposes the PDES coordinator, nil when running unsharded.
+func (s *System) Fabric() *sim.Fabric { return s.fabric }
 
 // Streams exposes the seeded random stream factory.
 func (s *System) Streams() *sim.Streams { return s.streams }
@@ -516,8 +778,20 @@ func (s *System) VM(name string) (*hypervisor.CSVM, bool) {
 // Collector returns the measurement collector.
 func (s *System) Collector() *measure.Collector { return s.collector }
 
-// EventLog returns the experiment event log.
-func (s *System) EventLog() *EventLog { return s.log }
+// EventLog returns the experiment event log. Sharded, it is a merged view
+// rebuilt on every call: entries ordered by timestamp, control-context
+// events first among equals (they fire before shard events at the same
+// instant), then by shard. Unsharded, it is the live log itself.
+func (s *System) EventLog() *EventLog {
+	if len(s.logs) == 1 {
+		return s.logs[0]
+	}
+	// Control log last in storage but first among timestamp ties.
+	ordered := make([]*EventLog, 0, len(s.logs))
+	ordered = append(ordered, s.controlLog())
+	ordered = append(ordered, s.logs[:len(s.logs)-1]...)
+	return MergeEventLogs(ordered...)
+}
 
 // SyncLatencies returns the tracker of observed Sync path latencies.
 func (s *System) SyncLatencies() *measure.LatencyTracker { return s.syncLat }
@@ -556,11 +830,12 @@ func (s *System) AllInFTOperation() bool {
 
 // TruePrecision is the simulator-omniscient max pairwise CLOCK_SYNCTIME
 // disagreement across nodes right now — ground truth for tests,
-// unavailable on the real testbed.
+// unavailable on the real testbed. Multi-site fabrics report the precision
+// of site 0 (each site is its own synchronization island).
 func (s *System) TruePrecision() (float64, bool) {
 	var vals []float64
-	for _, n := range s.nodes {
-		if v, ok := n.SyncTimeNow(); ok {
+	for i := 0; i < s.cfg.Nodes && i < len(s.nodes); i++ {
+		if v, ok := s.nodes[i].SyncTimeNow(); ok {
 			vals = append(vals, v)
 		}
 	}

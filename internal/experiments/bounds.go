@@ -21,6 +21,9 @@ type BoundsConfig struct {
 	// the split run is bit-identical to the unsplit one — this mode exists
 	// to exercise (and regression-test) the fork path on a full system.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Shards runs the simulation on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 	// Metrics optionally instruments the run's pool (fork accounting).
 	Metrics *obs.Registry `json:"-"`
 	// Snapshots optionally shares the prefix snapshot through a campaign
@@ -32,12 +35,16 @@ func (c BoundsConfig) withDefaults() BoundsConfig {
 	if c.Duration <= 0 {
 		c.Duration = 10 * time.Minute
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
 // Validate implements Validator.
 func (c BoundsConfig) Validate() error {
-	return checkDurations(field{"duration", c.Duration})
+	return firstErr(
+		checkDurations(field{"duration", c.Duration}),
+		checkShards(defaultShards(c.Shards)),
+	)
 }
 
 // BoundsResult reproduces the paper's bound-instantiation numbers:
@@ -98,6 +105,7 @@ func (r BoundsResult) Table() []string {
 func Bounds(cfg BoundsConfig) (*BoundsResult, error) {
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
+	sysCfg.Shards = cfg.Shards
 	if cfg.WarmStart {
 		return boundsWarm(cfg, sysCfg)
 	}

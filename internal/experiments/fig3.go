@@ -34,20 +34,27 @@ type CyberResilienceConfig struct {
 	// HoldoverWindow arms the ptp4l holdover watchdog for chaos-composed
 	// runs (zero keeps the paper's free-run default).
 	HoldoverWindow time.Duration `json:"holdover_window,omitempty"`
+	// Shards runs the simulation on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 func (c CyberResilienceConfig) withDefaults() CyberResilienceConfig {
 	if c.Duration <= 0 {
 		c.Duration = time.Hour
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
 // Validate implements Validator.
 func (c CyberResilienceConfig) Validate() error {
-	return checkDurations(
-		field{"duration", c.Duration},
-		field{"holdover_window", c.HoldoverWindow})
+	return firstErr(
+		checkDurations(
+			field{"duration", c.Duration},
+			field{"holdover_window", c.HoldoverWindow}),
+		checkShards(defaultShards(c.Shards)),
+	)
 }
 
 // CyberResilienceResult is the Fig. 3 output.
@@ -123,6 +130,7 @@ func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) 
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
 	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	sysCfg.Shards = cfg.Shards
 	if cfg.DiverseKernels {
 		sysCfg.DiversifyKernels("c41")
 	}

@@ -43,6 +43,9 @@ type FaultInjectionConfig struct {
 	// fallback executes. A chaos plan acting before the boundary (or
 	// anchored relative to engine start) demotes the run to cold.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Shards runs the simulation on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 	// Metrics optionally instruments the run's pool (fork accounting).
 	Metrics *obs.Registry `json:"-"`
 	// Snapshots optionally shares the prefix snapshot through a campaign
@@ -71,7 +74,7 @@ func (c FaultInjectionConfig) Validate() error {
 		return fmt.Errorf("redundant_min_per_hour (%v) exceeds redundant_max_per_hour (%v)",
 			c.RedundantMinPerHour, c.RedundantMaxPerHour)
 	}
-	return nil
+	return checkShards(defaultShards(c.Shards))
 }
 
 func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
@@ -90,6 +93,7 @@ func (c FaultInjectionConfig) withDefaults() FaultInjectionConfig {
 	if c.Downtime <= 0 {
 		c.Downtime = 45 * time.Second
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
@@ -160,6 +164,7 @@ func FaultInjection(cfg FaultInjectionConfig) (*FaultInjectionResult, error) {
 	cfg = cfg.withDefaults()
 	sysCfg := core.NewConfig(cfg.Seed)
 	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	sysCfg.Shards = cfg.Shards
 	if cfg.WarmStart {
 		return faultInjectionWarm(cfg, sysCfg)
 	}

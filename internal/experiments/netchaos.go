@@ -52,6 +52,9 @@ type NetworkChaosConfig struct {
 	// convergence prefix fork from one snapshot; nil keeps the
 	// per-campaign prefix.
 	Snapshots runner.SnapshotCache `json:"-"`
+	// Shards runs every point on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Validate implements Validator.
@@ -66,10 +69,13 @@ func (c NetworkChaosConfig) Validate() error {
 			return fmt.Errorf("partition_durations[%d] must be positive (got %v)", i, d)
 		}
 	}
-	return checkDurations(
-		field{"duration", c.Duration},
-		field{"chaos_start", c.ChaosStart},
-		field{"holdover_window", c.HoldoverWindow})
+	return firstErr(
+		checkDurations(
+			field{"duration", c.Duration},
+			field{"chaos_start", c.ChaosStart},
+			field{"holdover_window", c.HoldoverWindow}),
+		checkShards(defaultShards(c.Shards)),
+	)
 }
 
 func (c NetworkChaosConfig) withDefaults() NetworkChaosConfig {
@@ -88,6 +94,7 @@ func (c NetworkChaosConfig) withDefaults() NetworkChaosConfig {
 	if c.HoldoverWindow <= 0 {
 		c.HoldoverWindow = 2 * time.Second
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
@@ -310,6 +317,7 @@ func networkChaosWarm(ctx context.Context, cfg NetworkChaosConfig, pool *runner.
 func chaosSystemConfig(cfg NetworkChaosConfig) core.Config {
 	sysCfg := core.NewConfig(cfg.Seed)
 	sysCfg.HoldoverWindow = cfg.HoldoverWindow
+	sysCfg.Shards = cfg.Shards
 	return sysCfg
 }
 

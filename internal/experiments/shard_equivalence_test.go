@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// shardDigest runs one experiment entrypoint and returns its rendered
+// output — Summary plus every Rows cell — which must be bit-identical at
+// every shard count.
+type shardDigest struct {
+	Summary string
+	Rows    [][]string
+}
+
+func digestOf(t *testing.T, res Result, err error) shardDigest {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shardDigest{Summary: res.Summary(), Rows: res.Rows()}
+}
+
+// TestShardEquivalenceExperiments is the experiments-layer face of the PDES
+// determinism contract: the rendered Summary and Rows of a study are
+// bit-identical at shard counts 1, 2, 4 and 8, across five derived seeds.
+// Bounds exercises the measurement path; the per-seed resilience run (one
+// seed, all shard counts) also covers control-context event injection
+// (exploits scheduled on the control scheduler).
+func TestShardEquivalenceExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard equivalence sweep is slow")
+	}
+	shardCounts := []int{1, 2, 4, 8}
+
+	for i := 0; i < 5; i++ {
+		seed := sim.DeriveSeed(99, "shard-equivalence/"+string(rune('a'+i)))
+		var ref shardDigest
+		for _, shards := range shardCounts {
+			res, err := Bounds(BoundsConfig{Seed: seed, Duration: 2 * time.Minute, Shards: shards})
+			got := digestOf(t, res, err)
+			if shards == shardCounts[0] {
+				ref = got
+				continue
+			}
+			if got.Summary != ref.Summary {
+				t.Fatalf("bounds seed %d: summary diverged at %d shards:\n  1: %s\n  %d: %s",
+					seed, shards, ref.Summary, shards, got.Summary)
+			}
+			if !reflect.DeepEqual(got.Rows, ref.Rows) {
+				t.Fatalf("bounds seed %d: rows diverged at %d shards", seed, shards)
+			}
+		}
+	}
+
+	var ref shardDigest
+	for _, shards := range shardCounts {
+		res, err := CyberResilience(CyberResilienceConfig{Seed: 7, Duration: 4 * time.Minute, Shards: shards})
+		got := digestOf(t, res, err)
+		if shards == shardCounts[0] {
+			ref = got
+			continue
+		}
+		if got.Summary != ref.Summary {
+			t.Fatalf("resilience: summary diverged at %d shards:\n  1: %s\n  %d: %s",
+				shards, ref.Summary, shards, got.Summary)
+		}
+		if !reflect.DeepEqual(got.Rows, ref.Rows) {
+			t.Fatalf("resilience: rows diverged at %d shards", shards)
+		}
+	}
+
+	// Fault injection is the regression anchor for control-instant shard
+	// clocks: the injector's FailVM/RebootVM callbacks run on the control
+	// scheduler and re-arm the rebooted stack's timers from the node's
+	// shard clock, which must read exactly tc (not tc−1) at every shard
+	// count. GMPeriod/Downtime are compressed so several failure/reboot/
+	// takeover cycles land inside the short campaign.
+	ref = shardDigest{}
+	for _, shards := range shardCounts {
+		res, err := FaultInjection(FaultInjectionConfig{
+			Seed:                11,
+			Duration:            6 * time.Minute,
+			GMPeriod:            90 * time.Second,
+			RedundantMinPerHour: 6,
+			RedundantMaxPerHour: 12,
+			Downtime:            20 * time.Second,
+			Shards:              shards,
+		})
+		got := digestOf(t, res, err)
+		if shards == shardCounts[0] {
+			ref = got
+			continue
+		}
+		if got.Summary != ref.Summary {
+			t.Fatalf("faultinjection: summary diverged at %d shards:\n  1: %s\n  %d: %s",
+				shards, ref.Summary, shards, got.Summary)
+		}
+		if !reflect.DeepEqual(got.Rows, ref.Rows) {
+			t.Fatalf("faultinjection: rows diverged at %d shards", shards)
+		}
+	}
+}

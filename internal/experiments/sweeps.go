@@ -100,6 +100,9 @@ type IntervalSweepConfig struct {
 	// Snapshots optionally shares the prefix snapshot through a campaign
 	// cache (the job server's LRU); nil keeps the per-campaign prefix.
 	Snapshots runner.SnapshotCache `json:"-"`
+	// Shards runs every point on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Validate implements Validator.
@@ -109,7 +112,10 @@ func (c IntervalSweepConfig) Validate() error {
 			return fmt.Errorf("intervals[%d] must be positive (got %v)", i, s)
 		}
 	}
-	return checkDurations(field{"duration", c.Duration})
+	return firstErr(
+		checkDurations(field{"duration", c.Duration}),
+		checkShards(defaultShards(c.Shards)),
+	)
 }
 
 func (c IntervalSweepConfig) withDefaults() IntervalSweepConfig {
@@ -124,6 +130,7 @@ func (c IntervalSweepConfig) withDefaults() IntervalSweepConfig {
 	if c.Duration <= 0 {
 		c.Duration = 6 * time.Minute
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
@@ -146,7 +153,7 @@ func IntervalSweep(ctx context.Context, cfg IntervalSweepConfig) (*SweepResult, 
 		return &SweepResult{Name: "synchronization-interval sweep", Points: points}, nil
 	}
 	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
-		return intervalPoint(cfg.Seed, cfg.Intervals[i], cfg.Duration)
+		return intervalPoint(cfg.Seed, cfg.Intervals[i], cfg.Duration, cfg.Shards)
 	})
 	if err != nil {
 		return nil, err
@@ -161,7 +168,7 @@ func IntervalSweep(ctx context.Context, cfg IntervalSweepConfig) (*SweepResult, 
 // bit-identical to its cold (unsplit) run.
 func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []string) ([]SweepPoint, error) {
 	boundary := cfg.Duration / 2
-	prefixCfg := intervalSysCfg(cfg.Seed, cfg.Intervals[0])
+	prefixCfg := intervalSysCfg(cfg.Seed, cfg.Intervals[0], cfg.Shards)
 	wc := runner.WarmConfig{
 		Hash:   core.PrefixHash(prefixCfg, boundary),
 		Prefix: systemPrefix(prefixCfg, boundary),
@@ -172,7 +179,7 @@ func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []st
 		s := cfg.Intervals[i]
 		wruns[i] = runner.WarmRun{
 			Name: labels[i],
-			Hash: core.PrefixHash(intervalSysCfg(cfg.Seed, s), boundary),
+			Hash: core.PrefixHash(intervalSysCfg(cfg.Seed, s, cfg.Shards), boundary),
 			Fork: func(_ context.Context, snap any) (any, error) {
 				sys, err := core.ForkSystem(snap)
 				if err != nil {
@@ -184,7 +191,7 @@ func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []st
 				return intervalCollect(sys, s), nil
 			},
 			Cold: func(context.Context) (any, error) {
-				return intervalPoint(cfg.Seed, s, cfg.Duration)
+				return intervalPoint(cfg.Seed, s, cfg.Duration, cfg.Shards)
 			},
 		}
 	}
@@ -193,14 +200,15 @@ func intervalSweepWarm(ctx context.Context, cfg IntervalSweepConfig, labels []st
 }
 
 // intervalSysCfg is one interval point's system configuration.
-func intervalSysCfg(seed int64, s time.Duration) core.Config {
+func intervalSysCfg(seed int64, s time.Duration, shards int) core.Config {
 	cfg := core.NewConfig(seed)
 	cfg.SyncInterval = s
+	cfg.Shards = shards
 	return cfg
 }
 
-func intervalPoint(seed int64, s, duration time.Duration) (SweepPoint, error) {
-	sys, err := core.NewSystem(intervalSysCfg(seed, s))
+func intervalPoint(seed int64, s, duration time.Duration, shards int) (SweepPoint, error) {
+	sys, err := core.NewSystem(intervalSysCfg(seed, s, shards))
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -252,6 +260,9 @@ type DomainSweepConfig struct {
 	// Snapshots optionally shares the prefix snapshot through a campaign
 	// cache (the job server's LRU); nil keeps the per-campaign prefix.
 	Snapshots runner.SnapshotCache `json:"-"`
+	// Shards runs every point on a sharded PDES kernel (1 = the legacy
+	// single scheduler). Results are bit-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Validate implements Validator.
@@ -261,7 +272,10 @@ func (c DomainSweepConfig) Validate() error {
 			return fmt.Errorf("counts[%d] must be at least 2 domains (got %d)", i, m)
 		}
 	}
-	return checkDurations(field{"duration", c.Duration})
+	return firstErr(
+		checkDurations(field{"duration", c.Duration}),
+		checkShards(defaultShards(c.Shards)),
+	)
 }
 
 func (c DomainSweepConfig) withDefaults() DomainSweepConfig {
@@ -271,6 +285,7 @@ func (c DomainSweepConfig) withDefaults() DomainSweepConfig {
 	if c.Duration <= 0 {
 		c.Duration = 8 * time.Minute
 	}
+	c.Shards = defaultShards(c.Shards)
 	return c
 }
 
@@ -291,7 +306,7 @@ func DomainSweep(ctx context.Context, cfg DomainSweepConfig) (*SweepResult, erro
 		return &SweepResult{Name: "domain-count sweep", Points: points}, nil
 	}
 	points, err := sweepPoints(ctx, cfg.Parallel, labels, func(i int) (SweepPoint, error) {
-		return domainPoint(cfg.Seed, cfg.Counts[i], cfg.Duration)
+		return domainPoint(cfg.Seed, cfg.Counts[i], cfg.Duration, cfg.Shards)
 	})
 	if err != nil {
 		return nil, err
@@ -311,9 +326,9 @@ func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string
 	}
 	wc := runner.WarmConfig{}
 	if boundary > 0 {
-		wc.Hash = core.PrefixHash(domainSysCfg(cfg.Seed, cfg.Counts[0]), boundary)
+		wc.Hash = core.PrefixHash(domainSysCfg(cfg.Seed, cfg.Counts[0], cfg.Shards), boundary)
 		wc.Prefix = func(context.Context) (any, error) {
-			sys, err := domainSetup(cfg.Seed, cfg.Counts[0], cfg.Duration)
+			sys, err := domainSetup(cfg.Seed, cfg.Counts[0], cfg.Duration, cfg.Shards)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +344,7 @@ func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string
 		m := cfg.Counts[i]
 		wruns[i] = runner.WarmRun{
 			Name: labels[i],
-			Hash: core.PrefixHash(domainSysCfg(cfg.Seed, m), boundary),
+			Hash: core.PrefixHash(domainSysCfg(cfg.Seed, m, cfg.Shards), boundary),
 			Fork: func(_ context.Context, snap any) (any, error) {
 				sys, err := core.ForkSystem(snap)
 				if err != nil {
@@ -341,7 +356,7 @@ func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string
 				return domainCollect(sys, m, cfg.Duration), nil
 			},
 			Cold: func(context.Context) (any, error) {
-				return domainPoint(cfg.Seed, m, cfg.Duration)
+				return domainPoint(cfg.Seed, m, cfg.Duration, cfg.Shards)
 			},
 		}
 	}
@@ -350,16 +365,17 @@ func domainSweepWarm(ctx context.Context, cfg DomainSweepConfig, labels []string
 }
 
 // domainSysCfg is one domain point's system configuration.
-func domainSysCfg(seed int64, m int) core.Config {
+func domainSysCfg(seed int64, m, shards int) core.Config {
 	cfg := core.NewConfig(seed)
 	cfg.DomainCount = m
+	cfg.Shards = shards
 	return cfg
 }
 
 // domainSetup builds and starts one domain point's system with its
 // compromise event pending.
-func domainSetup(seed int64, m int, duration time.Duration) (*core.System, error) {
-	sys, err := core.NewSystem(domainSysCfg(seed, m))
+func domainSetup(seed int64, m int, duration time.Duration, shards int) (*core.System, error) {
+	sys, err := core.NewSystem(domainSysCfg(seed, m, shards))
 	if err != nil {
 		return nil, err
 	}
@@ -376,8 +392,8 @@ func domainSetup(seed int64, m int, duration time.Duration) (*core.System, error
 	return sys, nil
 }
 
-func domainPoint(seed int64, m int, duration time.Duration) (SweepPoint, error) {
-	sys, err := domainSetup(seed, m, duration)
+func domainPoint(seed int64, m int, duration time.Duration, shards int) (SweepPoint, error) {
+	sys, err := domainSetup(seed, m, duration, shards)
 	if err != nil {
 		return SweepPoint{}, err
 	}

@@ -142,3 +142,37 @@ func TestWireResultEnvelope(t *testing.T) {
 		}
 	}
 }
+
+// TestShardsKnobWire pins the PDES knob's wire contract on every
+// shard-aware experiment: {"shards": N} decodes (snake_case key), the
+// registry default is 1 (legacy single scheduler), and negative values are
+// rejected by Validate through the strict decode path.
+func TestShardsKnobWire(t *testing.T) {
+	shardAware := []string{
+		"bounds", "resilience", "faultinjection", "baseline", "single-domain",
+		"flag-policy", "voting", "recovery", "interval", "domains",
+		"netchaos", "multiseed",
+	}
+	for _, name := range shardAware {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		def := reflect.ValueOf(e.DefaultConfig(1)).FieldByName("Shards")
+		if !def.IsValid() || def.Int() != 1 {
+			t.Errorf("%s: default config Shards = %v, want 1", name, def)
+			continue
+		}
+		cfg, err := e.DecodeConfig(json.RawMessage(`{"shards": 4}`))
+		if err != nil {
+			t.Errorf("%s: decode shards=4: %v", name, err)
+			continue
+		}
+		if got := reflect.ValueOf(cfg).FieldByName("Shards").Int(); got != 4 {
+			t.Errorf("%s: decoded Shards = %d, want 4", name, got)
+		}
+		if _, err := e.DecodeConfig(json.RawMessage(`{"shards": -1}`)); err == nil {
+			t.Errorf("%s: negative shards accepted", name)
+		}
+	}
+}

@@ -69,20 +69,39 @@ func (c *Collector) Restore(snap any) {
 }
 
 type latencyTrackerSnapshot struct {
-	min map[string]time.Duration
-	max map[string]time.Duration
+	paths map[string]pathExtrema
 }
 
-// Snapshot implements sim.Snapshotter.
+// Snapshot implements sim.Snapshotter. Preregistered-but-unseen entries are
+// captured too, so a fork keeps the race-free fast path for them.
 func (lt *LatencyTracker) Snapshot() any {
-	return &latencyTrackerSnapshot{min: copyExtrema(lt.min), max: copyExtrema(lt.max)}
+	sn := &latencyTrackerSnapshot{paths: make(map[string]pathExtrema, len(lt.paths)+len(lt.overflow))}
+	for k, p := range lt.paths {
+		sn.paths[k] = *p
+	}
+	for k, p := range lt.overflow {
+		sn.paths[k] = *p
+	}
+	return sn
 }
 
-// Restore implements sim.Snapshotter.
+// Restore implements sim.Snapshotter. Keys that are preregistered on the
+// live tracker restore in place; anything else lands back in the overflow
+// map.
 func (lt *LatencyTracker) Restore(snap any) {
 	sn := snap.(*latencyTrackerSnapshot)
-	lt.min = copyExtrema(sn.min)
-	lt.max = copyExtrema(sn.max)
+	for _, p := range lt.paths {
+		*p = pathExtrema{}
+	}
+	lt.overflow = make(map[string]*pathExtrema)
+	for k, v := range sn.paths {
+		if p, ok := lt.paths[k]; ok {
+			*p = v
+			continue
+		}
+		pv := v
+		lt.overflow[k] = &pv
+	}
 }
 
 type agentSnapshot struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -161,50 +162,110 @@ func ViolationCount(samples []Sample, boundNS float64) int {
 	return n
 }
 
+// pathExtrema is one path key's observed latency range. Each preregistered
+// entry has exactly one writer (the VM stack observing that path), so the
+// struct needs no lock of its own.
+type pathExtrema struct {
+	min, max time.Duration
+	seen     bool
+}
+
+func (p *pathExtrema) observe(d time.Duration) {
+	if !p.seen {
+		p.min, p.max, p.seen = d, d, true
+		return
+	}
+	if d < p.min {
+		p.min = d
+	}
+	if d > p.max {
+		p.max = d
+	}
+}
+
 // LatencyTracker accumulates observed latencies per path key and derives
 // the reading error E = d_max − d_min over all observed paths — the
 // quantity the paper extracts from ptp4l's latency data to instantiate the
 // precision bound (§III-A3).
+//
+// Concurrency: with a sharded kernel, paths on different shards are
+// observed in parallel. Preregister installs each expected key into a map
+// that is read-only afterwards, so concurrent Observe calls on distinct
+// preregistered keys are race-free (one writer per entry). Unknown keys
+// (malformed or adversarial domains) fall back to a mutex-guarded overflow
+// map. Readers (Extrema, Paths) run from the driver, never concurrently
+// with shard execution.
 type LatencyTracker struct {
-	min map[string]time.Duration
-	max map[string]time.Duration
+	paths map[string]*pathExtrema
+
+	mu       sync.Mutex
+	overflow map[string]*pathExtrema
 }
 
 // NewLatencyTracker creates an empty tracker.
 func NewLatencyTracker() *LatencyTracker {
 	return &LatencyTracker{
-		min: make(map[string]time.Duration),
-		max: make(map[string]time.Duration),
+		paths:    make(map[string]*pathExtrema),
+		overflow: make(map[string]*pathExtrema),
+	}
+}
+
+// Preregister installs path keys before the simulation starts. It must not
+// be called once observations may be arriving concurrently.
+func (lt *LatencyTracker) Preregister(keys ...string) {
+	for _, k := range keys {
+		if _, ok := lt.paths[k]; !ok {
+			lt.paths[k] = &pathExtrema{}
+		}
 	}
 }
 
 // Observe records one latency for a path key.
 func (lt *LatencyTracker) Observe(key string, d time.Duration) {
-	if cur, ok := lt.min[key]; !ok || d < cur {
-		lt.min[key] = d
+	if p, ok := lt.paths[key]; ok {
+		p.observe(d)
+		return
 	}
-	if cur, ok := lt.max[key]; !ok || d > cur {
-		lt.max[key] = d
+	lt.mu.Lock()
+	p, ok := lt.overflow[key]
+	if !ok {
+		p = &pathExtrema{}
+		lt.overflow[key] = p
+	}
+	p.observe(d)
+	lt.mu.Unlock()
+}
+
+// each visits every observed path's extrema.
+func (lt *LatencyTracker) each(fn func(p *pathExtrema)) {
+	for _, p := range lt.paths {
+		if p.seen {
+			fn(p)
+		}
+	}
+	for _, p := range lt.overflow {
+		if p.seen {
+			fn(p)
+		}
 	}
 }
 
 // Extrema reports the global minimum and maximum observed latency.
 func (lt *LatencyTracker) Extrema() (min, max time.Duration, ok bool) {
 	first := true
-	for k, lo := range lt.min {
-		hi := lt.max[k]
+	lt.each(func(p *pathExtrema) {
 		if first {
-			min, max = lo, hi
+			min, max = p.min, p.max
 			first = false
-			continue
+			return
 		}
-		if lo < min {
-			min = lo
+		if p.min < min {
+			min = p.min
 		}
-		if hi > max {
-			max = hi
+		if p.max > max {
+			max = p.max
 		}
-	}
+	})
 	return min, max, !first
 }
 
@@ -218,4 +279,8 @@ func (lt *LatencyTracker) ReadingError() (time.Duration, bool) {
 }
 
 // Paths reports how many distinct path keys have been observed.
-func (lt *LatencyTracker) Paths() int { return len(lt.min) }
+func (lt *LatencyTracker) Paths() int {
+	n := 0
+	lt.each(func(*pathExtrema) { n++ })
+	return n
+}

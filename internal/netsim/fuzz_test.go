@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gptpfta/internal/sim"
+)
+
+// FuzzLinkMinDelay pins the PDES lookahead soundness invariant: MinDelay —
+// the bound the sharded fabric derives its conservative lookahead from —
+// must never exceed the delay any actual frame can experience, in either
+// direction, under arbitrary jitter and chaos delay overrides (including
+// negative asymmetric shifts). A violation would let a shard run past a
+// neighbour's next cross-shard delivery and silently break determinism.
+func FuzzLinkMinDelay(f *testing.F) {
+	f.Add(int64(1_000), 0.0, int64(0), int64(0), int64(1))
+	f.Add(int64(50_000), 25.0, int64(0), int64(0), int64(7))
+	f.Add(int64(1_000_000), 400.0, int64(30_000), int64(-20_000), int64(42))
+	f.Add(int64(500), 1000.0, int64(-100), int64(100), int64(3))
+
+	f.Fuzz(func(t *testing.T, propNS int64, jitterNS float64, extraNS, asymNS, seed int64) {
+		// Keep the config inside the domain the simulator uses: positive
+		// nominal propagation, non-negative jitter, overrides within ±1 ms.
+		if propNS < 1 {
+			propNS = 1 - propNS
+		}
+		propNS = propNS%1_000_000_000 + 1
+		if jitterNS < 0 {
+			jitterNS = -jitterNS
+		}
+		if jitterNS > 1e6 {
+			jitterNS = 1e6
+		}
+		extraNS %= 1_000_000
+		asymNS %= 1_000_000
+
+		sched := sim.NewScheduler()
+		rng := sim.NewStreams(seed).Stream("fuzz/link")
+		a := &Port{Name: "a"}
+		b := &Port{Name: "b"}
+		l, err := Connect(sched, rng, LinkConfig{
+			Propagation: time.Duration(propNS),
+			JitterNS:    jitterNS,
+		}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.SetDelayOverride(time.Duration(extraNS), time.Duration(asymNS))
+
+		min := l.MinDelay()
+		for i := 0; i < 64; i++ {
+			for dir := 0; dir < 2; dir++ {
+				if d := l.delay(dir); d < min {
+					t.Fatalf("MinDelay %v exceeds sampled delay %v (dir %d, prop %dns, jitter %.1fns, extra %dns, asym %dns)",
+						min, d, dir, propNS, jitterNS, extraNS, asymNS)
+				}
+			}
+		}
+	})
+}

@@ -49,10 +49,22 @@ type LossModel interface {
 // observed path latency arises from bridge residence times — or from a
 // chaos-injected asymmetric delay shift (SetDelayOverride).
 type Link struct {
-	sched *sim.Scheduler
-	rng   sim.RNG
-	cfg   LinkConfig
-	ends  [2]*Port
+	// scheds holds the scheduler owning each endpoint's device: both entries
+	// are the same scheduler for an ordinary link, and differ for a
+	// cross-shard boundary link (ConnectBoundary). Direction dir sends from
+	// ends[dir] (scheds[dir]) to ends[1-dir] (scheds[1-dir]).
+	scheds [2]*sim.Scheduler
+	rng    sim.RNG
+	cfg    LinkConfig
+	ends   [2]*Port
+	// deferred marks a boundary link: Send only records the frame in the
+	// per-direction outbox, and the fabric commits it at the next barrier
+	// (sim.Boundary). The commit replays the exact legacy Send tail —
+	// counters, loss draw, jitter draw, FIFO clamp — in globally sorted
+	// send order, so per-link RNG consumption matches a single-scheduler
+	// run.
+	deferred bool
+	outbox   [2][]sim.Deferred
 	// deliver holds one prebound delivery callback per direction so Send
 	// can schedule through AtArg without allocating a closure per frame.
 	deliver [2]func(any)
@@ -93,16 +105,29 @@ func (l *Link) Sent() uint64 { return l.sent }
 // Connect attaches two ports with a link. It returns an error if either
 // port is already attached.
 func Connect(sched *sim.Scheduler, rng sim.RNG, cfg LinkConfig, a, b *Port) (*Link, error) {
+	return ConnectBoundary(sched, sched, rng, cfg, a, b)
+}
+
+// ConnectBoundary attaches two ports whose devices may live on different
+// shard schedulers (schedA owns a's device, schedB owns b's). When the
+// schedulers differ the link operates in deferred mode: sends queue in
+// per-direction outboxes and the owning sim.Fabric commits them at
+// barriers. With schedA == schedB this is exactly Connect.
+func ConnectBoundary(schedA, schedB *sim.Scheduler, rng sim.RNG, cfg LinkConfig, a, b *Port) (*Link, error) {
 	if a.link != nil || b.link != nil {
 		return nil, fmt.Errorf("netsim: port already connected (%s, %s)", a.Name, b.Name)
 	}
-	l := &Link{sched: sched, rng: rng, cfg: cfg, ends: [2]*Port{a, b}}
+	l := &Link{scheds: [2]*sim.Scheduler{schedA, schedB}, rng: rng, cfg: cfg,
+		ends: [2]*Port{a, b}, deferred: schedA != schedB}
 	l.deliver[0] = func(x any) { l.finishDelivery(0, x.(*Frame)) } // a -> b
 	l.deliver[1] = func(x any) { l.finishDelivery(1, x.(*Frame)) } // b -> a
 	a.link = l
 	b.link = l
 	return l, nil
 }
+
+// Boundary reports whether the link crosses shards (deferred sends).
+func (l *Link) Boundary() bool { return l.deferred }
 
 // Peer returns the port at the other end of the link from p.
 func (l *Link) Peer(p *Port) *Port {
@@ -155,8 +180,32 @@ func (l *Link) SetDelayOverride(extra, asym time.Duration) {
 
 // Send transmits a frame from port "from" toward the peer. Delivery is
 // scheduled after propagation plus jitter; deliveries in one direction
-// never reorder.
+// never reorder. On a boundary link the send is deferred to the next
+// fabric barrier instead of committed inline.
 func (l *Link) Send(from *Port, f *Frame) {
+	dir := 0
+	if l.ends[1] == from {
+		dir = 1
+	}
+	key1, key2, key3 := l.scheds[dir].SchedKeys()
+	if l.deferred {
+		l.outbox[dir] = append(l.outbox[dir], sim.Deferred{
+			Key1: key1, Key2: key2, Key3: key3, Dir: dir,
+			Ord:     l.scheds[dir].NextDeferOrd(),
+			Payload: f, By: l,
+		})
+		return
+	}
+	l.CommitDeferred(dir, f, key1, key2)
+}
+
+// CommitDeferred implements sim.Committer: the legacy Send tail. key1 is
+// the send instant (delay is computed from it, not from the commit
+// instant) and both keys are stamped onto the delivery event so it sorts
+// against the destination shard's local events exactly as an inline
+// schedule at send time would have.
+func (l *Link) CommitDeferred(dir int, payload any, key1, key2 sim.Time) {
+	f := payload.(*Frame)
 	l.sent++
 	if l.down {
 		l.faultedDrop++
@@ -168,16 +217,44 @@ func (l *Link) Send(from *Port, f *Frame) {
 		f.release()
 		return
 	}
-	dir := 0
-	if l.ends[1] == from {
-		dir = 1
-	}
-	at := l.sched.Now().Add(l.delay(dir))
+	at := key1.Add(l.delay(dir))
 	if at <= l.lastDelivery[dir] {
 		at = l.lastDelivery[dir] + 1
 	}
 	l.lastDelivery[dir] = at
-	l.sched.AtArg(at, l.deliver[dir], f)
+	l.scheds[1-dir].ScheduleKeyedArg(at, key1, key2, l.deliver[dir], f)
+}
+
+// AppendDeferred implements sim.Boundary: drain both outboxes into buf.
+func (l *Link) AppendDeferred(buf []sim.Deferred) []sim.Deferred {
+	for dir := range l.outbox {
+		ob := l.outbox[dir]
+		buf = append(buf, ob...)
+		for i := range ob {
+			ob[i].Payload, ob[i].By = nil, nil
+		}
+		l.outbox[dir] = ob[:0]
+	}
+	return buf
+}
+
+// MinDelay implements sim.Boundary: a lower bound on the delay any send
+// committed from now on can experience. The jitter draw is truncated at
+// half the nominal propagation, so with jitter enabled the floor is
+// Propagation/2; delay overrides shift the bound (a negative asymmetry
+// applies to direction 0 only, so only its negative part lowers the
+// bound). The result can be non-positive under pathological overrides;
+// the fabric clamps its lookahead to at least 1 ns.
+func (l *Link) MinDelay() time.Duration {
+	d := l.cfg.Propagation
+	if l.rng != nil && l.cfg.JitterNS > 0 {
+		d = l.cfg.Propagation / 2
+	}
+	d += l.extraDelay
+	if l.asymDelay < 0 {
+		d += l.asymDelay
+	}
+	return d
 }
 
 // dropFrame decides stochastic loss. Draw-order contract: with a dedicated
@@ -205,7 +282,7 @@ func (l *Link) dropFrame() bool {
 // fault killed it in flight: the link is down at the delivery instant, or
 // the delivery was scheduled before the link last came back up.
 func (l *Link) finishDelivery(dir int, f *Frame) {
-	if l.down || l.sched.Now() <= l.dropBefore[dir] {
+	if l.down || l.scheds[1-dir].Now() <= l.dropBefore[dir] {
 		l.faultedDrop++
 		f.release()
 		return

@@ -1,0 +1,363 @@
+package sim
+
+// Conservative parallel discrete-event fabric (PDES). A Fabric owns one
+// Scheduler per shard plus a shard-less control scheduler, and advances all
+// of them through barrier-separated time windows:
+//
+//	              lookahead L = min cross-shard link delay
+//	          ┌────────────┐┌────────────┐┌──────────┐
+//	 shard 0  │ events ≤ W ││ events ≤ W'││   ...    │
+//	 shard 1  │ events ≤ W ││ events ≤ W'││   ...    │   (parallel)
+//	          └────────────┴┴────────────┴┴──────────┘
+//	           barrier: flush │ barrier: flush │ ...
+//	                 mailboxes, fire control events
+//
+// Within a window shards run concurrently and touch only shard-local state;
+// frames crossing a shard boundary are deferred into per-link outboxes
+// (never scheduled directly into a foreign shard). The window end W is
+// chosen so that no deferred send can require delivery inside the window:
+// with e the earliest pending event anywhere, nothing can be transmitted
+// before e, so every cross-shard delivery lands at ≥ e + L and the window
+// may safely extend to e + L − 1.
+//
+// At each barrier the fabric drains all boundary outboxes, sorts the
+// deferred sends by their causal keys (send instant, sender's schedule-time
+// key, then the source shard's issuance ordinal, then boundary registration
+// order), and commits them one by one in
+// that fixed order. Commit replays the sender-side randomness (loss, jitter)
+// in per-link chronological order and schedules the delivery into the
+// destination shard via ScheduleKeyedArg, carrying the sender-side causal
+// key — so the delivery interleaves with the destination's local events
+// exactly where a single-scheduler run would have placed it. This is what
+// keeps golden digests bit-identical at every shard count.
+//
+// Control events (chaos plans, fault injectors, driver At calls) live on the
+// control scheduler and fire between windows: shards first execute every
+// event strictly before tc, then have their clocks advanced to tc with
+// their own tc events still pending, and only then does the control event
+// fire. A control event at tc therefore precedes shard events at tc and
+// observes (and schedules against) shard clocks reading exactly tc — which
+// matches the single-scheduler order because control callbacks carry older
+// insertion sequences than same-instant protocol re-arms.
+
+import (
+	"sync"
+	"time"
+)
+
+// Deferred is one cross-shard send captured in a boundary outbox, waiting
+// for the next barrier to be committed in globally sorted order.
+type Deferred struct {
+	// Key1 is the send instant; Key2 the sender event's schedule-time key;
+	// Key3 the sender event's own cause key (see Scheduler.SchedKeys).
+	// (Key1, Key2, Key3) is the heap key prefix of the *sending* event, so
+	// sorting on it reproduces the order a single scheduler executed the
+	// senders in — the order it would have inserted the deliveries in.
+	// Only Key1 and Key2 are replayed onto the delivery event.
+	Key1, Key2, Key3 Time
+	// Ord is the source shard's deferred-send issuance ordinal
+	// (Scheduler.NextDeferOrd): it orders key-tied sends that left one
+	// shard by the order the sending callbacks issued them — the
+	// single-scheduler insertion order. Ords from different source shards
+	// are independent counters; Rank (the boundary's registration order in
+	// the fabric) and Dir break those remaining cross-shard ties
+	// deterministically.
+	Ord       uint64
+	Rank, Dir int
+	// Payload is the in-flight unit (a netsim frame), opaque to the fabric.
+	Payload any
+	// By commits the send on the destination shard.
+	By Committer
+}
+
+// Committer commits a deferred cross-shard send at a barrier.
+type Committer interface {
+	// CommitDeferred replays the send: sender-side bookkeeping and
+	// randomness first (loss decision, jitter draw, FIFO clamp), then the
+	// delivery scheduled into the destination shard with the carried keys.
+	CommitDeferred(dir int, payload any, key1, key2 Time)
+}
+
+// Boundary is a cross-shard conduit registered with the fabric — in
+// practice a netsim link whose endpoints live in different shards.
+type Boundary interface {
+	Committer
+	// MinDelay is a lower bound on the sender-to-receiver delay of any
+	// send committed from now on (jitter floor plus current overrides);
+	// the fabric's lookahead is the minimum over all boundaries.
+	MinDelay() time.Duration
+	// AppendDeferred appends the boundary's pending sends to buf (leaving
+	// Rank zero; the fabric stamps it) and clears the outboxes.
+	AppendDeferred(buf []Deferred) []Deferred
+}
+
+// FabricStats are cumulative fabric-level counters, sampled by the obs
+// layer. BarrierWait values are wall-clock and therefore excluded from any
+// determinism surface.
+type FabricStats struct {
+	Windows       uint64 // barrier-separated execution windows run
+	ControlRounds uint64 // control-scheduler turns fired between windows
+	Committed     uint64 // cross-shard sends committed through mailboxes
+	BarrierWaitNS uint64 // total wall ns the coordinator waited on shards
+	LookaheadNS   int64  // last computed lookahead window size
+}
+
+// Fabric coordinates sharded execution. It is driven from a single
+// goroutine (RunUntil); shard parallelism is internal.
+type Fabric struct {
+	shards  []*Scheduler
+	control *Scheduler
+	bounds  []Boundary
+
+	now   Time
+	buf   []Deferred
+	busy  []*Scheduler
+	errs  []error
+	stats FabricStats
+
+	// BarrierObserver, when set, receives the wall-clock nanoseconds the
+	// coordinator spent waiting at each barrier (obs histogram hook).
+	BarrierObserver func(ns float64)
+}
+
+// NewFabric assembles a fabric over per-shard schedulers, a control
+// scheduler (which must not be one of the shards) and the registered
+// cross-shard boundaries.
+func NewFabric(shards []*Scheduler, control *Scheduler, bounds []Boundary) *Fabric {
+	return &Fabric{shards: shards, control: control, bounds: bounds}
+}
+
+// Now reports the fabric's committed instant: every shard has processed all
+// events up to and including it.
+func (f *Fabric) Now() Time { return f.now }
+
+// Stats returns the cumulative fabric counters.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// Resync realigns the fabric clock with its shards after an external
+// restore (warm-start fork). Valid only at driver time, when every shard
+// has been restored to the same instant and all outboxes are empty.
+func (f *Fabric) Resync() { f.now = f.shards[0].Now() }
+
+// lookahead computes the current safe window extension: the minimum
+// cross-shard delay over all boundaries, at least 1 ns so windows always
+// make progress. Recomputed every window, so chaos delay overrides narrow
+// or widen the window from the next barrier on.
+func (f *Fabric) lookahead() Time {
+	if len(f.bounds) == 0 {
+		return Time(1<<62 - 1)
+	}
+	min := f.bounds[0].MinDelay()
+	for _, b := range f.bounds[1:] {
+		if d := b.MinDelay(); d < min {
+			min = d
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	f.stats.LookaheadNS = int64(min)
+	return Time(min)
+}
+
+// flush drains every boundary outbox and commits the deferred sends in the
+// fixed global order (Key1, Key2, Key3, Ord, Rank, Dir). Runs single-threaded
+// barriers, while all shards are paused.
+func (f *Fabric) flush() {
+	buf := f.buf[:0]
+	for rank, b := range f.bounds {
+		start := len(buf)
+		buf = b.AppendDeferred(buf)
+		for i := start; i < len(buf); i++ {
+			buf[i].Rank = rank
+		}
+	}
+	if len(buf) > 1 {
+		sortDeferred(buf)
+	}
+	for i := range buf {
+		d := &buf[i]
+		d.By.CommitDeferred(d.Dir, d.Payload, d.Key1, d.Key2)
+		d.Payload, d.By = nil, nil
+	}
+	f.stats.Committed += uint64(len(buf))
+	f.buf = buf[:0]
+}
+
+// sortDeferred orders deferred sends by (Key1, Key2, Key3, Ord, Rank, Dir),
+// a hand-rolled insertion/shell hybrid: barriers usually carry a handful of
+// sends, and sort.Slice's closure allocates on a path run tens of thousands
+// of times per simulated second.
+func sortDeferred(d []Deferred) {
+	for gap := len(d) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(d); i++ {
+			v := d[i]
+			j := i
+			for ; j >= gap && deferredLess(&v, &d[j-gap]); j -= gap {
+				d[j] = d[j-gap]
+			}
+			d[j] = v
+		}
+	}
+}
+
+func deferredLess(a, b *Deferred) bool {
+	if a.Key1 != b.Key1 {
+		return a.Key1 < b.Key1
+	}
+	if a.Key2 != b.Key2 {
+		return a.Key2 < b.Key2
+	}
+	if a.Key3 != b.Key3 {
+		return a.Key3 < b.Key3
+	}
+	if a.Ord != b.Ord {
+		return a.Ord < b.Ord
+	}
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Dir < b.Dir
+}
+
+// runWindow advances every shard to end: shards with pending work in the
+// window run concurrently, idle shards fast-forward inline. Returns the
+// first shard error (ErrStopped propagates).
+func (f *Fabric) runWindow(end Time) error {
+	busy := f.busy[:0]
+	for _, sc := range f.shards {
+		if at, ok := sc.NextEventAt(); ok && at <= end {
+			busy = append(busy, sc)
+		} else {
+			sc.SkipTo(end)
+		}
+	}
+	f.busy = busy // keep the backing array for the next window
+	f.stats.Windows++
+	switch len(busy) {
+	case 0:
+		return nil
+	case 1:
+		return busy[0].RunUntil(end)
+	}
+	if cap(f.errs) < len(busy) {
+		f.errs = make([]error, len(busy))
+	}
+	errs := f.errs[:len(busy)]
+	var wg sync.WaitGroup
+	wg.Add(len(busy) - 1)
+	for i := 1; i < len(busy); i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = busy[i].RunUntil(end)
+		}(i)
+	}
+	errs[0] = busy[0].RunUntil(end)
+	waitStart := time.Now()
+	wg.Wait()
+	waitNS := uint64(time.Since(waitStart))
+	f.stats.BarrierWaitNS += waitNS
+	if f.BarrierObserver != nil {
+		f.BarrierObserver(float64(waitNS))
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minShardNext reports the earliest pending event across all shards.
+func (f *Fabric) minShardNext() (Time, bool) {
+	var min Time
+	ok := false
+	for _, sc := range f.shards {
+		if at, have := sc.NextEventAt(); have && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// advanceAll fast-forwards every shard and the control scheduler to t
+// (no events pending at or before t anywhere).
+func (f *Fabric) advanceAll(t Time) error {
+	for _, sc := range f.shards {
+		sc.SkipTo(t)
+	}
+	if err := f.control.RunUntil(t); err != nil {
+		return err
+	}
+	f.now = t
+	return nil
+}
+
+// RunUntil advances the whole fabric to absolute instant target, windowing
+// shard execution and firing control events at the barriers.
+func (f *Fabric) RunUntil(target Time) error {
+	for {
+		e, haveShard := f.minShardNext()
+		tc, haveCtl := f.control.NextEventAt()
+		if !haveShard && !haveCtl {
+			return f.advanceAll(target)
+		}
+		if !haveShard {
+			e = tc
+		}
+		if !haveCtl {
+			tc = target + 1
+		}
+		next := e
+		if tc < next {
+			next = tc
+		}
+		if next > target {
+			return f.advanceAll(target)
+		}
+		if haveCtl && tc <= e {
+			// Control turn: run shard events strictly before the control
+			// instant, then present every shard clock at tc with the
+			// shards' own tc events still pending (control precedes shard
+			// events at the same instant). A control callback therefore
+			// reads and schedules against shard time tc, exactly as in a
+			// single-scheduler run — no off-by-one staleness.
+			if tc-1 > f.now {
+				if err := f.runWindow(tc - 1); err != nil {
+					return err
+				}
+				f.flush()
+				f.now = tc - 1
+			}
+			for _, sc := range f.shards {
+				sc.AdvanceTo(tc)
+			}
+			if err := f.control.RunUntil(tc); err != nil {
+				return err
+			}
+			// Control callbacks normally mutate component state directly;
+			// flush again in case one pushed a boundary send.
+			f.flush()
+			f.stats.ControlRounds++
+			continue
+		}
+		// Shard turn: events exist strictly before the next control event.
+		end := e + f.lookahead() - 1
+		if end > target {
+			end = target
+		}
+		if haveCtl && end > tc-1 {
+			end = tc - 1
+		}
+		if err := f.runWindow(end); err != nil {
+			return err
+		}
+		f.flush()
+		f.now = end
+	}
+}
+
+// RunFor advances the fabric by d from its committed instant.
+func (f *Fabric) RunFor(d time.Duration) error {
+	return f.RunUntil(f.now.Add(d))
+}

@@ -8,13 +8,24 @@ package sim
 // indices and mirrors each slot's position in eventSlot.heapIdx, which is
 // what makes O(1) cancellation-by-generation possible.
 
-// eventLess orders slots by scheduled instant, then insertion sequence.
-// The key is total and unique, so firing order is independent of heap
-// shape — the determinism guarantee does not rest on heap stability.
+// eventLess orders slots by scheduled instant, then by the causal key
+// (schedule instant, causing event's schedule instant), then insertion
+// sequence. Within one scheduler the causal components are monotone in seq,
+// so the order is identical to the historical (at, seq); they exist so that
+// cross-shard deliveries injected with sender-side keys (ScheduleKeyedArg)
+// sort against local events the way a single-scheduler run would order
+// them. The key is total and unique, so firing order is independent of
+// heap shape — the determinism guarantee does not rest on heap stability.
 func (s *Scheduler) eventLess(a, b int32) bool {
 	sa, sb := &s.slab[a], &s.slab[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	if sa.schedAt != sb.schedAt {
+		return sa.schedAt < sb.schedAt
+	}
+	if sa.cause != sb.cause {
+		return sa.cause < sb.cause
 	}
 	return sa.seq < sb.seq
 }

@@ -31,6 +31,7 @@ type Cloner interface {
 type SchedulerSnapshot struct {
 	now                            Time
 	seq                            uint64
+	deferOrd                       uint64
 	slab                           []eventSlot
 	heap                           []int32
 	freeHead                       int32
@@ -47,6 +48,7 @@ func (s *Scheduler) Snapshot() any {
 	sn := &SchedulerSnapshot{
 		now:        s.now,
 		seq:        s.seq,
+		deferOrd:   s.deferOrd,
 		slab:       append([]eventSlot(nil), s.slab...),
 		heap:       append([]int32(nil), s.heap...),
 		freeHead:   s.freeHead,
@@ -72,6 +74,7 @@ func (s *Scheduler) Restore(snap any) {
 	sn := snap.(*SchedulerSnapshot)
 	s.now = sn.now
 	s.seq = sn.seq
+	s.deferOrd = sn.deferOrd
 	s.slab = append(s.slab[:0], sn.slab...)
 	for i := range s.slab {
 		if c, ok := s.slab[i].arg.(Cloner); ok {
