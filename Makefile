@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke determinism profile verify ci
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke attack-smoke fuzz-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,29 @@ chaos-smoke:
 	@test -s .chaos-smoke/metrics.jsonl || { echo "chaos-smoke: empty metrics snapshot"; exit 1; }
 	@echo "chaos-smoke: ok ($$(wc -l < .chaos-smoke/metrics.jsonl) metric lines)"
 
+# Attack smoke: the adversarial campaign matrix (Byzantine grandmaster
+# count × on-path Sync delay) against the analytic 2f+1 resilience bound.
+# -fail-on-anomaly makes any point that was predicted to survive but
+# measured to fail a non-zero exit; an empty metrics snapshot also fails.
+attack-smoke:
+	@mkdir -p .attack-smoke
+	$(GO) run ./cmd/resilience -attacks -duration 6m -attack-start 2m \
+		-attack-byz 0,1,2 -attack-delays 0,24us -attack-diversity identical \
+		-fail-on-anomaly -metrics .attack-smoke/metrics.jsonl > .attack-smoke/log.txt
+	@test -s .attack-smoke/metrics.jsonl || { echo "attack-smoke: empty metrics snapshot"; exit 1; }
+	@echo "attack-smoke: ok ($$(wc -l < .attack-smoke/metrics.jsonl) metric lines)"
+
+# Fuzz smoke: a short informational pass over every committed fuzz target
+# (Go runs one -fuzz pattern per invocation), plus the derived-seed fault
+# hypothesis property test. CI runs this as a non-blocking job.
+fuzz-smoke:
+	$(GO) test ./internal/netsim/ -run ^$$ -fuzz FuzzLinkMinDelay -fuzztime 10s
+	$(GO) test ./internal/sim/ -run ^$$ -fuzz FuzzSchedulerSnapshotRoundTrip -fuzztime 10s
+	$(GO) test ./internal/sim/ -run ^$$ -fuzz FuzzSchedulerVsReferenceModel -fuzztime 10s
+	$(GO) test ./internal/gptp/ -run ^$$ -fuzz FuzzWireDecode -fuzztime 10s
+	$(GO) test ./internal/gptp/ -run ^$$ -fuzz FuzzWireSyncRoundTrip -fuzztime 10s
+	$(GO) test ./internal/faultinject/ -run TestFaultHypothesisAcrossDerivedSeeds -count=1
+
 # Serve smoke: boot cmd/served on an ephemeral port, drive a small
 # netchaos job through POST /v1/jobs, poll it to completion and assert a
 # schema-1 result envelope plus a non-empty metrics JSONL stream.
@@ -102,4 +125,4 @@ serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
 
 # Everything the CI workflow runs, in one local command.
-ci: verify determinism bench-smoke chaos-smoke serve-smoke
+ci: verify determinism bench-smoke chaos-smoke attack-smoke serve-smoke

@@ -15,6 +15,17 @@
 //
 // -shards runs each seed's simulation on the sharded PDES kernel; the
 // output is bit-identical at every shard count.
+//
+// With -attacks the command instead runs the adversarial campaign sweep
+// (Byzantine grandmaster count × on-path Sync delay × kernel diversity)
+// and prints each point's verdict against the analytic 2f+1 resilience
+// bound; -fail-on-anomaly makes an anomaly verdict (predicted to survive
+// but measured to fail) a non-zero exit, which is what the CI
+// attack-matrix job gates on:
+//
+//	resilience -attacks [-attack-byz 0,1,2] [-attack-delays 0,24us] \
+//	    [-attack-diversity identical,diverse] [-attack-start 3m] \
+//	    [-attack-behavior constant] [-fail-on-anomaly]
 package main
 
 import (
@@ -52,6 +63,13 @@ func run(args []string) error {
 	chaosPath := fs.String("chaos", "", "network chaos scenario plan (JSON) to run alongside the exploits")
 	holdover := fs.Duration("holdover-window", 0, "arm the ptp4l holdover watchdog with this quorum-starvation window (0 = off)")
 	metricsPath := fs.String("metrics", "", "write a JSONL metrics snapshot (one line per metric, tagged per seed) to this file")
+	attacks := fs.Bool("attacks", false, "run the adversarial campaign sweep instead of the Fig. 3 experiment")
+	attackByz := fs.String("attack-byz", "", "comma-separated Byzantine grandmaster counts for -attacks (default 0,1,2)")
+	attackDelays := fs.String("attack-delays", "", "comma-separated Sync delay magnitudes for -attacks, e.g. 0,24us (default 0,24us)")
+	attackDiversity := fs.String("attack-diversity", "", "comma-separated kernel axes for -attacks: identical,diverse (default both)")
+	attackStart := fs.Duration("attack-start", 0, "attack onset for -attacks (0 = experiment default)")
+	attackBehavior := fs.String("attack-behavior", "", "falsification behavior for -attacks: constant, ramp or wander (default constant)")
+	failOnAnomaly := fs.Bool("fail-on-anomaly", false, "exit non-zero when -attacks yields an anomaly verdict")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -68,6 +86,31 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "resilience:", perr)
 		}
 	}()
+
+	if *attacks {
+		dur := *duration
+		if !flagWasSet(fs, "duration") {
+			dur = 0 // campaign default (8 min), not the Fig. 3 hour
+		}
+		cfg := experiments.AttacksConfig{
+			Seed:           *seed,
+			Duration:       dur,
+			AttackStart:    *attackStart,
+			Behavior:       *attackBehavior,
+			HoldoverWindow: *holdover,
+			Parallel:       *parallel,
+			Shards:         *shards,
+		}
+		var perr error
+		if cfg.ByzantineCounts, perr = parseIntList(*attackByz); perr != nil {
+			return fmt.Errorf("bad -attack-byz: %w", perr)
+		}
+		if cfg.Delays, perr = parseDurationList(*attackDelays); perr != nil {
+			return fmt.Errorf("bad -attack-delays: %w", perr)
+		}
+		cfg.Diversity = parseStringList(*attackDiversity)
+		return runAttacks(cfg, *metricsPath, *failOnAnomaly)
+	}
 
 	var plan *chaos.Plan
 	if *chaosPath != "" {
@@ -135,6 +178,95 @@ func run(args []string) error {
 		fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 	}
 	return nil
+}
+
+// runAttacks runs the adversarial campaign sweep through the experiment
+// registry, prints the verdict table, and optionally gates on anomalies —
+// the command-line face of the CI attack-matrix job.
+func runAttacks(cfg experiments.AttacksConfig, metricsPath string, failOnAnomaly bool) error {
+	campaign := obs.NewRegistry()
+	cfg.Metrics = campaign
+	exp, err := experiments.Lookup("attacks")
+	if err != nil {
+		return err
+	}
+	res, err := exp.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	typed := res.(*experiments.AttacksResult)
+	fmt.Printf("=== adversarial campaign — seed %d, duration %v, attack at %v ===\n",
+		typed.Config.Seed, typed.Config.Duration, typed.Config.AttackStart)
+	fmt.Print(experiments.RenderAttackTable(typed.Rows()))
+	fmt.Println(typed.Summary())
+	if metricsPath != "" {
+		blocks := []block{{run: "attacks", res: typed}}
+		if err := writeMetrics(metricsPath, blocks, campaign); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
+	}
+	if n := typed.Anomalies(); failOnAnomaly && n > 0 {
+		return fmt.Errorf("%d anomaly verdict(s): measured failure inside the analytic bound", n)
+	}
+	return nil
+}
+
+// flagWasSet reports whether the user passed the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurationList(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseStringList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }
 
 // block is one seed's rendered output plus its result, kept so -metrics can

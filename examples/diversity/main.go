@@ -45,7 +45,7 @@ func scenario(diverse bool) error {
 		return err
 	}
 
-	atk := attack.NewAttacker(attack.DefaultVulnDB(), attack.CVE20181895, "c11", "c41")
+	atk := attack.NewAttacker(attack.DefaultVulnDB(), attack.CVE201818955, "c11", "c41")
 	for _, target := range []string{"c41", "c11"} {
 		vm, _ := sys.VM(target)
 		fmt.Println("  ", atk.Exploit(vm, attack.MaliciousOriginOffsetNS))

@@ -15,9 +15,14 @@ import (
 
 // Default identifiers used throughout the experiments.
 const (
-	// CVE20181895 is the paper's exploit: a map_write() bug in Linux
+	// CVE201818955 is the paper's exploit: a map_write() bug in Linux
 	// user-namespace handling enabling local privilege escalation.
-	CVE20181895 = "CVE-2018-18955"
+	CVE201818955 = "CVE-2018-18955"
+	// CVE20181895 is the old name of CVE201818955, kept for
+	// compatibility; it dropped the final digit of the CVE number.
+	//
+	// Deprecated: use CVE201818955.
+	CVE20181895 = CVE201818955
 	// VulnerableKernel is the kernel version the paper installs on the
 	// attackable grandmasters.
 	VulnerableKernel = "v4.19.1"
@@ -34,7 +39,7 @@ type VulnDB map[string]map[string]bool
 // series before the fix), while the diversified kernels are patched.
 func DefaultVulnDB() VulnDB {
 	return VulnDB{
-		CVE20181895: {
+		CVE201818955: {
 			"v4.15.0": true,
 			"v4.18.0": true,
 			"v4.19.0": true,

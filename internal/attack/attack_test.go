@@ -21,10 +21,10 @@ func (t *fakeTarget) InstallMaliciousPTP4L(offsetNS float64) {
 
 func TestDefaultVulnDB(t *testing.T) {
 	db := DefaultVulnDB()
-	if !db.Vulnerable(CVE20181895, VulnerableKernel) {
+	if !db.Vulnerable(CVE201818955, VulnerableKernel) {
 		t.Fatal("v4.19.1 must be vulnerable to the paper's CVE")
 	}
-	if db.Vulnerable(CVE20181895, "v5.10.0") {
+	if db.Vulnerable(CVE201818955, "v5.10.0") {
 		t.Fatal("patched kernel reported vulnerable")
 	}
 	if db.Vulnerable("CVE-0000-0000", VulnerableKernel) {
@@ -54,7 +54,7 @@ func TestSharedVulnerabilities(t *testing.T) {
 }
 
 func TestExploitSucceedsOnVulnerableKernel(t *testing.T) {
-	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11", "c41")
+	a := NewAttacker(DefaultVulnDB(), CVE201818955, "c11", "c41")
 	tgt := &fakeTarget{name: "c41", kernel: VulnerableKernel}
 	r := a.Exploit(tgt, MaliciousOriginOffsetNS)
 	if !r.Success {
@@ -71,7 +71,7 @@ func TestExploitSucceedsOnVulnerableKernel(t *testing.T) {
 func TestExploitFailsOnDiversifiedKernel(t *testing.T) {
 	// The Fig. 3b scenario: same attacker, but the target runs a kernel
 	// the exploit does not affect.
-	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11")
+	a := NewAttacker(DefaultVulnDB(), CVE201818955, "c11")
 	tgt := &fakeTarget{name: "c11", kernel: "v5.4.0"}
 	r := a.Exploit(tgt, MaliciousOriginOffsetNS)
 	if r.Success {
@@ -86,7 +86,7 @@ func TestExploitFailsOnDiversifiedKernel(t *testing.T) {
 }
 
 func TestExploitFailsWithoutCredentials(t *testing.T) {
-	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11")
+	a := NewAttacker(DefaultVulnDB(), CVE201818955, "c11")
 	tgt := &fakeTarget{name: "c21", kernel: VulnerableKernel}
 	if r := a.Exploit(tgt, -24000); r.Success {
 		t.Fatal("exploit succeeded without credentials")
@@ -100,7 +100,7 @@ func TestExploitFailsWithoutCredentials(t *testing.T) {
 }
 
 func TestResultsAndCompromised(t *testing.T) {
-	a := NewAttacker(DefaultVulnDB(), CVE20181895, "c11", "c41")
+	a := NewAttacker(DefaultVulnDB(), CVE201818955, "c11", "c41")
 	a.Exploit(&fakeTarget{name: "c41", kernel: VulnerableKernel}, -24000)
 	a.Exploit(&fakeTarget{name: "c11", kernel: "v5.4.0"}, -24000)
 	if got := len(a.Results()); got != 2 {

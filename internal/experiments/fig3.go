@@ -157,7 +157,7 @@ func CyberResilience(cfg CyberResilienceConfig) (*CyberResilienceResult, error) 
 	first := time.Duration(float64(cfg.Duration) * (21*60 + 42) / 3600)
 	second := time.Duration(float64(cfg.Duration) * (31*60 + 52) / 3600)
 
-	atk := attack.NewAttacker(attack.DefaultVulnDB(), attack.CVE20181895, "c11", "c41")
+	atk := attack.NewAttacker(attack.DefaultVulnDB(), attack.CVE201818955, "c11", "c41")
 	res := &CyberResilienceResult{Config: cfg, FirstAttackAt: first, SecondAttackAt: second}
 
 	exploit := func(target string) func() {

@@ -104,6 +104,11 @@ func init() {
 		func(seed int64) NetworkChaosConfig { return NetworkChaosConfig{Seed: seed, Shards: 1} },
 		liftCtx(NetworkChaos))
 
+	RegisterFunc("attacks",
+		"adversarial campaign: Byzantine GM falsification and on-path Sync delay attacks vs the analytic 2f+1 resilience bound",
+		func(seed int64) AttacksConfig { return AttacksConfig{Seed: seed, Shards: 1} },
+		liftCtx(Attacks))
+
 	RegisterFunc("multiseed",
 		"the headline fault-injection result re-run across independent seeds",
 		func(seed int64) MultiSeedConfig { return MultiSeedConfig{CampaignSeed: seed, SeedCount: 5, Shards: 1} },

@@ -12,9 +12,9 @@ import (
 
 func TestRegistryCatalogue(t *testing.T) {
 	want := []string{
-		"baseline", "bmca", "bounds", "domains", "dynamic", "faultinjection",
-		"flag-policy", "interval", "multiseed", "netchaos", "onestep",
-		"recovery", "resilience", "single-domain", "tas", "voting",
+		"attacks", "baseline", "bmca", "bounds", "domains", "dynamic",
+		"faultinjection", "flag-policy", "interval", "multiseed", "netchaos",
+		"onestep", "recovery", "resilience", "single-domain", "tas", "voting",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {

@@ -151,7 +151,7 @@ func TestShardsKnobWire(t *testing.T) {
 	shardAware := []string{
 		"bounds", "resilience", "faultinjection", "baseline", "single-domain",
 		"flag-policy", "voting", "recovery", "interval", "domains",
-		"netchaos", "multiseed",
+		"netchaos", "multiseed", "attacks",
 	}
 	for _, name := range shardAware {
 		e, err := Lookup(name)

@@ -137,6 +137,13 @@ type AggregateInfo struct {
 	Used      int  // readings averaged after filtering and discards
 	Discarded int  // extreme readings trimmed by the FTA (2·f_eff)
 	Starved   bool // FlagExclude left < 2f+1 readings and fell back
+	// MaliciousDiscarded counts trimmed extremes that the validity flags
+	// had also marked invalid — readings the FTA discarded *as malicious*
+	// (a falsified or delay-attacked domain), as opposed to the benign
+	// extremes trimming always removes. Under FlagExclude only the
+	// starvation fallback can produce them (flagged readings are removed
+	// before the FTA otherwise).
+	MaliciousDiscarded int
 }
 
 // Aggregate runs the full FTSHMEM aggregation step: freshness filtering,
@@ -152,6 +159,7 @@ func Aggregate(readings []Reading, f int, threshold float64, policy FlagPolicy) 
 func AggregateWithInfo(readings []Reading, f int, threshold float64, policy FlagPolicy) (float64, []bool, AggregateInfo, error) {
 	flags := ValidityFlags(readings, threshold)
 	usable := make([]float64, 0, len(readings))
+	invalid := make([]bool, 0, len(readings)) // parallel to usable
 	for i, r := range readings {
 		if !r.Fresh {
 			continue
@@ -160,6 +168,7 @@ func AggregateWithInfo(readings []Reading, f int, threshold float64, policy Flag
 			continue
 		}
 		usable = append(usable, r.OffsetNS)
+		invalid = append(invalid, !flags[i])
 	}
 	var starved bool
 	if policy == FlagExclude && len(usable) < 2*f+1 {
@@ -167,9 +176,11 @@ func AggregateWithInfo(readings []Reading, f int, threshold float64, policy Flag
 		// so that a burst of disagreement cannot halt synchronisation.
 		starved = true
 		usable = usable[:0]
-		for _, r := range readings {
+		invalid = invalid[:0]
+		for i, r := range readings {
 			if r.Fresh {
 				usable = append(usable, r.OffsetNS)
+				invalid = append(invalid, !flags[i])
 			}
 		}
 	}
@@ -183,10 +194,36 @@ func AggregateWithInfo(readings []Reading, f int, threshold float64, policy Flag
 	if eff < 0 {
 		eff = 0
 	}
-	info := AggregateInfo{Used: len(usable) - 2*eff, Discarded: 2 * eff, Starved: starved}
+	info := AggregateInfo{Used: len(usable) - 2*eff, Discarded: 2 * eff, Starved: starved,
+		MaliciousDiscarded: maliciousDiscarded(usable, invalid, eff)}
 	avg, err := Average(usable, eff)
 	if err != nil {
 		return 0, flags, AggregateInfo{Starved: starved}, err
 	}
 	return avg, flags, info, nil
+}
+
+// maliciousDiscarded counts the eff smallest and eff largest of the usable
+// readings that were also flagged invalid. Ties at the trim boundary are
+// broken by input order, matching the stable sort; any tie-break is sound
+// for counting since tied readings are interchangeable in the trim.
+func maliciousDiscarded(usable []float64, invalid []bool, eff int) int {
+	if eff <= 0 || len(usable) < 2*eff {
+		return 0
+	}
+	idx := make([]int, len(usable))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return usable[idx[a]] < usable[idx[b]] })
+	n := 0
+	for k := 0; k < eff; k++ {
+		if invalid[idx[k]] {
+			n++
+		}
+		if invalid[idx[len(idx)-1-k]] {
+			n++
+		}
+	}
+	return n
 }

@@ -7,19 +7,34 @@ import (
 	"gptpfta/internal/sim"
 )
 
+// fuzzDelayAttack is an adversarial DelayAttack implementation for the
+// fuzzer: it targets PTP-priority frames in direction 0 and may return a
+// negative value, which the link must clamp (the DelayAttack contract says
+// attackers only ever add latency).
+type fuzzDelayAttack struct{ delayNS float64 }
+
+func (a fuzzDelayAttack) ExtraDelayNS(f *Frame, dir int) float64 {
+	if dir != 0 || f == nil || f.Priority != PriorityPTP {
+		return 0
+	}
+	return a.delayNS
+}
+
 // FuzzLinkMinDelay pins the PDES lookahead soundness invariant: MinDelay —
 // the bound the sharded fabric derives its conservative lookahead from —
 // must never exceed the delay any actual frame can experience, in either
-// direction, under arbitrary jitter and chaos delay overrides (including
-// negative asymmetric shifts). A violation would let a shard run past a
-// neighbour's next cross-shard delivery and silently break determinism.
+// direction, under arbitrary jitter, chaos delay overrides (including
+// negative asymmetric shifts), and installed delay attacks (which may only
+// add latency; negative attack delays are clamped). A violation would let a
+// shard run past a neighbour's next cross-shard delivery and silently break
+// determinism.
 func FuzzLinkMinDelay(f *testing.F) {
-	f.Add(int64(1_000), 0.0, int64(0), int64(0), int64(1))
-	f.Add(int64(50_000), 25.0, int64(0), int64(0), int64(7))
-	f.Add(int64(1_000_000), 400.0, int64(30_000), int64(-20_000), int64(42))
-	f.Add(int64(500), 1000.0, int64(-100), int64(100), int64(3))
+	f.Add(int64(1_000), 0.0, int64(0), int64(0), int64(1), int64(0))
+	f.Add(int64(50_000), 25.0, int64(0), int64(0), int64(7), int64(24_000))
+	f.Add(int64(1_000_000), 400.0, int64(30_000), int64(-20_000), int64(42), int64(-5_000))
+	f.Add(int64(500), 1000.0, int64(-100), int64(100), int64(3), int64(1))
 
-	f.Fuzz(func(t *testing.T, propNS int64, jitterNS float64, extraNS, asymNS, seed int64) {
+	f.Fuzz(func(t *testing.T, propNS int64, jitterNS float64, extraNS, asymNS, seed, attackNS int64) {
 		// Keep the config inside the domain the simulator uses: positive
 		// nominal propagation, non-negative jitter, overrides within ±1 ms.
 		if propNS < 1 {
@@ -47,13 +62,17 @@ func FuzzLinkMinDelay(f *testing.F) {
 			t.Fatal(err)
 		}
 		l.SetDelayOverride(time.Duration(extraNS), time.Duration(asymNS))
+		attackNS %= 1_000_000
+		l.SetDelayAttack(fuzzDelayAttack{delayNS: float64(attackNS)})
 
 		min := l.MinDelay()
+		frames := []*Frame{nil, {Priority: PriorityPTP}, {Priority: PriorityBestEffort}}
 		for i := 0; i < 64; i++ {
 			for dir := 0; dir < 2; dir++ {
-				if d := l.delay(dir); d < min {
-					t.Fatalf("MinDelay %v exceeds sampled delay %v (dir %d, prop %dns, jitter %.1fns, extra %dns, asym %dns)",
-						min, d, dir, propNS, jitterNS, extraNS, asymNS)
+				fr := frames[i%len(frames)]
+				if d := l.delay(dir, fr); d < min {
+					t.Fatalf("MinDelay %v exceeds sampled delay %v (dir %d, prop %dns, jitter %.1fns, extra %dns, asym %dns, attack %dns)",
+						min, d, dir, propNS, jitterNS, extraNS, asymNS, attackNS)
 				}
 			}
 		}

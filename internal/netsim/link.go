@@ -43,6 +43,20 @@ type LossModel interface {
 	Drop(u float64, rng sim.RNG) bool
 }
 
+// DelayAttack is an attacker-controlled per-frame delay hook: an on-path
+// adversary that holds selected frames on the wire. ExtraDelayNS returns
+// the additional one-way latency for frame f travelling in direction dir
+// (0 = ends[0]→ends[1]).
+//
+// Contract: the returned delay must be non-negative — an on-path attacker
+// can hold frames back but never accelerate them — so MinDelay's lookahead
+// bound stays valid without consulting the attack. Negative returns are
+// clamped to zero. Implementations must not draw from the link's RNG
+// streams (an installed attack must not perturb jitter or loss draws).
+type DelayAttack interface {
+	ExtraDelayNS(f *Frame, dir int) float64
+}
+
 // Link connects two ports. Frames sent into one end are delivered to the
 // device at the other end after the propagation delay plus jitter. The two
 // directions share the same nominal delay (symmetric medium); asymmetry in
@@ -83,6 +97,10 @@ type Link struct {
 	// gPTP's pdelay mechanism relies on.
 	extraDelay time.Duration
 	asymDelay  time.Duration
+	// delayAttack, when set, is an on-path adversary adding per-frame
+	// delay (SetDelayAttack); it only ever adds latency, so MinDelay
+	// ignores it.
+	delayAttack DelayAttack
 	// dropBefore marks, per direction, the last delivery instant that was
 	// scheduled before the link last came back up: those frames were on
 	// the wire during the outage and die at their delivery instant.
@@ -178,6 +196,12 @@ func (l *Link) SetDelayOverride(extra, asym time.Duration) {
 	l.asymDelay = asym
 }
 
+// SetDelayAttack installs (or, with nil, removes) an on-path per-frame
+// delay adversary. Unlike SetDelayOverride — which shifts every frame in a
+// direction — an attack selects its victims frame by frame (e.g. only Sync
+// messages of one domain), modelling a selective gPTP delay attacker.
+func (l *Link) SetDelayAttack(a DelayAttack) { l.delayAttack = a }
+
 // Send transmits a frame from port "from" toward the peer. Delivery is
 // scheduled after propagation plus jitter; deliveries in one direction
 // never reorder. On a boundary link the send is deferred to the next
@@ -217,7 +241,7 @@ func (l *Link) CommitDeferred(dir int, payload any, key1, key2 sim.Time) {
 		f.release()
 		return
 	}
-	at := key1.Add(l.delay(dir))
+	at := key1.Add(l.delay(dir, f))
 	if at <= l.lastDelivery[dir] {
 		at = l.lastDelivery[dir] + 1
 	}
@@ -301,6 +325,8 @@ type linkSnapshot struct {
 	down         bool
 	lossModel    LossModel
 	lossState    any // nested snapshot when the model is stateful
+	delayAttack  DelayAttack
+	attackState  any // nested snapshot when the attack is stateful
 	extraDelay   time.Duration
 	asymDelay    time.Duration
 	dropBefore   [2]sim.Time
@@ -317,6 +343,7 @@ func (l *Link) Snapshot() any {
 		lost:         l.lost,
 		down:         l.down,
 		lossModel:    l.lossModel,
+		delayAttack:  l.delayAttack,
 		extraDelay:   l.extraDelay,
 		asymDelay:    l.asymDelay,
 		dropBefore:   l.dropBefore,
@@ -324,6 +351,9 @@ func (l *Link) Snapshot() any {
 	}
 	if s, ok := l.lossModel.(sim.Snapshotter); ok {
 		sn.lossState = s.Snapshot()
+	}
+	if s, ok := l.delayAttack.(sim.Snapshotter); ok {
+		sn.attackState = s.Snapshot()
 	}
 	return sn
 }
@@ -339,13 +369,17 @@ func (l *Link) Restore(snap any) {
 	if s, ok := l.lossModel.(sim.Snapshotter); ok && sn.lossState != nil {
 		s.Restore(sn.lossState)
 	}
+	l.delayAttack = sn.delayAttack
+	if s, ok := l.delayAttack.(sim.Snapshotter); ok && sn.attackState != nil {
+		s.Restore(sn.attackState)
+	}
 	l.extraDelay = sn.extraDelay
 	l.asymDelay = sn.asymDelay
 	l.dropBefore = sn.dropBefore
 	l.faultedDrop = sn.faultedDrop
 }
 
-func (l *Link) delay(dir int) time.Duration {
+func (l *Link) delay(dir int, f *Frame) time.Duration {
 	d := float64(l.cfg.Propagation)
 	if l.rng != nil && l.cfg.JitterNS > 0 {
 		d += l.rng.NormFloat64() * l.cfg.JitterNS
@@ -357,6 +391,11 @@ func (l *Link) delay(dir int) time.Duration {
 	d += float64(l.extraDelay)
 	if dir == 0 {
 		d += float64(l.asymDelay)
+	}
+	if l.delayAttack != nil && f != nil {
+		if e := l.delayAttack.ExtraDelayNS(f, dir); e > 0 {
+			d += e
+		}
 	}
 	return time.Duration(d)
 }

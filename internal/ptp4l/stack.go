@@ -200,6 +200,7 @@ type Stack struct {
 	obsOffset     map[int]*obs.Histogram
 	obsAggs       *obs.Counter
 	obsDiscarded  *obs.Counter
+	obsDiscardMal *obs.Counter
 	obsStarved    *obs.Counter
 	obsFlagFlips  *obs.Counter
 	obsServoSteps *obs.Counter
@@ -225,6 +226,7 @@ func (s *Stack) Instrument(reg *obs.Registry) {
 	}
 	s.obsAggs = reg.Counter("ptp4l_fta_aggregations", vm)
 	s.obsDiscarded = reg.Counter("ptp4l_fta_discarded", vm)
+	s.obsDiscardMal = reg.Counter("ptp4l_fta_discarded_malicious", vm)
 	s.obsStarved = reg.Counter("ptp4l_fta_starved", vm)
 	s.obsFlagFlips = reg.Counter("ptp4l_flag_flips", vm)
 	s.obsServoSteps = reg.Counter("ptp4l_servo_steps", vm)
@@ -604,6 +606,7 @@ func (s *Stack) aggregate(nowPHC float64) {
 	s.aggregations++
 	s.obsAggs.Inc()
 	s.obsDiscarded.Add(uint64(info.Discarded))
+	s.obsDiscardMal.Add(uint64(info.MaliciousDiscarded))
 	s.stats.aggregate.Add(cs)
 	// The aggregation succeeded, but only a full 2f+1 quorum counts toward
 	// the holdover watchdog: the FTA degrades f when domains go stale (a

@@ -154,6 +154,11 @@ func TestServerEveryExperiment(t *testing.T) {
 			Seed: 7, Duration: 4*min + 30*time.Second,
 			BurstBadLoss: []float64{0.5}, PartitionDurations: []time.Duration{10 * time.Second}, Parallel: 1,
 		},
+		"attacks": experiments.AttacksConfig{
+			Seed: 7, Duration: 3 * min, AttackStart: min,
+			ByzantineCounts: []int{2}, Delays: []time.Duration{24 * time.Microsecond},
+			Diversity: []string{"identical"}, Parallel: 1,
+		},
 		"onestep":    experiments.OneStepStudyConfig{Seed: 7},
 		"recovery":   experiments.RecoveryConfig{Seed: 7, Duration: 40 * min},
 		"resilience": experiments.CyberResilienceConfig{Seed: 7, Duration: 8 * min},
