@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke attack-smoke fuzz-smoke determinism profile verify ci
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke attack-smoke wan-smoke fuzz-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 	$(GO) test -run ^$$ -bench 'BenchmarkPDESFabric' -benchtime 3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pdes.json
+	$(GO) test -run ^$$ -bench 'BenchmarkWANFabric' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_wan.json
 
 # One quick pass over every benchmark (figure regeneration smoke test).
 bench-all:
@@ -71,10 +73,13 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -o .bench-smoke/sweep.json
 	$(GO) test -run ^$$ -bench 'BenchmarkPDESFabric' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o .bench-smoke/pdes.json
+	$(GO) test -run ^$$ -bench 'BenchmarkWANFabric' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o .bench-smoke/wan.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_scheduler.json .bench-smoke/scheduler.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_system.json .bench-smoke/system.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_sweep.json .bench-smoke/sweep.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_pdes.json .bench-smoke/pdes.json
+	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_wan.json .bench-smoke/wan.json
 
 # CPU + heap profile of the full report run; inspect with `go tool pprof`.
 profile:
@@ -107,6 +112,17 @@ attack-smoke:
 	@test -s .attack-smoke/metrics.jsonl || { echo "attack-smoke: empty metrics snapshot"; exit 1; }
 	@echo "attack-smoke: ok ($$(wc -l < .attack-smoke/metrics.jsonl) metric lines)"
 
+# Wide-area smoke: the wansites campaign (site failures × WAN asymmetry)
+# against the site-level min(f, ⌊(N−1)/2⌋) quorum with cross-site holdover.
+# -fail-on-anomaly makes any verdict of measured degradation outside the
+# quorum bound a non-zero exit; an empty metrics snapshot also fails.
+wan-smoke:
+	@mkdir -p .wan-smoke
+	$(GO) run ./cmd/resilience -wansites -wan-sites 4,5 -wan-failed 0,1,2,3 \
+		-wan-asyms 0,10us -fail-on-anomaly -metrics .wan-smoke/metrics.jsonl > .wan-smoke/log.txt
+	@test -s .wan-smoke/metrics.jsonl || { echo "wan-smoke: empty metrics snapshot"; exit 1; }
+	@echo "wan-smoke: ok ($$(wc -l < .wan-smoke/metrics.jsonl) metric lines)"
+
 # Fuzz smoke: a short informational pass over every committed fuzz target
 # (Go runs one -fuzz pattern per invocation), plus the derived-seed fault
 # hypothesis property test. CI runs this as a non-blocking job.
@@ -125,4 +141,4 @@ serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
 
 # Everything the CI workflow runs, in one local command.
-ci: verify determinism bench-smoke chaos-smoke attack-smoke serve-smoke
+ci: verify determinism bench-smoke chaos-smoke attack-smoke wan-smoke serve-smoke

@@ -634,3 +634,48 @@ func BenchmarkPDESFabric(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWANFabric measures the wide-area tier's overhead on a multi-site
+// fabric: the site-level FTA coordinator (pairwise offset exchanges over the
+// gateway chain, trimmed-mean aggregation, per-site virtual-correction
+// servos) and the WAN delay drift process, both ticking on the control
+// scheduler. Each op simulates one second of fabric time after convergence;
+// comparing against the matching BenchmarkPDESFabric shape isolates what the
+// WAN tier itself costs.
+func BenchmarkWANFabric(b *testing.B) {
+	const simPerOp = time.Second
+	for _, p := range []struct{ sites, shards int }{{4, 1}, {16, 1}, {16, 4}} {
+		b.Run(fmt.Sprintf("sites=%d/shards=%d", p.sites, p.shards), func(b *testing.B) {
+			cfg := core.ScaleConfig(1, p.sites, 4, 2, p.shards)
+			cfg.WanSync.Enabled = true
+			cfg.WanSync.F = 1
+			cfg.WanSync.Drift.Enabled = true
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Start(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.RunFor(2 * time.Second); err != nil { // converge first
+				b.Fatal(err)
+			}
+			startEvents := sys.ProcessedEvents()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := sys.RunFor(simPerOp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wall := time.Since(start)
+			b.ReportMetric(float64(simPerOp)*float64(b.N)/float64(wall), "sim_s_per_wall_s")
+			b.ReportMetric(float64(sys.ProcessedEvents()-startEvents)/float64(b.N), "events/op")
+			co := sys.Wan()
+			if co == nil {
+				b.Fatal("WAN coordinator missing")
+			}
+			b.ReportMetric(float64(len(co.Samples()))/float64(b.N), "wan_samples/op")
+		})
+	}
+}

@@ -26,6 +26,15 @@
 //	resilience -attacks [-attack-byz 0,1,2] [-attack-delays 0,24us] \
 //	    [-attack-diversity identical,diverse] [-attack-start 3m] \
 //	    [-attack-behavior constant] [-fail-on-anomaly]
+//
+// With -wansites the command runs the wide-area campaign instead: a sweep
+// over (site count × simultaneously failed sites × WAN asymmetry) judging
+// the site-level FTA tier's graceful degradation against the quorum bound
+// min(f, ⌊(N−1)/2⌋). -fail-on-anomaly gates the same way, which is what the
+// CI wan-smoke job runs:
+//
+//	resilience -wansites [-wan-sites 4,5] [-wan-failed 0,1,2,3] \
+//	    [-wan-asyms 0,10us] [-wan-f 2] [-fail-on-anomaly]
 package main
 
 import (
@@ -69,7 +78,12 @@ func run(args []string) error {
 	attackDiversity := fs.String("attack-diversity", "", "comma-separated kernel axes for -attacks: identical,diverse (default both)")
 	attackStart := fs.Duration("attack-start", 0, "attack onset for -attacks (0 = experiment default)")
 	attackBehavior := fs.String("attack-behavior", "", "falsification behavior for -attacks: constant, ramp or wander (default constant)")
-	failOnAnomaly := fs.Bool("fail-on-anomaly", false, "exit non-zero when -attacks yields an anomaly verdict")
+	failOnAnomaly := fs.Bool("fail-on-anomaly", false, "exit non-zero when -attacks or -wansites yields an anomaly verdict")
+	wansites := fs.Bool("wansites", false, "run the wide-area multi-site campaign instead of the Fig. 3 experiment")
+	wanSiteCounts := fs.String("wan-sites", "", "comma-separated fabric sizes for -wansites (default 4,5)")
+	wanFailed := fs.String("wan-failed", "", "comma-separated simultaneous site-failure counts for -wansites (default 0,1,2,3)")
+	wanAsyms := fs.String("wan-asyms", "", "comma-separated WAN asymmetry magnitudes for -wansites, e.g. 0,10us (default 0,10us)")
+	wanF := fs.Int("wan-f", 0, "site-level Byzantine budget f for -wansites (0 = campaign default 2)")
 	profCfg := &prof.Config{}
 	fs.StringVar(&profCfg.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&profCfg.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
@@ -86,6 +100,31 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "resilience:", perr)
 		}
 	}()
+
+	if *wansites {
+		dur := *duration
+		if !flagWasSet(fs, "duration") {
+			dur = 0 // campaign default (60 s per point), not the Fig. 3 hour
+		}
+		cfg := experiments.WanSitesConfig{
+			Seed:     *seed,
+			Duration: dur,
+			F:        *wanF,
+			Parallel: *parallel,
+			Shards:   *shards,
+		}
+		var perr error
+		if cfg.SiteCounts, perr = parseIntList(*wanSiteCounts); perr != nil {
+			return fmt.Errorf("bad -wan-sites: %w", perr)
+		}
+		if cfg.FailedSites, perr = parseIntList(*wanFailed); perr != nil {
+			return fmt.Errorf("bad -wan-failed: %w", perr)
+		}
+		if cfg.Asyms, perr = parseDurationList(*wanAsyms); perr != nil {
+			return fmt.Errorf("bad -wan-asyms: %w", perr)
+		}
+		return runWanSites(cfg, *metricsPath, *failOnAnomaly)
+	}
 
 	if *attacks {
 		dur := *duration
@@ -208,6 +247,38 @@ func runAttacks(cfg experiments.AttacksConfig, metricsPath string, failOnAnomaly
 	}
 	if n := typed.Anomalies(); failOnAnomaly && n > 0 {
 		return fmt.Errorf("%d anomaly verdict(s): measured failure inside the analytic bound", n)
+	}
+	return nil
+}
+
+// runWanSites runs the wide-area campaign through the experiment registry,
+// prints the verdict table, and optionally gates on anomalies — the
+// command-line face of the CI wan-smoke job.
+func runWanSites(cfg experiments.WanSitesConfig, metricsPath string, failOnAnomaly bool) error {
+	campaign := obs.NewRegistry()
+	cfg.Metrics = campaign
+	exp, err := experiments.Lookup("wansites")
+	if err != nil {
+		return err
+	}
+	res, err := exp.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	typed := res.(*experiments.WanSitesResult)
+	fmt.Printf("=== wide-area campaign — seed %d, duration %v, fault at %v for %v ===\n",
+		typed.Config.Seed, typed.Config.Duration, typed.Config.FaultStart, typed.Config.FaultDuration)
+	fmt.Print(experiments.RenderAttackTable(typed.Rows()))
+	fmt.Println(typed.Summary())
+	if metricsPath != "" {
+		blocks := []block{{run: "wansites", res: typed}}
+		if err := writeMetrics(metricsPath, blocks, campaign); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
+	}
+	if n := typed.Anomalies(); failOnAnomaly && n > 0 {
+		return fmt.Errorf("%d anomaly verdict(s): measured degradation outside the site quorum bound", n)
 	}
 	return nil
 }

@@ -9,7 +9,12 @@
 //
 //	served [-addr :8080] [-workers N] [-queue N] [-point-parallel N]
 //	       [-cache-entries N] [-cache-bytes N] [-max-points N]
-//	       [-job-timeout 0] [-no-warm]
+//	       [-job-timeout 0] [-no-warm] [-state-dir DIR]
+//
+// -state-dir persists every finished job's status and result envelopes as
+// JSON under DIR; a restarted server loads them back so GET /v1/jobs/{id}
+// and GET /v1/jobs/{id}/result keep answering for jobs that completed
+// before the restart, and new job IDs continue past the persisted ones.
 //
 // -addr :0 binds an ephemeral port; the bound address is printed on stdout
 // as "listening on <addr>" either way, so scripts can scrape it.
@@ -57,6 +62,7 @@ func run(args []string) error {
 	maxPoints := fs.Int("max-points", 64, "cap on a single job's point fan-out")
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-job execution timeout (0 = none)")
 	noWarm := fs.Bool("no-warm", false, "disable warm-start snapshot sharing by default")
+	stateDir := fs.String("state-dir", "", "persist finished jobs as JSON here and reload them on restart")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +76,7 @@ func run(args []string) error {
 		MaxPoints:      *maxPoints,
 		DefaultTimeout: *jobTimeout,
 		DisableWarm:    *noWarm,
+		StateDir:       *stateDir,
 	})
 	s.Start()
 	defer s.Stop()

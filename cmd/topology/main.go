@@ -5,6 +5,13 @@
 // Usage:
 //
 //	topology [-seed N] [-config file.json] [-save file.json] [-diverse]
+//	         [-sites N] [-nodes N] [-vms N] [-wan]
+//
+// -sites 2+ renders the wide-area fabric instead of the single-site paper
+// testbed: each site as a cluster of switches with its gateway uplinks, the
+// WAN gateway chain annotated with every span's extra-delay/asymmetry
+// setting, and (with -wan) the site-level FTA parameters — quorum budget,
+// resync interval, holdover window and the delay-drift process.
 package main
 
 import (
@@ -28,6 +35,10 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "load the configuration from this JSON file")
 	savePath := fs.String("save", "", "write the effective configuration to this JSON file")
 	diverse := fs.Bool("diverse", false, "diversify grandmaster kernels")
+	sites := fs.Int("sites", 1, "number of sites (2+ builds the wide-area gateway chain)")
+	nodes := fs.Int("nodes", 4, "switches per site")
+	vms := fs.Int("vms", 2, "clock-sync VMs per switch")
+	wanFTA := fs.Bool("wan", false, "enable the site-level FTA tier (multi-site only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,10 +50,21 @@ func run(args []string) error {
 			return err
 		}
 		cfg = loaded
+	} else if *sites > 1 || *nodes != 4 || *vms != 2 {
+		cfg = core.ScaleConfig(*seed, *sites, *nodes, *vms, 1)
 	} else {
 		cfg = core.NewConfig(*seed)
 		if *diverse {
 			cfg.DiversifyKernels("c41")
+		}
+	}
+	if *wanFTA {
+		if cfg.NumSites() < 2 {
+			return fmt.Errorf("-wan needs a multi-site fabric (use -sites 2+)")
+		}
+		cfg.WanSync.Enabled = true
+		if cfg.WanSync.F == 0 {
+			cfg.WanSync.F = cfg.F
 		}
 	}
 

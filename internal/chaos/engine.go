@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"gptpfta/internal/netsim"
 	"gptpfta/internal/obs"
@@ -20,6 +22,19 @@ type Topology interface {
 	Links() map[string]*netsim.Link
 }
 
+// SiteTopology extends Topology for multi-site fabrics. A plan using the
+// WAN-tier operations (site-fail, site-restore, wan-partition, wan-heal)
+// can only bind to a topology implementing it.
+type SiteTopology interface {
+	// NumSites reports the number of sites.
+	NumSites() int
+	// SiteBridgeNames lists the switch names of one site.
+	SiteBridgeNames(site int) []string
+	// WanLinkName names the gateway-chain link joining site i and i+1,
+	// for i in [0, NumSites−1).
+	WanLinkName(i int) string
+}
+
 // Engine executes a Plan against a Topology on the simulation scheduler.
 // It consumes no randomness itself — stochastic loss draws come from the
 // links' dedicated loss streams — so two same-seed runs of the same plan
@@ -32,7 +47,11 @@ type Engine struct {
 	started     bool
 	tickers     []*sim.Ticker
 	partitioned map[string]*netsim.Link
-	observer    func(Action)
+	// wanPartitioned tracks chain links severed by wan-partition, healed
+	// separately from device-level partitions (wan-heal vs heal).
+	wanPartitioned map[string]*netsim.Link
+	sites          SiteTopology // non-nil iff the plan uses WAN-tier ops
+	observer       func(Action)
 
 	obsActions map[string]*obs.Counter
 	obsReverts *obs.Counter
@@ -52,6 +71,7 @@ func New(sched *sim.Scheduler, topo Topology, plan *Plan) (*Engine, error) {
 		devices[l.End(0).Owner.DeviceName()] = true
 		devices[l.End(1).Owner.DeviceName()] = true
 	}
+	sites, _ := topo.(SiteTopology)
 	for i := range plan.Actions {
 		a := &plan.Actions[i]
 		for _, name := range a.Links {
@@ -71,12 +91,24 @@ func New(sched *sim.Scheduler, topo Topology, plan *Plan) (*Engine, error) {
 				}
 			}
 		}
+		if len(a.Sites) > 0 || a.Op == OpWanHeal {
+			if sites == nil {
+				return nil, fmt.Errorf("chaos: action %d (%s): topology has no site tier", i, a.Op)
+			}
+			for _, s := range a.Sites {
+				if s >= sites.NumSites() {
+					return nil, fmt.Errorf("chaos: action %d (%s): site %d out of range (have %d)", i, a.Op, s, sites.NumSites())
+				}
+			}
+		}
 	}
 	return &Engine{
-		sched:       sched,
-		topo:        topo,
-		plan:        plan,
-		partitioned: make(map[string]*netsim.Link),
+		sched:          sched,
+		topo:           topo,
+		plan:           plan,
+		partitioned:    make(map[string]*netsim.Link),
+		wanPartitioned: make(map[string]*netsim.Link),
+		sites:          sites,
 	}, nil
 }
 
@@ -168,6 +200,19 @@ func (e *Engine) apply(a *Action) {
 		}
 	case OpHeal:
 		e.heal()
+	case OpSiteFail:
+		e.eachSiteBridge(a, func(b *netsim.Bridge) { b.Fail() })
+	case OpSiteRestore:
+		e.eachSiteBridge(a, func(b *netsim.Bridge) { b.Restore() })
+	case OpWanAsymDrift:
+		e.rampWanDelay(a)
+	case OpWanPartition:
+		for name, l := range e.wanCutSet(a) {
+			l.SetDown(true)
+			e.wanPartitioned[name] = l
+		}
+	case OpWanHeal:
+		e.wanHeal()
 	}
 	e.obsActions[a.Op].Inc()
 	if e.observer != nil {
@@ -191,6 +236,10 @@ func (e *Engine) revert(a *Action) {
 		e.eachBridge(a, func(b *netsim.Bridge) { b.Restore() })
 	case OpPartition:
 		e.heal()
+	case OpSiteFail:
+		e.eachSiteBridge(a, func(b *netsim.Bridge) { b.Restore() })
+	case OpWanPartition:
+		e.wanHeal()
 	}
 	e.obsReverts.Inc()
 }
@@ -202,6 +251,63 @@ func (e *Engine) heal() {
 	e.partitioned = make(map[string]*netsim.Link)
 }
 
+func (e *Engine) wanHeal() {
+	for _, l := range e.wanPartitioned {
+		l.SetDown(false)
+	}
+	e.wanPartitioned = make(map[string]*netsim.Link)
+}
+
+func (e *Engine) eachSiteBridge(a *Action, fn func(*netsim.Bridge)) {
+	for _, s := range a.Sites {
+		for _, name := range e.sites.SiteBridgeNames(s) {
+			fn(e.topo.Bridge(name))
+		}
+	}
+}
+
+// wanCutSet computes the gateway-chain links severed by a wan-partition:
+// every chain link joining a listed site to an unlisted one.
+func (e *Engine) wanCutSet(a *Action) map[string]*netsim.Link {
+	in := map[int]bool{}
+	for _, s := range a.Sites {
+		in[s] = true
+	}
+	cut := map[string]*netsim.Link{}
+	for i := 0; i < e.sites.NumSites()-1; i++ {
+		if in[i] != in[i+1] {
+			name := e.sites.WanLinkName(i)
+			cut[name] = e.topo.Link(name)
+		}
+	}
+	return cut
+}
+
+// wanRampSteps is the fixed step count of a wan-asym-drift ramp: enough
+// steps that each increment stays well below the validity threshold (a
+// slow drift, not a detectable step), few enough that the schedule stays
+// cheap. Fixed so the ramp's event sequence is shard- and fork-invariant.
+const wanRampSteps = 8
+
+// rampWanDelay schedules a linear ramp of each target link's WAN delay
+// axis from its value at firing time to (Extra, Asym) over Duration, then
+// holds. The step closures capture only the link pointer and immutable
+// step values, so they replay bit-identically across mid-ramp forks.
+func (e *Engine) rampWanDelay(a *Action) {
+	for _, name := range a.Links {
+		l := e.topo.Link(name)
+		baseE, baseA := l.WanDelay()
+		targE, targA := a.Extra.Std(), a.Asym.Std()
+		for k := 1; k <= wanRampSteps; k++ {
+			frac := float64(k) / wanRampSteps
+			stepE := baseE + time.Duration(float64(targE-baseE)*frac)
+			stepA := baseA + time.Duration(float64(targA-baseA)*frac)
+			e.sched.After(a.Duration.Std()*time.Duration(k)/wanRampSteps,
+				func() { l.SetWanDelay(stepE, stepA) })
+		}
+	}
+}
+
 func (e *Engine) eachLink(a *Action, fn func(*netsim.Link)) {
 	for _, name := range a.Links {
 		fn(e.topo.Link(name))
@@ -211,6 +317,44 @@ func (e *Engine) eachLink(a *Action, fn func(*netsim.Link)) {
 func (e *Engine) eachBridge(a *Action, fn func(*netsim.Bridge)) {
 	for _, name := range a.Bridges {
 		fn(e.topo.Bridge(name))
+	}
+}
+
+// engineSnapshot captures the engine's fault bookkeeping for mid-fault
+// forks: the live partition cut-sets, by link name.
+type engineSnapshot struct {
+	partitioned    []string
+	wanPartitioned []string
+}
+
+// Snapshot implements sim.Snapshotter for mid-fault warm-start forks. A
+// revert closure already queued in the scheduler captures the engine
+// pointer; restoring the partition maps in place keeps that closure's heal
+// semantics identical on every replay. Triggers and pending reverts
+// themselves live in the scheduler's snapshot.
+func (e *Engine) Snapshot() any {
+	sn := &engineSnapshot{}
+	for name := range e.partitioned {
+		sn.partitioned = append(sn.partitioned, name)
+	}
+	for name := range e.wanPartitioned {
+		sn.wanPartitioned = append(sn.wanPartitioned, name)
+	}
+	sort.Strings(sn.partitioned)
+	sort.Strings(sn.wanPartitioned)
+	return sn
+}
+
+// Restore implements sim.Snapshotter.
+func (e *Engine) Restore(snap any) {
+	sn := snap.(*engineSnapshot)
+	e.partitioned = make(map[string]*netsim.Link, len(sn.partitioned))
+	for _, name := range sn.partitioned {
+		e.partitioned[name] = e.topo.Link(name)
+	}
+	e.wanPartitioned = make(map[string]*netsim.Link, len(sn.wanPartitioned))
+	for _, name := range sn.wanPartitioned {
+		e.wanPartitioned[name] = e.topo.Link(name)
 	}
 }
 

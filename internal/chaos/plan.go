@@ -61,12 +61,31 @@ const (
 	OpBridgeRestore = "bridge-restore"
 	OpPartition     = "partition"
 	OpHeal          = "heal"
+
+	// WAN-tier operations (multi-site fabrics; the bound topology must
+	// implement SiteTopology).
+	//
+	// site-fail kills every switch of the listed sites (the whole LAN goes
+	// dark, the site's aggregate clock stops answering); site-restore
+	// brings them back. wan-partition severs the gateway-chain links
+	// between the listed sites and the rest; wan-heal reconnects them.
+	// wan-asym-drift ramps the listed links' WAN delay axis
+	// (Link.SetWanDelay) linearly from its current value to (Extra, Asym)
+	// over Duration — a slow path migration, not a step — and then holds;
+	// it never auto-reverts (ramp back with a second action targeting
+	// zero).
+	OpSiteFail     = "site-fail"
+	OpSiteRestore  = "site-restore"
+	OpWanAsymDrift = "wan-asym-drift"
+	OpWanPartition = "wan-partition"
+	OpWanHeal      = "wan-heal"
 )
 
 // Ops lists every valid action operation.
 var Ops = []string{
 	OpLinkDown, OpLinkUp, OpBurstLoss, OpDelaySpike, OpAsymShift,
 	OpBridgeFail, OpBridgeRestore, OpPartition, OpHeal,
+	OpSiteFail, OpSiteRestore, OpWanAsymDrift, OpWanPartition, OpWanHeal,
 }
 
 // Action is one timeline entry: an operation over named topology elements,
@@ -88,6 +107,9 @@ type Action struct {
 	// endpoint devices land in different groups is severed. Devices not
 	// named in any group keep all their links.
 	Groups [][]string `json:"groups,omitempty"`
+	// Sites names target sites (0-based) for the WAN-tier operations
+	// site-fail, site-restore, and wan-partition.
+	Sites []int `json:"sites,omitempty"`
 
 	// At triggers once at the given simulation time.
 	At Duration `json:"at,omitempty"`
@@ -187,6 +209,29 @@ func (a *Action) validate() error {
 		}
 	case OpHeal:
 		// heal reverts every live partition; no targets.
+	case OpSiteFail, OpSiteRestore, OpWanPartition:
+		if len(a.Sites) == 0 {
+			return fmt.Errorf("%s: no target sites", a.Op)
+		}
+		seen := map[int]bool{}
+		for _, s := range a.Sites {
+			if s < 0 {
+				return fmt.Errorf("%s: negative site index %d", a.Op, s)
+			}
+			if seen[s] {
+				return fmt.Errorf("%s: site %d listed twice", a.Op, s)
+			}
+			seen[s] = true
+		}
+	case OpWanAsymDrift:
+		if len(a.Links) == 0 {
+			return fmt.Errorf("%s: no target links", a.Op)
+		}
+		if a.Duration == 0 {
+			return fmt.Errorf("%s: needs a ramp duration", a.Op)
+		}
+	case OpWanHeal:
+		// wan-heal reverts every live WAN partition; no targets.
 	default:
 		return fmt.Errorf("unknown op %q (want one of %s)", a.Op, strings.Join(Ops, ", "))
 	}
@@ -226,19 +271,25 @@ func (a *Action) validate() error {
 	if (a.Op == OpDelaySpike || a.Op == OpAsymShift) && a.Extra == 0 && a.Asym == 0 {
 		return fmt.Errorf("%s: no delay configured", a.Op)
 	}
-	if a.Asym < 0 {
+	// wan-asym-drift may target a negative asymmetry (either direction of
+	// the WAN path can be the slow one) and a zero pair (a controlled ramp
+	// back to the nominal path); the LAN-tier asym-shift keeps its
+	// non-negative contract.
+	if a.Asym < 0 && a.Op != OpWanAsymDrift {
 		return fmt.Errorf("%s: negative asym shift", a.Op)
 	}
 	return nil
 }
 
-// reverts reports whether the action self-reverts after Duration.
+// reverts reports whether the action self-reverts after Duration. For
+// wan-asym-drift, Duration is the ramp time, not a revert timer: the
+// drifted delay holds until a counter-ramp.
 func (a *Action) reverts() bool {
 	if a.Duration == 0 {
 		return false
 	}
 	switch a.Op {
-	case OpLinkUp, OpBridgeRestore, OpHeal:
+	case OpLinkUp, OpBridgeRestore, OpHeal, OpSiteRestore, OpWanHeal, OpWanAsymDrift:
 		return false
 	}
 	return true

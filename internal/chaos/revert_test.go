@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"gptpfta/internal/obs"
+	"gptpfta/internal/sim"
+)
+
+// revertCount reads the chaos_reverts counter back out of a registry.
+func revertCount(reg *obs.Registry) float64 {
+	var n float64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "chaos_reverts" {
+			n += m.Value
+		}
+	}
+	return n
+}
+
+// TestRevertFiresAfterStop pins the plan-end contract: Stop cancels the
+// triggers but an already-scheduled revert still fires, so a stopped engine
+// never leaves a self-limiting fault latched — for one-shot and periodic
+// actions alike.
+func TestRevertFiresAfterStop(t *testing.T) {
+	tt := newTopo(t)
+	p := &Plan{Actions: []Action{
+		{Op: OpLinkDown, Links: []string{"sw1-sw2"},
+			At: Duration(time.Second), Duration: Duration(2 * time.Second)},
+		{Op: OpLinkDown, Links: []string{"n1"},
+			Every: Duration(10 * time.Second), Duration: Duration(4 * time.Second)},
+	}}
+	e := mustEngine(t, tt, p)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	fired := 0
+	e.SetActionObserver(func(Action) { fired++ })
+
+	// Mid-fault for both actions: the one-shot at t=1s and the periodic's
+	// first firing at t=10s are live, their reverts (t=3s already fired,
+	// t=14s pending) bracket the Stop below.
+	if err := tt.sched.RunUntil(sim.Time(11 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !tt.links["n1"].Down() {
+		t.Fatal("periodic fault not active at t=11s")
+	}
+	e.Stop()
+	if err := tt.sched.RunUntil(sim.Time(40 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if tt.links["n1"].Down() || tt.links["sw1-sw2"].Down() {
+		t.Fatal("fault latched after Stop: the pending revert never fired")
+	}
+	if fired != 2 {
+		t.Fatalf("actions fired %d times, want 2 (no firings after Stop)", fired)
+	}
+	if got := revertCount(reg); got != 2 {
+		t.Fatalf("chaos_reverts = %v, want 2", got)
+	}
+}
+
+// TestOverlappingActionsSameLink: two periodic link-down actions with
+// different periods target the same link, so their fault windows overlap.
+// Reverts restore the baseline (they do not reference-count): the earlier
+// revert inside an overlap re-raises the link, the later one is an idempotent
+// no-op, and once both windows close the link stays up until the next
+// trigger.
+func TestOverlappingActionsSameLink(t *testing.T) {
+	tt := newTopo(t)
+	p := &Plan{Actions: []Action{
+		{Op: OpLinkDown, Links: []string{"sw1-sw2"},
+			Every: Duration(7 * time.Second), Duration: Duration(2 * time.Second)},
+		{Op: OpLinkDown, Links: []string{"sw1-sw2"},
+			Every: Duration(10 * time.Second), Duration: Duration(3 * time.Second)},
+	}}
+	e := mustEngine(t, tt, p)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	l := tt.links["sw1-sw2"]
+	// Timeline: fires at 7, 10, 14, 20, 21; reverts at 9, 13, 16, 23, 23.
+	// The windows [20,23) and [21,23) overlap; both reverts land at t=23.
+	checks := []struct {
+		at   time.Duration
+		down bool
+		why  string
+	}{
+		{8 * time.Second, true, "first 7s-period window"},
+		{9500 * time.Millisecond, false, "between windows"},
+		{12 * time.Second, true, "first 10s-period window"},
+		{22 * time.Second, true, "overlap of both windows"},
+		{24 * time.Second, false, "both overlapping windows reverted"},
+	}
+	for _, c := range checks {
+		if err := tt.sched.RunUntil(sim.Time(c.at)); err != nil {
+			t.Fatal(err)
+		}
+		if l.Down() != c.down {
+			t.Fatalf("t=%v (%s): down=%v, want %v", c.at, c.why, l.Down(), c.down)
+		}
+	}
+	e.Stop()
+	if got := revertCount(reg); got != 5 {
+		t.Fatalf("chaos_reverts = %v, want 5 (overlapping reverts both fire)", got)
+	}
+}
+
+// TestEngineSnapshotRestoresMidFault: snapshotting scheduler + link + engine
+// in the middle of a partition and restoring after the fault has healed
+// replays the remainder bit-identically — the restored cut-set map makes the
+// re-armed revert closure heal exactly the original links, twice over.
+func TestEngineSnapshotRestoresMidFault(t *testing.T) {
+	tt := newTopo(t)
+	p := &Plan{Actions: []Action{{
+		Op:       OpPartition,
+		Groups:   [][]string{{"sw1", "n1"}, {"sw2", "n2"}},
+		At:       Duration(time.Second),
+		Duration: Duration(4 * time.Second),
+	}}}
+	e := mustEngine(t, tt, p)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	l := tt.links["sw1-sw2"]
+	if err := tt.sched.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Down() {
+		t.Fatal("partition not active at t=2s")
+	}
+	schedSnap := tt.sched.Snapshot()
+	linkSnap := l.Snapshot()
+	engSnap := e.Snapshot()
+	if got := engSnap.(*engineSnapshot).partitioned; len(got) != 1 || got[0] != "sw1-sw2" {
+		t.Fatalf("mid-fault snapshot cut-set = %v, want [sw1-sw2]", got)
+	}
+
+	// Play past the heal: the revert at t=5s empties the cut-set.
+	if err := tt.sched.RunUntil(sim.Time(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Down() || len(e.partitioned) != 0 {
+		t.Fatalf("fault not healed at t=6s (down=%v, cut-set %d)", l.Down(), len(e.partitioned))
+	}
+
+	// Rewind to the mid-fault instant and replay.
+	tt.sched.Restore(schedSnap)
+	l.Restore(linkSnap)
+	e.Restore(engSnap)
+	if tt.sched.Now() != sim.Time(2*time.Second) || !l.Down() {
+		t.Fatalf("restore: now=%v down=%v, want t=2s with the fault live", tt.sched.Now(), l.Down())
+	}
+	if len(e.partitioned) != 1 || e.partitioned["sw1-sw2"] != l {
+		t.Fatalf("restore: cut-set %v does not name the live link", e.partitioned)
+	}
+	if err := tt.sched.RunUntil(sim.Time(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Down() || len(e.partitioned) != 0 {
+		t.Fatal("replayed revert did not heal the restored cut-set")
+	}
+	if got := revertCount(reg); got != 2 {
+		t.Fatalf("chaos_reverts = %v, want 2 (one per replay)", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"gptpfta/internal/attack"
 	"gptpfta/internal/fta"
 	"gptpfta/internal/netsim"
+	"gptpfta/internal/wan"
 )
 
 // Config describes a testbed instance. The zero value plus NewConfig
@@ -110,6 +111,14 @@ type Config struct {
 	// aggregate (their clocks free-run) — multi-domain aggregation is for
 	// PTP clients only.
 	BaselineClientsOnly bool
+
+	// WanSync configures the wide-area site-level FTA tier (internal/wan):
+	// with Enabled set on a multi-site fabric, a coordinator on the control
+	// scheduler aggregates per-site clocks over the gateway chain and
+	// disciplines one virtual correction per site, with cross-site holdover
+	// under quorum loss. Off by default; single-site fabrics ignore it.
+	// All fields are value types, keeping PrefixHash stable.
+	WanSync wan.Config
 }
 
 // NumDomains resolves the effective domain count per site.
@@ -209,6 +218,14 @@ func ScaleConfig(seed int64, sites, nodes, vms, shards int) Config {
 	cfg.VMsPerNode = vms
 	cfg.Sites = sites
 	cfg.Shards = shards
+	// The paper defaults pin the measurement VM to dev2/c22; clamp onto
+	// smaller fabrics so any (nodes, vms) ≥ 1 builds.
+	if cfg.MeasurementNode >= nodes {
+		cfg.MeasurementNode = nodes - 1
+	}
+	if cfg.MeasurementVM >= vms {
+		cfg.MeasurementVM = vms - 1
+	}
 	return cfg
 }
 

@@ -66,6 +66,9 @@ type systemSnapshot struct {
 	agents    map[string]any
 	logs      []any
 	syncLat   any
+	// wanCoord/wanDrift are nil unless the wide-area tier is enabled.
+	wanCoord any
+	wanDrift any
 
 	started bool
 }
@@ -111,6 +114,12 @@ func (s *System) Snapshot() any {
 	for name, a := range s.agents {
 		sn.agents[name] = a.Snapshot()
 	}
+	if s.wanCoord != nil {
+		sn.wanCoord = s.wanCoord.Snapshot()
+	}
+	if s.wanDrift != nil {
+		sn.wanDrift = s.wanDrift.Snapshot()
+	}
 	return sn
 }
 
@@ -149,6 +158,12 @@ func (s *System) Restore(snap any) {
 		l.Restore(sn.logs[i])
 	}
 	s.syncLat.Restore(sn.syncLat)
+	if s.wanCoord != nil {
+		s.wanCoord.Restore(sn.wanCoord)
+	}
+	if s.wanDrift != nil {
+		s.wanDrift.Restore(sn.wanDrift)
+	}
 	s.started = sn.started
 }
 

@@ -14,6 +14,7 @@ import (
 	"gptpfta/internal/phc2sys"
 	"gptpfta/internal/ptp4l"
 	"gptpfta/internal/sim"
+	"gptpfta/internal/wan"
 )
 
 // System is one fully wired testbed instance. With Config.Shards > 1 the
@@ -44,6 +45,12 @@ type System struct {
 	nodes        []*hypervisor.Node
 	vms          map[string]*hypervisor.CSVM
 	agents       map[string]*measure.Agent
+
+	// wanCoord/wanDrift are the wide-area tier (nil unless
+	// cfg.WanSync.Enabled on a multi-site fabric); both tick on the
+	// control scheduler.
+	wanCoord *wan.Coordinator
+	wanDrift *wan.Drift
 
 	collector *measure.Collector
 	// logs holds one event log per shard plus, when sharded, a trailing
@@ -114,6 +121,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.fabric = sim.NewFabric(s.scheds, s.control, bounds)
 	}
+	s.buildWan()
 	s.instrumentKernel()
 	return s, nil
 }
@@ -670,6 +678,19 @@ func (s *System) Start() error {
 	if err := s.collector.Start(); err != nil {
 		return err
 	}
+	// WAN tier on the control scheduler; the drift process is armed first
+	// so coincident-instant ticks apply the delay walk before the
+	// coordinator measures across it.
+	if s.wanDrift != nil {
+		if err := s.wanDrift.Start(s.control); err != nil {
+			return err
+		}
+	}
+	if s.wanCoord != nil {
+		if err := s.wanCoord.Start(s.control); err != nil {
+			return err
+		}
+	}
 	s.started = true
 	return nil
 }
@@ -680,6 +701,12 @@ func (s *System) Start() error {
 func (s *System) Stop() {
 	if !s.started {
 		return
+	}
+	if s.wanCoord != nil {
+		s.wanCoord.Stop()
+	}
+	if s.wanDrift != nil {
+		s.wanDrift.Stop()
 	}
 	s.collector.Stop()
 	for _, n := range s.nodes {

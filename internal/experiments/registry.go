@@ -109,6 +109,11 @@ func init() {
 		func(seed int64) AttacksConfig { return AttacksConfig{Seed: seed, Shards: 1} },
 		liftCtx(Attacks))
 
+	RegisterFunc("wansites",
+		"wide-area campaign: site failures and WAN asymmetry vs the site-level min(f, ⌊(N−1)/2⌋) quorum, with cross-site holdover",
+		func(seed int64) WanSitesConfig { return WanSitesConfig{Seed: seed, Shards: 1} },
+		liftCtx(WanSites))
+
 	RegisterFunc("multiseed",
 		"the headline fault-injection result re-run across independent seeds",
 		func(seed int64) MultiSeedConfig { return MultiSeedConfig{CampaignSeed: seed, SeedCount: 5, Shards: 1} },

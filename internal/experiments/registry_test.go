@@ -15,6 +15,7 @@ func TestRegistryCatalogue(t *testing.T) {
 		"attacks", "baseline", "bmca", "bounds", "domains", "dynamic",
 		"faultinjection", "flag-policy", "interval", "multiseed", "netchaos",
 		"onestep", "recovery", "resilience", "single-domain", "tas", "voting",
+		"wansites",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gptpfta/internal/obs"
+)
+
+// goldenWanSitesDigest pins the wide-area campaign's full table — site
+// census, quorum predictions, measured degradation ladders, re-stabilization
+// times and verdicts — for a compact sweep over every axis on the 4-site
+// fabric. Any change to the WAN delay model, the coordinator's FTA/holdover
+// ladder, the chaos site actions or the verdict computation shows up here.
+const goldenWanSitesDigest = "8794eae4654fd3daf14f84e9987abf1959073a800446cce0391c01655be5ec3e"
+
+// goldenWanSitesConfig is the digest's sweep: one fabric size, the failure
+// axis crossing the tolerable budget, both asymmetry settings.
+func goldenWanSitesConfig() WanSitesConfig {
+	return WanSitesConfig{
+		Seed:       1,
+		SiteCounts: []int{4},
+	}
+}
+
+func TestGoldenDigestWanSites(t *testing.T) {
+	res, err := WanSites(context.Background(), goldenWanSitesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	hashRows(h, res.Rows())
+	if got := digest(h); got != goldenWanSitesDigest {
+		t.Fatalf("wansites digest changed: got %s want %s\nsummary: %s\n%s",
+			got, goldenWanSitesDigest, res.Summary(), RenderAttackTable(res.Rows()))
+	}
+	if n := res.Anomalies(); n != 0 {
+		t.Fatalf("wansites campaign produced %d anomaly verdicts:\n%s",
+			n, RenderAttackTable(res.Rows()))
+	}
+}
+
+// TestWanSitesBoundary checks the acceptance criterion directly: at the
+// default parameters the measured site-failure boundary coincides with
+// min(f, ⌊(N−1)/2⌋) at every sweep point — the floor arm binds at N = 4,
+// the f arm at N = 5 — with zero anomalies, and every degraded point
+// re-stabilizes within the resync window after the heal.
+func TestWanSitesBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default campaign")
+	}
+	cfg := WanSitesConfig{Seed: 1}
+	res, err := WanSites(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := cfg.withDefaults().ResyncWindow.Seconds()
+	for _, p := range res.Points {
+		if p.Verdict == WanVerdictAnomaly {
+			t.Errorf("%s: anomaly verdict", p.Label)
+		}
+		wantSurvive := p.Failed <= p.Tolerable
+		if p.PredictedSurvive != wantSurvive || p.MeasuredSurvive != wantSurvive {
+			t.Errorf("%s: predicted %v measured %v, want %v (tolerable %d)",
+				p.Label, p.PredictedSurvive, p.MeasuredSurvive, wantSurvive, p.Tolerable)
+		}
+		if !wantSurvive {
+			if math.IsInf(p.ResyncSec, 1) || p.ResyncSec > window {
+				t.Errorf("%s: re-stabilized %.1fs after heal, want ≤ %.0fs", p.Label, p.ResyncSec, window)
+			}
+			if p.HoldoverEntered == 0 || p.HoldoverExited != p.HoldoverEntered {
+				t.Errorf("%s: holdover entered %d / exited %d, want a matched non-zero pair",
+					p.Label, p.HoldoverEntered, p.HoldoverExited)
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceWanSites pins the campaign's PDES determinism per the
+// acceptance criterion: the rendered Summary and Rows are bit-identical at
+// shard counts 1, 2, 4 and 8 — the verdicts derive entirely from
+// control-scheduler state (coordinator samples and wan_* counters).
+func TestShardEquivalenceWanSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard equivalence sweep is slow")
+	}
+	base := WanSitesConfig{
+		Seed:        5,
+		SiteCounts:  []int{4},
+		FailedSites: []int{2},
+		Asyms:       []time.Duration{10 * time.Microsecond},
+	}
+	var ref shardDigest
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Shards = shards
+		res, err := WanSites(context.Background(), cfg)
+		got := digestOf(t, res, err)
+		if shards == 1 {
+			ref = got
+			continue
+		}
+		if got.Summary != ref.Summary {
+			t.Fatalf("wansites: summary diverged at %d shards:\n  1: %s\n  %d: %s",
+				shards, ref.Summary, shards, got.Summary)
+		}
+		if !reflect.DeepEqual(got.Rows, ref.Rows) {
+			t.Fatalf("wansites: rows diverged at %d shards", shards)
+		}
+	}
+}
+
+// TestForkEquivalenceWanSites: the warm mode groups points by fabric size,
+// forks each group from its own prefix snapshot, and produces a table
+// bit-identical to the cold run.
+func TestForkEquivalenceWanSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-vs-cold double campaign")
+	}
+	cfg := WanSitesConfig{
+		Seed:        3,
+		SiteCounts:  []int{4, 5},
+		FailedSites: []int{2},
+		Asyms:       []time.Duration{0},
+		Parallel:    1,
+	}
+	reg := obs.NewRegistry()
+	warmCfg := cfg
+	warmCfg.WarmStart = true
+	warmCfg.Metrics = reg
+	warm, err := WanSites(context.Background(), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forks := metricValue(reg, "runner_forks_served"); forks != 2 {
+		t.Fatalf("forks served = %v, want 2 (one per fabric-size group)", forks)
+	}
+	cold, err := WanSites(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, hw := sha256.New(), sha256.New()
+	hashRows(hc, cold.Rows())
+	hashRows(hw, warm.Rows())
+	if digest(hc) != digest(hw) {
+		t.Fatalf("warm wansites sweep diverged from cold\ncold: %s\nwarm: %s",
+			cold.Summary(), warm.Summary())
+	}
+}
+
+func TestWanSitesConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  WanSitesConfig
+		want string
+	}{
+		{"single site", WanSitesConfig{SiteCounts: []int{1}}, "site_counts[0]"},
+		{"negative failed", WanSitesConfig{FailedSites: []int{-1}}, "failed_sites[0]"},
+		{"negative asym", WanSitesConfig{Asyms: []time.Duration{-time.Microsecond}}, "asyms[0]"},
+		{"negative f", WanSitesConfig{F: -1}, "f must not be negative"},
+		{"negative duration", WanSitesConfig{Duration: -time.Second}, "duration"},
+		{"negative resync", WanSitesConfig{ResyncWindow: -time.Second}, "resync_window"},
+		{"bad shards", WanSitesConfig{Shards: -2}, "shards"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+	if err := (WanSitesConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate (defaults apply): %v", err)
+	}
+}

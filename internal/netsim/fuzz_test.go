@@ -24,17 +24,20 @@ func (a fuzzDelayAttack) ExtraDelayNS(f *Frame, dir int) float64 {
 // the bound the sharded fabric derives its conservative lookahead from —
 // must never exceed the delay any actual frame can experience, in either
 // direction, under arbitrary jitter, chaos delay overrides (including
-// negative asymmetric shifts), and installed delay attacks (which may only
-// add latency; negative attack delays are clamped). A violation would let a
-// shard run past a neighbour's next cross-shard delivery and silently break
+// negative asymmetric shifts), WAN drift-process offsets (SetWanDelay),
+// and installed delay attacks (which may only add latency; negative attack
+// delays are clamped). The three delay axes are additive by contract, so
+// the fuzzer drives all of them at once. A violation would let a shard run
+// past a neighbour's next cross-shard delivery and silently break
 // determinism.
 func FuzzLinkMinDelay(f *testing.F) {
-	f.Add(int64(1_000), 0.0, int64(0), int64(0), int64(1), int64(0))
-	f.Add(int64(50_000), 25.0, int64(0), int64(0), int64(7), int64(24_000))
-	f.Add(int64(1_000_000), 400.0, int64(30_000), int64(-20_000), int64(42), int64(-5_000))
-	f.Add(int64(500), 1000.0, int64(-100), int64(100), int64(3), int64(1))
+	f.Add(int64(1_000), 0.0, int64(0), int64(0), int64(1), int64(0), int64(0), int64(0))
+	f.Add(int64(50_000), 25.0, int64(0), int64(0), int64(7), int64(24_000), int64(0), int64(0))
+	f.Add(int64(1_000_000), 400.0, int64(30_000), int64(-20_000), int64(42), int64(-5_000), int64(12_000), int64(-8_000))
+	f.Add(int64(500), 1000.0, int64(-100), int64(100), int64(3), int64(1), int64(-50), int64(200))
+	f.Add(int64(50_000_000), 0.0, int64(0), int64(0), int64(9), int64(0), int64(400_000), int64(-300_000))
 
-	f.Fuzz(func(t *testing.T, propNS int64, jitterNS float64, extraNS, asymNS, seed, attackNS int64) {
+	f.Fuzz(func(t *testing.T, propNS int64, jitterNS float64, extraNS, asymNS, seed, attackNS, wanExtraNS, wanAsymNS int64) {
 		// Keep the config inside the domain the simulator uses: positive
 		// nominal propagation, non-negative jitter, overrides within ±1 ms.
 		if propNS < 1 {
@@ -49,6 +52,8 @@ func FuzzLinkMinDelay(f *testing.F) {
 		}
 		extraNS %= 1_000_000
 		asymNS %= 1_000_000
+		wanExtraNS %= 1_000_000
+		wanAsymNS %= 1_000_000
 
 		sched := sim.NewScheduler()
 		rng := sim.NewStreams(seed).Stream("fuzz/link")
@@ -62,6 +67,7 @@ func FuzzLinkMinDelay(f *testing.F) {
 			t.Fatal(err)
 		}
 		l.SetDelayOverride(time.Duration(extraNS), time.Duration(asymNS))
+		l.SetWanDelay(time.Duration(wanExtraNS), time.Duration(wanAsymNS))
 		attackNS %= 1_000_000
 		l.SetDelayAttack(fuzzDelayAttack{delayNS: float64(attackNS)})
 
@@ -71,8 +77,8 @@ func FuzzLinkMinDelay(f *testing.F) {
 			for dir := 0; dir < 2; dir++ {
 				fr := frames[i%len(frames)]
 				if d := l.delay(dir, fr); d < min {
-					t.Fatalf("MinDelay %v exceeds sampled delay %v (dir %d, prop %dns, jitter %.1fns, extra %dns, asym %dns, attack %dns)",
-						min, d, dir, propNS, jitterNS, extraNS, asymNS, attackNS)
+					t.Fatalf("MinDelay %v exceeds sampled delay %v (dir %d, prop %dns, jitter %.1fns, extra %dns, asym %dns, attack %dns, wanExtra %dns, wanAsym %dns)",
+						min, d, dir, propNS, jitterNS, extraNS, asymNS, attackNS, wanExtraNS, wanAsymNS)
 				}
 			}
 		}

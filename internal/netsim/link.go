@@ -97,6 +97,13 @@ type Link struct {
 	// gPTP's pdelay mechanism relies on.
 	extraDelay time.Duration
 	asymDelay  time.Duration
+	// wanExtra/wanAsym are the WAN drift-process axis (SetWanDelay): a
+	// slowly wandering baseline for wide-area links, additive on top of the
+	// chaos override so the two controllers never clobber each other.
+	// wanExtra is kept non-negative by SetWanDelay; wanAsym applies to the
+	// a->b direction only and may have either sign.
+	wanExtra time.Duration
+	wanAsym  time.Duration
 	// delayAttack, when set, is an on-path adversary adding per-frame
 	// delay (SetDelayAttack); it only ever adds latency, so MinDelay
 	// ignores it.
@@ -187,6 +194,23 @@ func (l *Link) Down() bool { return l.down }
 // see the LinkConfig.LossRNG determinism contract.
 func (l *Link) SetLossModel(m LossModel) { l.lossModel = m }
 
+// Combined delay contract — three additive axes on top of the configured
+// propagation + jitter base:
+//
+//	delay(dir, f) = base(jitter, floored at Propagation/2)
+//	              + extraDelay + [dir==0] asymDelay     (SetDelayOverride)
+//	              + wanExtra   + [dir==0] wanAsym       (SetWanDelay)
+//	              + max(0, attack(f, dir))              (SetDelayAttack)
+//
+// The axes are independent controllers (chaos engine, WAN drift process,
+// on-path adversary) and compose by pure addition; none of them draws from
+// the link's RNG streams. MinDelay mirrors every term that can lower the
+// bound: the full extraDelay and wanExtra shifts, and the negative parts of
+// asymDelay and wanAsym (each applies to one direction only, so only a
+// negative value lowers the all-direction floor). The attack term is
+// clamped non-negative per frame and therefore never enters MinDelay.
+// FuzzLinkMinDelay pins this contract across all three axes at once.
+
 // SetDelayOverride injects extra one-way latency: extra applies to both
 // directions, asym additionally to the a->b direction only (an asymmetry
 // invisible to pdelay's round-trip measurement). Zero values clear the
@@ -194,6 +218,35 @@ func (l *Link) SetLossModel(m LossModel) { l.lossModel = m }
 func (l *Link) SetDelayOverride(extra, asym time.Duration) {
 	l.extraDelay = extra
 	l.asymDelay = asym
+}
+
+// SetWanDelay sets the WAN drift axis: extra latency on both directions
+// plus a signed asymmetry on the a->b direction only, additive with any
+// chaos-installed SetDelayOverride. A negative extra is clamped to zero
+// (the drift process models added wide-area queueing, never a faster-than-
+// nominal path). Zero values clear the axis.
+func (l *Link) SetWanDelay(extra, asym time.Duration) {
+	if extra < 0 {
+		extra = 0
+	}
+	l.wanExtra = extra
+	l.wanAsym = asym
+}
+
+// WanDelay reports the current WAN drift axis (extra, asym).
+func (l *Link) WanDelay() (extra, asym time.Duration) { return l.wanExtra, l.wanAsym }
+
+// DirectionalDelay reports the deterministic one-way delay in direction
+// dir (0 = ends[0]->ends[1]) with jitter and per-frame attacks excluded:
+// the expected latency a time-transfer exchange over this link observes.
+// The WAN tier's two-way-exchange error model uses the directional
+// difference to compute the asymmetry error a site-level reading inherits.
+func (l *Link) DirectionalDelay(dir int) time.Duration {
+	d := l.cfg.Propagation + l.extraDelay + l.wanExtra
+	if dir == 0 {
+		d += l.asymDelay + l.wanAsym
+	}
+	return d
 }
 
 // SetDelayAttack installs (or, with nil, removes) an on-path per-frame
@@ -274,9 +327,12 @@ func (l *Link) MinDelay() time.Duration {
 	if l.rng != nil && l.cfg.JitterNS > 0 {
 		d = l.cfg.Propagation / 2
 	}
-	d += l.extraDelay
+	d += l.extraDelay + l.wanExtra
 	if l.asymDelay < 0 {
 		d += l.asymDelay
+	}
+	if l.wanAsym < 0 {
+		d += l.wanAsym
 	}
 	return d
 }
@@ -329,6 +385,8 @@ type linkSnapshot struct {
 	attackState  any // nested snapshot when the attack is stateful
 	extraDelay   time.Duration
 	asymDelay    time.Duration
+	wanExtra     time.Duration
+	wanAsym      time.Duration
 	dropBefore   [2]sim.Time
 	faultedDrop  uint64
 }
@@ -346,6 +404,8 @@ func (l *Link) Snapshot() any {
 		delayAttack:  l.delayAttack,
 		extraDelay:   l.extraDelay,
 		asymDelay:    l.asymDelay,
+		wanExtra:     l.wanExtra,
+		wanAsym:      l.wanAsym,
 		dropBefore:   l.dropBefore,
 		faultedDrop:  l.faultedDrop,
 	}
@@ -375,6 +435,8 @@ func (l *Link) Restore(snap any) {
 	}
 	l.extraDelay = sn.extraDelay
 	l.asymDelay = sn.asymDelay
+	l.wanExtra = sn.wanExtra
+	l.wanAsym = sn.wanAsym
 	l.dropBefore = sn.dropBefore
 	l.faultedDrop = sn.faultedDrop
 }
@@ -388,9 +450,9 @@ func (l *Link) delay(dir int, f *Frame) time.Duration {
 	if d < min {
 		d = min
 	}
-	d += float64(l.extraDelay)
+	d += float64(l.extraDelay) + float64(l.wanExtra)
 	if dir == 0 {
-		d += float64(l.asymDelay)
+		d += float64(l.asymDelay) + float64(l.wanAsym)
 	}
 	if l.delayAttack != nil && f != nil {
 		if e := l.delayAttack.ExtraDelayNS(f, dir); e > 0 {

@@ -40,6 +40,13 @@ type Options struct {
 	// DisableWarm turns off warm-start snapshot sharing for jobs that do
 	// not explicitly request it.
 	DisableWarm bool
+	// StateDir, when set, persists every job that reaches a terminal state
+	// as a JSON envelope (status + wire results) under this directory, and
+	// New loads the directory back so a restarted server still answers
+	// GET /v1/jobs/{id} and GET /v1/jobs/{id}/result for finished jobs.
+	// Unreadable files are skipped; job IDs continue past the highest
+	// persisted one.
+	StateDir string
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -81,7 +88,8 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mSubmitted, mRejected *obs.Counter
+	mSubmitted, mRejected                       *obs.Counter
+	mStatePersisted, mStateLoaded, mStateErrors *obs.Counter
 }
 
 // New returns a stopped server; call Start to launch its workers. The
@@ -91,15 +99,19 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
-		opts:       opts,
-		reg:        reg,
-		cache:      NewSnapshotCache(reg, opts.CacheEntries, opts.CacheBytes),
-		queue:      make(chan *job, opts.QueueDepth),
-		jobs:       make(map[string]*job),
-		mSubmitted: reg.Counter("served_jobs_submitted"),
-		mRejected:  reg.Counter("served_jobs_rejected"),
+		opts:            opts,
+		reg:             reg,
+		cache:           NewSnapshotCache(reg, opts.CacheEntries, opts.CacheBytes),
+		queue:           make(chan *job, opts.QueueDepth),
+		jobs:            make(map[string]*job),
+		mSubmitted:      reg.Counter("served_jobs_submitted"),
+		mRejected:       reg.Counter("served_jobs_rejected"),
+		mStatePersisted: reg.Counter("served_state_persisted"),
+		mStateLoaded:    reg.Counter("served_state_loaded"),
+		mStateErrors:    reg.Counter("served_state_errors"),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.loadState()
 	return s
 }
 
@@ -143,6 +155,7 @@ func (s *Server) Stop() {
 		select {
 		case j := <-s.queue:
 			j.finish(JobCancelled, errors.New("server shutdown before the job started"), nil)
+			s.persist(j)
 		default:
 			return
 		}
@@ -244,6 +257,7 @@ func (s *Server) runJob(j *job) {
 		// Unreachable after submit-time validation, but a registry is
 		// mutable in tests.
 		j.finish(JobFailed, err, nil)
+		s.persist(j)
 		return
 	}
 
@@ -289,6 +303,7 @@ func (s *Server) runJob(j *job) {
 	default:
 		j.finish(JobFailed, err, nil)
 	}
+	s.persist(j)
 }
 
 // Handler returns the server's HTTP API.
@@ -418,6 +433,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is already %s", j.id, j.status().State))
 		return
 	}
+	// A queued job is terminal right away; persist skips the running case
+	// (the worker persists it when the run loop observes the cancel).
+	s.persist(j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 

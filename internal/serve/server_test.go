@@ -164,6 +164,11 @@ func TestServerEveryExperiment(t *testing.T) {
 		"resilience": experiments.CyberResilienceConfig{Seed: 7, Duration: 8 * min},
 		"tas":        experiments.TASStudyConfig{Seed: 7},
 		"voting":     experiments.VotingConfig{Seed: 7},
+		"wansites": experiments.WanSitesConfig{
+			Seed: 7, Duration: 40 * time.Second, FaultStart: 15 * time.Second,
+			FaultDuration: 10 * time.Second, SiteCounts: []int{4},
+			FailedSites: []int{2}, Asyms: []time.Duration{0}, Parallel: 1,
+		},
 	}
 	for _, name := range experiments.Names() {
 		if _, ok := configs[name]; !ok {

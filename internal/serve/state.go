@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gptpfta/internal/experiments"
+)
+
+// persistedJob is the on-disk envelope of one terminal job: the wire status
+// plus, for done jobs, the versioned result envelopes — exactly what the
+// status and result endpoints need to answer after a restart. Point metrics
+// are not persisted; a restored job's metrics endpoint serves only the live
+// server block.
+type persistedJob struct {
+	Status  JobStatus                `json:"status"`
+	Results []experiments.WireResult `json:"results,omitempty"`
+}
+
+// stateFile is a job's path under the state directory.
+func (s *Server) stateFile(id string) string {
+	return filepath.Join(s.opts.StateDir, id+".json")
+}
+
+// persist writes a terminal job's envelope to the state directory via a
+// temp-file rename, so a crash mid-write never leaves a truncated envelope
+// for loadState to trip over. Non-terminal jobs and persistence errors are
+// skipped (the latter counted on served_state_errors) — persistence is an
+// availability feature, not a correctness gate.
+func (s *Server) persist(j *job) {
+	if s.opts.StateDir == "" {
+		return
+	}
+	st := j.status()
+	if !st.State.Terminal() {
+		return
+	}
+	_, results := j.snapshotResults()
+	raw, err := json.MarshalIndent(persistedJob{Status: st, Results: results}, "", "  ")
+	if err != nil {
+		s.mStateErrors.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(s.opts.StateDir, j.id+".tmp-*")
+	if err != nil {
+		s.mStateErrors.Inc()
+		return
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.mStateErrors.Inc()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.mStateErrors.Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.stateFile(j.id)); err != nil {
+		os.Remove(tmp.Name())
+		s.mStateErrors.Inc()
+		return
+	}
+	s.mStatePersisted.Inc()
+}
+
+// loadState restores persisted terminal jobs into the jobs map so the
+// status, listing and result endpoints keep answering for them across
+// restarts, and advances nextID past the highest persisted id so new
+// submissions never collide with a restored job. Unreadable or malformed
+// files are skipped and counted; restored jobs are listed before this
+// process's own submissions, in id order.
+func (s *Server) loadState() {
+	dir := s.opts.StateDir
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.mStateErrors.Inc()
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		s.mStateErrors.Inc()
+		return
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			s.mStateErrors.Inc()
+			continue
+		}
+		var pj persistedJob
+		if err := json.Unmarshal(raw, &pj); err != nil {
+			s.mStateErrors.Inc()
+			continue
+		}
+		st := pj.Status
+		if st.ID == "" || !st.State.Terminal() || st.ID != strings.TrimSuffix(name, ".json") {
+			s.mStateErrors.Inc()
+			continue
+		}
+		j := &job{
+			id: st.ID,
+			req: JobRequest{
+				Experiment: st.Experiment,
+				Seed:       st.Seed,
+				Points:     st.Points,
+			},
+			state:   st.State,
+			err:     st.Error,
+			created: st.Created,
+			results: pj.Results,
+		}
+		if st.Started != nil {
+			j.started = *st.Started
+		}
+		if st.Finished != nil {
+			j.finished = *st.Finished
+		} else {
+			// Terminal implies finished; a missing stamp would make the
+			// restored status claim the job never ended.
+			j.finished = time.Now()
+		}
+		s.jobs[j.id] = j
+		ids = append(ids, j.id)
+		if n, err := strconv.Atoi(strings.TrimPrefix(j.id, "job-")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	sort.Strings(ids)
+	s.order = append(s.order, ids...)
+	s.mStateLoaded.Add(uint64(len(ids)))
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gptpfta/internal/experiments"
+)
+
+// TestServerStateRestart: with a state dir, a finished job's envelope
+// survives a full server restart — the new process answers the status,
+// listing and result endpoints for it byte-identically, and fresh
+// submissions continue the id sequence past the restored job.
+func TestServerStateRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := rawConfig(t, experiments.BoundsConfig{Seed: 3, Duration: 3 * time.Minute})
+
+	s1 := New(Options{Workers: 1, StateDir: dir})
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	st, _ := postJob(t, ts1, JobRequest{Experiment: "bounds", Config: cfg})
+	waitDone(t, ts1, st.ID)
+	before := fetchResults(t, ts1, st.ID)
+	ts1.Close()
+	s1.Stop()
+
+	s2 := New(Options{Workers: 1, StateDir: dir})
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Stop()
+	})
+	if loaded := counterValue(s2.Metrics(), "served_state_loaded"); loaded != 1 {
+		t.Fatalf("served_state_loaded = %v, want 1", loaded)
+	}
+
+	// The restored job answers status and result exactly as before.
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != JobDone || got.Experiment != "bounds" {
+		t.Fatalf("restored status = %+v, want done bounds job", got)
+	}
+	after := fetchResults(t, ts2, st.ID)
+	rawBefore, _ := json.Marshal(before)
+	rawAfter, _ := json.Marshal(after)
+	if !bytes.Equal(rawBefore, rawAfter) {
+		t.Fatalf("restored results differ:\nbefore: %s\nafter:  %s", rawBefore, rawAfter)
+	}
+
+	// New submissions continue past the persisted id and both jobs list.
+	st2, _ := postJob(t, ts2, JobRequest{Experiment: "bounds", Config: cfg})
+	if st2.ID <= st.ID {
+		t.Fatalf("post-restart job id %s does not continue past restored %s", st2.ID, st.ID)
+	}
+	waitDone(t, ts2, st2.ID)
+	list, err := http.Get(ts2.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(list.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	list.Body.Close()
+	if len(out.Jobs) != 2 || out.Jobs[0].ID != st.ID || out.Jobs[1].ID != st2.ID {
+		t.Fatalf("job listing after restart = %+v, want restored job then new job", out.Jobs)
+	}
+}
+
+// TestServerStateCancelledPersists: a job cancelled while queued is also
+// persisted, so after a restart its status still reads cancelled and its
+// result endpoint still answers 409.
+func TestServerStateCancelledPersists(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Options{QueueDepth: 4, StateDir: dir}) // never Start()ed: job stays queued
+	ts1 := httptest.NewServer(s1.Handler())
+	st, _ := postJob(t, ts1, JobRequest{Experiment: "bounds",
+		Config: rawConfig(t, experiments.BoundsConfig{Seed: 1, Duration: 3 * time.Minute})})
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts1.Close()
+
+	s2 := New(Options{QueueDepth: 4, StateDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	r2, err := http.Get(ts2.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(r2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if got.State != JobCancelled {
+		t.Fatalf("restored state %s, want cancelled", got.State)
+	}
+	r3, err := http.Get(ts2.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusConflict {
+		t.Fatalf("restored result status %d, want 409", r3.StatusCode)
+	}
+}

@@ -1,0 +1,51 @@
+package wan
+
+// coordinatorSnapshot captures the coordinator's mutable state for
+// warm-start forks. Servo states nest; the per-site RNG streams are
+// restored by sim.Streams.
+type coordinatorSnapshot struct {
+	corrNS     []float64
+	freqPPB    []float64
+	last       [][]lastReading
+	noQuorumAt []float64
+	stable     []int
+	lastTickNS float64
+	samples    []SiteSample
+	servos     []any
+}
+
+// Snapshot implements sim.Snapshotter.
+func (c *Coordinator) Snapshot() any {
+	sn := &coordinatorSnapshot{
+		corrNS:     append([]float64(nil), c.corrNS...),
+		freqPPB:    append([]float64(nil), c.freqPPB...),
+		noQuorumAt: append([]float64(nil), c.noQuorumAt...),
+		stable:     append([]int(nil), c.stable...),
+		lastTickNS: c.lastTickNS,
+		samples:    append([]SiteSample(nil), c.samples...),
+	}
+	for i := range c.last {
+		sn.last = append(sn.last, append([]lastReading(nil), c.last[i]...))
+	}
+	for _, s := range c.servos {
+		sn.servos = append(sn.servos, s.Snapshot())
+	}
+	return sn
+}
+
+// Restore implements sim.Snapshotter.
+func (c *Coordinator) Restore(snap any) {
+	sn := snap.(*coordinatorSnapshot)
+	copy(c.corrNS, sn.corrNS)
+	copy(c.freqPPB, sn.freqPPB)
+	copy(c.noQuorumAt, sn.noQuorumAt)
+	copy(c.stable, sn.stable)
+	c.lastTickNS = sn.lastTickNS
+	c.samples = append(c.samples[:0], sn.samples...)
+	for i := range sn.last {
+		copy(c.last[i], sn.last[i])
+	}
+	for i, s := range sn.servos {
+		c.servos[i].Restore(s)
+	}
+}
