@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-all bench-smoke chaos-smoke serve-smoke attack-smoke wan-smoke fuzz-smoke determinism profile verify ci
+.PHONY: build test vet fmt-check race bench bench-all bench-smoke shard-scaling chaos-smoke serve-smoke attack-smoke wan-smoke fuzz-smoke determinism profile verify ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,19 @@ bench-smoke:
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_pdes.json .bench-smoke/pdes.json
 	$(GO) run ./cmd/benchdiff -warn-only -threshold 25 BENCH_wan.json .bench-smoke/wan.json
 
+# Shard-scaling gate (blocking, unlike bench-smoke): run BenchmarkPDESFabric
+# at shards=1 and shards=4 in one process on one machine and compare the two
+# points with cmd/shardgate. events/op must match exactly (shard count must
+# not change what is simulated) and the sharded point must not regress more
+# than 10% in ns/op against shards=1 — machine speed cancels out of the
+# within-run ratio, so this stays meaningful on shared runners where the
+# absolute benchdiff comparison cannot.
+shard-scaling:
+	@mkdir -p .bench-smoke
+	$(GO) test -run ^$$ -bench 'BenchmarkPDESFabric/shards=(1|4)$$' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o .bench-smoke/shard-scaling.json
+	$(GO) run ./cmd/shardgate -max-regress 0.10 .bench-smoke/shard-scaling.json
+
 # CPU + heap profile of the full report run; inspect with `go tool pprof`.
 profile:
 	$(GO) run ./cmd/report -scale 0.02 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
@@ -141,4 +154,4 @@ serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
 
 # Everything the CI workflow runs, in one local command.
-ci: verify determinism bench-smoke chaos-smoke attack-smoke wan-smoke serve-smoke
+ci: verify determinism bench-smoke shard-scaling chaos-smoke attack-smoke wan-smoke serve-smoke

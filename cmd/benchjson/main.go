@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -30,12 +31,19 @@ type Result struct {
 }
 
 // Document is the emitted file: environment header plus results.
+// GoMaxProcs is recovered from the benchmark-name suffix (the `-N` go test
+// appends); NumCPU is sampled from the machine running benchjson, which
+// `make bench` pipelines on the same host as the benchmarks. Together they
+// make a "this baseline came from a single-core container" caveat visible
+// in the committed data instead of a README footnote.
 type Document struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
@@ -63,7 +71,7 @@ func main() {
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {
-	doc := &Document{Results: []Result{}}
+	doc := &Document{NumCPU: runtime.NumCPU(), Results: []Result{}}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -76,10 +84,16 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 		case strings.HasPrefix(line, "cpu:"):
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			r, err := parseLine(line)
+			r, procs, err := parseLine(line)
 			if err != nil {
 				return nil, err
 			}
+			if procs == 0 {
+				// go test appends the -N name suffix only when GOMAXPROCS
+				// differs from 1, so its absence means exactly 1.
+				procs = 1
+			}
+			doc.GoMaxProcs = procs
 			doc.Results = append(doc.Results, r)
 		}
 	}
@@ -89,28 +103,30 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 	return doc, nil
 }
 
-// parseLine decodes one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." row.
-func parseLine(line string) (Result, error) {
+// parseLine decodes one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." row,
+// returning the GOMAXPROCS the suffix encodes (0 when there is none).
+func parseLine(line string) (Result, int, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return Result{}, fmt.Errorf("short benchmark line: %q", line)
+		return Result{}, 0, fmt.Errorf("short benchmark line: %q", line)
 	}
-	name := fields[0]
+	name, procs := fields[0], 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the GOMAXPROCS suffix; it is environment, not identity.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		// Strip the GOMAXPROCS suffix; it is environment, not identity —
+		// but record it in the document header.
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], n
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		return Result{}, 0, fmt.Errorf("bad iteration count in %q: %w", line, err)
 	}
 	r := Result{Name: name, Iterations: iters}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Result{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			return Result{}, 0, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -128,5 +144,5 @@ func parseLine(line string) (Result, error) {
 			r.Metrics[unit] = v
 		}
 	}
-	return r, nil
+	return r, procs, nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(baseNS, subjNS, baseEvents, subjEvents float64) *Document {
+	return &Document{
+		GoMaxProcs: 4,
+		Results: []Result{
+			{Name: "BenchmarkPDESFabric/shards=1", NsPerOp: baseNS,
+				Metrics: map[string]float64{"events/op": baseEvents}},
+			{Name: "BenchmarkPDESFabric/shards=4", NsPerOp: subjNS,
+				Metrics: map[string]float64{"events/op": subjEvents}},
+		},
+	}
+}
+
+func runGate(t *testing.T, d *Document, maxRegress float64) error {
+	t.Helper()
+	b, err := find(d, "BenchmarkPDESFabric/shards=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := find(d, "BenchmarkPDESFabric/shards=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gate(d, b, s, maxRegress)
+}
+
+func TestGateCleanSpeedup(t *testing.T) {
+	if err := runGate(t, doc(100e6, 60e6, 217596, 217596), 0.10); err != nil {
+		t.Fatalf("speedup flagged: %v", err)
+	}
+}
+
+func TestGateWithinRegressBudget(t *testing.T) {
+	if err := runGate(t, doc(100e6, 109e6, 217596, 217596), 0.10); err != nil {
+		t.Fatalf("9%% regression flagged at 10%% budget: %v", err)
+	}
+}
+
+func TestGateScalingViolation(t *testing.T) {
+	err := runGate(t, doc(100e6, 125e6, 217596, 217596), 0.10)
+	if err == nil || !strings.Contains(err.Error(), "scaling violation") {
+		t.Fatalf("25%% regression not flagged: %v", err)
+	}
+}
+
+func TestGateDeterminismViolation(t *testing.T) {
+	// Even a faster sharded point fails when the event counts differ: the
+	// shard count changed what was simulated, not just how fast.
+	err := runGate(t, doc(100e6, 50e6, 217596, 217597), 0.10)
+	if err == nil || !strings.Contains(err.Error(), "determinism violation") {
+		t.Fatalf("events/op mismatch not flagged: %v", err)
+	}
+}
+
+func TestGateMissingEventsMetric(t *testing.T) {
+	d := doc(100e6, 90e6, 217596, 217596)
+	d.Results[1].Metrics = nil
+	err := runGate(t, d, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "events/op metric missing") {
+		t.Fatalf("missing metric not flagged: %v", err)
+	}
+}
+
+func TestFindMissingBenchmark(t *testing.T) {
+	if _, err := find(doc(1, 1, 1, 1), "BenchmarkPDESFabric/shards=8"); err == nil {
+		t.Fatal("missing sub-benchmark not reported")
+	}
+}

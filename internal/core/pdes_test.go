@@ -197,3 +197,189 @@ func TestScaleTopologyRuns(t *testing.T) {
 	}
 	sys.Stop()
 }
+
+// fingerprintTweak is fingerprint with a hook between Start and RunFor,
+// for tests that flip fabric knobs (ForceParallel) on an otherwise
+// identical run.
+func fingerprintTweak(t *testing.T, cfg Config, d time.Duration, tweak func(*System)) runFingerprint {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if tweak != nil {
+		tweak(sys)
+	}
+	if err := sys.RunFor(d); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	fp := runFingerprint{samples: sys.Collector().Samples()}
+	for _, e := range sys.EventLog().Events() {
+		fp.events = append(fp.events, e.String())
+	}
+	sort.Strings(fp.events)
+	min, max, ok := sys.SyncLatencies().Extrema()
+	fp.minNS, fp.maxNS, fp.haveLat = int64(min), int64(max), ok
+	fp.precNS, fp.precOK = sys.TruePrecision()
+	fp.ftaReady = sys.AllInFTOperation()
+	fp.frames = framesTotal(sys)
+	sys.Stop()
+	return fp
+}
+
+// TestShardEquivalenceForceParallel re-proves the determinism contract with
+// the serial fast path disabled: every window with ≥1 busy shard goes
+// through the persistent-worker barrier, on any core count. This is the
+// test that keeps the worker path honest on single-core runners, where the
+// GOMAXPROCS heuristic would otherwise hide it entirely.
+func TestShardEquivalenceForceParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard sweep")
+	}
+	const d = 1200 * time.Millisecond
+	ref := fingerprint(t, ScaleConfig(7, 3, 3, 2, 1), d)
+	for _, shards := range []int{2, 6} {
+		fp := fingerprintTweak(t, ScaleConfig(7, 3, 3, 2, shards), d, func(sys *System) {
+			sys.Fabric().ForceParallel = true
+		})
+		requireSameFingerprint(t, fmt.Sprintf("forced-parallel shards=%d", shards), ref, fp)
+	}
+}
+
+// TestFabricLookaheadInvalidation pins the cached-lookahead contract at
+// the system level: the O(boundaries) rescan runs once per run plus once
+// per delay mutation — not once per window — and a boundary-link override
+// reported through the BindFabric hook lands in the effective lookahead.
+func TestFabricLookaheadInvalidation(t *testing.T) {
+	sys, err := NewSystem(ScaleConfig(7, 2, 3, 2, 2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer sys.Stop()
+	if err := sys.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Fabric().Stats()
+	if st.Windows < 100 {
+		t.Fatalf("only %d windows — topology too idle for this test", st.Windows)
+	}
+	if st.LookaheadRescans != 1 {
+		t.Fatalf("LookaheadRescans = %d over %d windows, want 1 (cache never invalidated)",
+			st.LookaheadRescans, st.Windows)
+	}
+
+	// Mutate one boundary link's delay override from driver context, as the
+	// chaos engine would from a control callback.
+	var mutated bool
+	for _, l := range sys.Links() {
+		if l.Boundary() {
+			l.SetDelayOverride(0, -200*time.Nanosecond)
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("2-shard scale topology has no boundary link")
+	}
+	if err := sys.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st = sys.Fabric().Stats()
+	if st.LookaheadRescans != 2 {
+		t.Fatalf("LookaheadRescans = %d after one mutation, want 2", st.LookaheadRescans)
+	}
+	want := int64(1 << 62)
+	for _, l := range sys.Links() {
+		if l.Boundary() {
+			if d := int64(l.MinDelay()); d < want {
+				want = d
+			}
+		}
+	}
+	if want < 1 {
+		want = 1
+	}
+	if st.LookaheadNS != want {
+		t.Fatalf("post-mutation LookaheadNS = %d, want current boundary minimum %d", st.LookaheadNS, want)
+	}
+}
+
+// TestSystemCloseIdempotent pins the system-level lifecycle: Close is
+// idempotent, Stop implies Close, the system keeps simulating (serially)
+// after Close, and an unsharded system tolerates Close as a no-op.
+func TestSystemCloseIdempotent(t *testing.T) {
+	sys, err := NewSystem(ScaleConfig(7, 2, 3, 2, 2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	sys.Close()
+	if err := sys.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor after Close: %v", err)
+	}
+	st := sys.Fabric().Stats()
+	if st.SerialWindows == 0 {
+		t.Fatal("closed fabric reported zero serial windows")
+	}
+	sys.Stop() // Stop after Close must also be safe
+
+	unsharded, err := NewSystem(NewConfig(7))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	unsharded.Close() // no fabric: must be a no-op
+}
+
+// TestPDESMetricsPresence pins the observability satellite: the window-
+// machinery counters are registered and plumbed through the registry that
+// -metrics JSONL and the served /metrics endpoint snapshot.
+func TestPDESMetricsPresence(t *testing.T) {
+	sys, err := NewSystem(ScaleConfig(7, 2, 3, 2, 2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer sys.Stop()
+	if err := sys.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	count := map[string]int{}
+	for _, m := range sys.Metrics().Snapshot() {
+		count[m.Name]++
+		vals[m.Name] = m.Value
+	}
+	for _, name := range []string{
+		"pdes_flush_skipped", "pdes_lookahead_rescans", "pdes_serial_windows",
+		"pdes_windows", "pdes_lookahead_ns",
+	} {
+		if count[name] != 1 {
+			t.Errorf("%s: %d series, want 1", name, count[name])
+		}
+	}
+	if vals["pdes_lookahead_rescans"] != 1 {
+		t.Errorf("pdes_lookahead_rescans = %v, want 1 (cache holds without mutations)",
+			vals["pdes_lookahead_rescans"])
+	}
+	if vals["pdes_flush_skipped"] <= 0 {
+		t.Errorf("pdes_flush_skipped = %v, want > 0 (send-free barriers must skip flushing)",
+			vals["pdes_flush_skipped"])
+	}
+	if v, w := vals["pdes_serial_windows"], vals["pdes_windows"]; v < 0 || v > w {
+		t.Errorf("pdes_serial_windows = %v outside [0, windows=%v]", v, w)
+	}
+}

@@ -275,6 +275,9 @@ func (s *System) instrumentKernel() {
 	reg.GaugeFunc("pdes_mailbox_frames", func() float64 { return float64(s.fabric.Stats().Committed) })
 	reg.GaugeFunc("pdes_lookahead_ns", func() float64 { return float64(s.fabric.Stats().LookaheadNS) })
 	reg.GaugeFunc("pdes_barrier_wait_ns_total", func() float64 { return float64(s.fabric.Stats().BarrierWaitNS) })
+	reg.GaugeFunc("pdes_serial_windows", func() float64 { return float64(s.fabric.Stats().SerialWindows) })
+	reg.GaugeFunc("pdes_flush_skipped", func() float64 { return float64(s.fabric.Stats().FlushesSkipped) })
+	reg.GaugeFunc("pdes_lookahead_rescans", func() float64 { return float64(s.fabric.Stats().LookaheadRescans) })
 	hist := reg.Histogram("pdes_barrier_wait_ns", []float64{1e3, 1e4, 1e5, 1e6, 1e7})
 	s.fabric.BarrierObserver = hist.Observe
 }
@@ -736,6 +739,18 @@ func (s *System) Stop() {
 			Detail: fmt.Sprintf("%d events clamped to now", clamps)})
 	}
 	s.started = false
+	s.Close()
+}
+
+// Close terminates the fabric's persistent shard workers. The system stays
+// usable — RunFor/RunUntil keep working, with sharded windows executed
+// serially on the calling goroutine — so callers that only want to release
+// the goroutines (benchmark iterations, job teardown) need not Stop.
+// Idempotent; a no-op on unsharded systems. Stop calls it automatically.
+func (s *System) Close() {
+	if s.fabric != nil {
+		s.fabric.Close()
+	}
 }
 
 // RunFor advances the simulation by d.

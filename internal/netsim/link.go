@@ -79,6 +79,13 @@ type Link struct {
 	// run.
 	deferred bool
 	outbox   [2][]sim.Deferred
+	// Fabric hooks (sim.BoundaryBinder), set only on boundary links inside
+	// a sharded system. markDirty registers the link for the next barrier
+	// flush on the first deferred send per direction; invalidateLA marks
+	// the fabric's lookahead cache stale after any MinDelay-affecting
+	// mutation. Both are nil on ordinary links and unsharded runs.
+	markDirty    func()
+	invalidateLA func()
 	// deliver holds one prebound delivery callback per direction so Send
 	// can schedule through AtArg without allocating a closure per frame.
 	deliver [2]func(any)
@@ -117,6 +124,28 @@ type Link struct {
 
 // Lost reports how many frames the link dropped by stochastic loss.
 func (l *Link) Lost() uint64 { return l.lost }
+
+// BindFabric implements sim.BoundaryBinder: the fabric installs its
+// dirty-list and lookahead-invalidation hooks when the link is registered
+// as a cross-shard boundary.
+func (l *Link) BindFabric(markDirty, invalidateLookahead func()) {
+	l.markDirty = markDirty
+	l.invalidateLA = invalidateLookahead
+}
+
+// minDelayChanged reports a (possible) MinDelay change to the fabric so
+// the cached lookahead is rescanned before the next window. Every mutator
+// that touches a delay axis calls it — including SetDelayAttack, whose
+// axis never enters MinDelay: one spurious O(boundaries) rescan per attack
+// install is cheaper than coupling this call-site rule to the MinDelay
+// formula. All such mutations happen in control/driver context (chaos and
+// WAN drift tick on the control scheduler, attack installs and snapshot
+// restores at driver time), which is exactly when the hook is allowed.
+func (l *Link) minDelayChanged() {
+	if l.invalidateLA != nil {
+		l.invalidateLA()
+	}
+}
 
 // FaultDropped reports frames discarded by injected faults (link down,
 // frames caught in flight during an outage).
@@ -218,6 +247,7 @@ func (l *Link) SetLossModel(m LossModel) { l.lossModel = m }
 func (l *Link) SetDelayOverride(extra, asym time.Duration) {
 	l.extraDelay = extra
 	l.asymDelay = asym
+	l.minDelayChanged()
 }
 
 // SetWanDelay sets the WAN drift axis: extra latency on both directions
@@ -231,6 +261,7 @@ func (l *Link) SetWanDelay(extra, asym time.Duration) {
 	}
 	l.wanExtra = extra
 	l.wanAsym = asym
+	l.minDelayChanged()
 }
 
 // WanDelay reports the current WAN drift axis (extra, asym).
@@ -253,7 +284,10 @@ func (l *Link) DirectionalDelay(dir int) time.Duration {
 // delay adversary. Unlike SetDelayOverride — which shifts every frame in a
 // direction — an attack selects its victims frame by frame (e.g. only Sync
 // messages of one domain), modelling a selective gPTP delay attacker.
-func (l *Link) SetDelayAttack(a DelayAttack) { l.delayAttack = a }
+func (l *Link) SetDelayAttack(a DelayAttack) {
+	l.delayAttack = a
+	l.minDelayChanged()
+}
 
 // Send transmits a frame from port "from" toward the peer. Delivery is
 // scheduled after propagation plus jitter; deliveries in one direction
@@ -266,6 +300,13 @@ func (l *Link) Send(from *Port, f *Frame) {
 	}
 	key1, key2, key3 := l.scheds[dir].SchedKeys()
 	if l.deferred {
+		// First capture in this direction since the last barrier: register
+		// with the fabric's dirty list. Each direction has a single writer
+		// (the shard owning ends[dir]), so the emptiness check races with
+		// nothing; the fabric dedups the two directions' registrations.
+		if len(l.outbox[dir]) == 0 && l.markDirty != nil {
+			l.markDirty()
+		}
 		l.outbox[dir] = append(l.outbox[dir], sim.Deferred{
 			Key1: key1, Key2: key2, Key3: key3, Dir: dir,
 			Ord:     l.scheds[dir].NextDeferOrd(),
@@ -439,6 +480,7 @@ func (l *Link) Restore(snap any) {
 	l.wanAsym = sn.wanAsym
 	l.dropBefore = sn.dropBefore
 	l.faultedDrop = sn.faultedDrop
+	l.minDelayChanged()
 }
 
 func (l *Link) delay(dir int, f *Frame) time.Duration {

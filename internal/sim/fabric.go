@@ -39,9 +39,29 @@ package sim
 // observes (and schedules against) shard clocks reading exactly tc — which
 // matches the single-scheduler order because control callbacks carry older
 // insertion sequences than same-instant protocol re-arms.
+//
+// The per-window machinery itself is kept off the hot path three ways
+// (fabric_worker.go holds the first):
+//
+//   - Shard execution is dispatched to long-lived per-shard worker
+//     goroutines over a spin-then-park epoch barrier instead of spawning a
+//     goroutine per window; a deterministic serial fast path runs busy
+//     shards inline on the coordinator when parallelism cannot pay
+//     (GOMAXPROCS 1, a single busy shard, nearly-empty queues, or a closed
+//     fabric). Both paths execute the same events against the same state,
+//     so the choice is invisible to every determinism surface.
+//   - The lookahead is cached: the O(boundaries) MinDelay rescan happens
+//     only after InvalidateLookahead, which bound boundaries call whenever
+//     a delay mutation (chaos override, WAN drift step, attack install,
+//     snapshot restore) could change their MinDelay.
+//   - flush visits only boundaries that registered into the dirty list on
+//     their first deferred append since the previous barrier; a barrier
+//     with no captured sends skips the sort-and-commit path entirely.
 
 import (
-	"sync"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -91,15 +111,42 @@ type Boundary interface {
 	AppendDeferred(buf []Deferred) []Deferred
 }
 
+// BoundaryBinder is optionally implemented by boundaries that integrate
+// with the fabric's dirty-list flush and cached lookahead. NewFabric calls
+// BindFabric once per registered boundary; a boundary that does not
+// implement it is scanned at every barrier and its MinDelay mutations must
+// be reported through Fabric.InvalidateLookahead by whoever mutates it.
+type BoundaryBinder interface {
+	// BindFabric installs the fabric-side hooks.
+	//
+	// markDirty must be called (at least) on the first send deferred after
+	// a barrier — before or after appending it — so the fabric knows to
+	// visit this boundary at the next flush. It is safe to call
+	// concurrently from shard goroutines and is idempotent within a
+	// window, so "call when the per-direction outbox transitions from
+	// empty" is the intended (and cheapest) protocol.
+	//
+	// invalidateLookahead must be called after any mutation that can
+	// change MinDelay's value (delay overrides, WAN drift steps, attack
+	// hooks, snapshot restores). It may only be called while shards are
+	// paused — from control-scheduler callbacks, barrier commits, or
+	// driver code between RunUntil calls — never from a shard callback.
+	BindFabric(markDirty, invalidateLookahead func())
+}
+
 // FabricStats are cumulative fabric-level counters, sampled by the obs
-// layer. BarrierWait values are wall-clock and therefore excluded from any
-// determinism surface.
+// layer. BarrierWait values are wall-clock — and SerialWindows depends on
+// GOMAXPROCS — so both are excluded from any determinism surface.
 type FabricStats struct {
 	Windows       uint64 // barrier-separated execution windows run
 	ControlRounds uint64 // control-scheduler turns fired between windows
 	Committed     uint64 // cross-shard sends committed through mailboxes
 	BarrierWaitNS uint64 // total wall ns the coordinator waited on shards
 	LookaheadNS   int64  // last computed lookahead window size
+
+	SerialWindows    uint64 // windows run inline on the coordinator (no worker dispatch)
+	FlushesSkipped   uint64 // barriers with no captured sends: flush was a no-op
+	LookaheadRescans uint64 // O(boundaries) MinDelay rescans actually performed
 }
 
 // Fabric coordinates sharded execution. It is driven from a single
@@ -111,20 +158,70 @@ type Fabric struct {
 
 	now   Time
 	buf   []Deferred
-	busy  []*Scheduler
-	errs  []error
+	busy  []int // indices into shards, reused across windows
 	stats FabricStats
 
+	// Cached lookahead: lookCached is valid while lookStale is false.
+	// InvalidateLookahead (driver/control context only) marks it stale.
+	lookStale  bool
+	lookCached Time
+
+	// Dirty-boundary flush. dirtyFlags[rank] is CAS-claimed by the first
+	// markDirty within a window; the claimer publishes rank into
+	// dirtyList[dirtyN++]. Shard goroutines only ever touch the atomics;
+	// the coordinator drains and resets both at the barrier, so the plain
+	// slice writes are ordered by the barrier synchronization itself.
+	dirtyFlags []atomic.Uint32
+	dirtyList  []int32
+	dirtyN     atomic.Int32
+	// scanRanks lists boundaries that did not implement BoundaryBinder;
+	// they are visited at every flush, preserving the legacy contract.
+	scanRanks []int
+
+	// Persistent shard workers (fabric_worker.go). The group is allocated
+	// lazily on the first parallel window and released at Close; it holds
+	// no back-reference to the fabric, so a fabric abandoned without Close
+	// stays collectable and its finalizer reaps the workers.
+	group    *workerGroup
+	closed   bool
+	maxprocs int
+
+	// ForceParallel bypasses every serial fast-path heuristic and routes
+	// each multi-shard-capable window through the worker barrier, even on
+	// a single core. Both paths produce bit-identical simulations; this is
+	// a hook for determinism tests and barrier stress tests, not a tuning
+	// knob.
+	ForceParallel bool
+
 	// BarrierObserver, when set, receives the wall-clock nanoseconds the
-	// coordinator spent waiting at each barrier (obs histogram hook).
+	// coordinator spent waiting at each parallel barrier (obs histogram
+	// hook).
 	BarrierObserver func(ns float64)
 }
 
 // NewFabric assembles a fabric over per-shard schedulers, a control
 // scheduler (which must not be one of the shards) and the registered
-// cross-shard boundaries.
+// cross-shard boundaries. Boundaries implementing BoundaryBinder are bound
+// to the fabric's dirty list and lookahead cache.
 func NewFabric(shards []*Scheduler, control *Scheduler, bounds []Boundary) *Fabric {
-	return &Fabric{shards: shards, control: control, bounds: bounds}
+	f := &Fabric{
+		shards:    shards,
+		control:   control,
+		bounds:    bounds,
+		lookStale: true,
+		maxprocs:  runtime.GOMAXPROCS(0),
+	}
+	f.dirtyFlags = make([]atomic.Uint32, len(bounds))
+	f.dirtyList = make([]int32, len(bounds))
+	for rank, b := range bounds {
+		if binder, ok := b.(BoundaryBinder); ok {
+			rank := rank
+			binder.BindFabric(func() { f.markDirty(rank) }, f.InvalidateLookahead)
+		} else {
+			f.scanRanks = append(f.scanRanks, rank)
+		}
+	}
+	return f
 }
 
 // Now reports the fabric's committed instant: every shard has processed all
@@ -136,16 +233,47 @@ func (f *Fabric) Stats() FabricStats { return f.stats }
 
 // Resync realigns the fabric clock with its shards after an external
 // restore (warm-start fork). Valid only at driver time, when every shard
-// has been restored to the same instant and all outboxes are empty.
-func (f *Fabric) Resync() { f.now = f.shards[0].Now() }
+// has been restored to the same instant and all outboxes are empty. The
+// lookahead cache is invalidated: the restore may have rewritten delay
+// state without going through the bound mutators.
+func (f *Fabric) Resync() {
+	f.now = f.shards[0].Now()
+	f.InvalidateLookahead()
+}
 
-// lookahead computes the current safe window extension: the minimum
+// InvalidateLookahead marks the cached lookahead stale, forcing an
+// O(boundaries) MinDelay rescan before the next window. Bound boundaries
+// call it through their BindFabric hook on any delay mutation; external
+// callers mutating an unbound boundary's delay must call it themselves.
+// Like the hook, it may only be called while shards are paused.
+func (f *Fabric) InvalidateLookahead() { f.lookStale = true }
+
+// markDirty is the BindFabric dirty hook for boundary rank: the first call
+// within a window claims the flag and publishes the rank to the dirty
+// list; subsequent calls (same or other direction, any shard) are no-ops
+// until flush resets the flag.
+func (f *Fabric) markDirty(rank int) {
+	if f.dirtyFlags[rank].CompareAndSwap(0, 1) {
+		f.dirtyList[f.dirtyN.Add(1)-1] = int32(rank)
+	}
+}
+
+// lookahead returns the current safe window extension: the minimum
 // cross-shard delay over all boundaries, at least 1 ns so windows always
-// make progress. Recomputed every window, so chaos delay overrides narrow
-// or widen the window from the next barrier on.
+// make progress. The value is cached; the rescan runs only after an
+// invalidation (chaos delay overrides, WAN drift steps, attack installs
+// and snapshot restores all invalidate through the BindFabric hook, so
+// they still narrow or widen the window from the next barrier on).
 func (f *Fabric) lookahead() Time {
+	if !f.lookStale {
+		return f.lookCached
+	}
+	f.lookStale = false
+	f.stats.LookaheadRescans++
 	if len(f.bounds) == 0 {
-		return Time(1<<62 - 1)
+		f.lookCached = Time(1<<62 - 1)
+		f.stats.LookaheadNS = int64(f.lookCached)
+		return f.lookCached
 	}
 	min := f.bounds[0].MinDelay()
 	for _, b := range f.bounds[1:] {
@@ -157,19 +285,37 @@ func (f *Fabric) lookahead() Time {
 		min = 1
 	}
 	f.stats.LookaheadNS = int64(min)
-	return Time(min)
+	f.lookCached = Time(min)
+	return f.lookCached
 }
 
-// flush drains every boundary outbox and commits the deferred sends in the
-// fixed global order (Key1, Key2, Key3, Ord, Rank, Dir). Runs single-threaded
+// flush drains the boundary outboxes that captured sends since the last
+// barrier — the self-registered dirty list plus every unbound boundary —
+// and commits the deferred sends in the fixed global order (Key1, Key2,
+// Key3, Ord, Rank, Dir). A barrier where no boundary captured anything
+// returns without visiting a single boundary. Runs single-threaded at
 // barriers, while all shards are paused.
 func (f *Fabric) flush() {
+	n := int(f.dirtyN.Load())
+	if n == 0 && len(f.scanRanks) == 0 {
+		f.stats.FlushesSkipped++
+		return
+	}
 	buf := f.buf[:0]
-	for rank, b := range f.bounds {
+	for _, r := range f.dirtyList[:n] {
+		f.dirtyFlags[r].Store(0)
 		start := len(buf)
-		buf = b.AppendDeferred(buf)
+		buf = f.bounds[r].AppendDeferred(buf)
 		for i := start; i < len(buf); i++ {
-			buf[i].Rank = rank
+			buf[i].Rank = int(r)
+		}
+	}
+	f.dirtyN.Store(0)
+	for _, r := range f.scanRanks {
+		start := len(buf)
+		buf = f.bounds[r].AppendDeferred(buf)
+		for i := start; i < len(buf); i++ {
+			buf[i].Rank = r
 		}
 	}
 	if len(buf) > 1 {
@@ -187,7 +333,10 @@ func (f *Fabric) flush() {
 // sortDeferred orders deferred sends by (Key1, Key2, Key3, Ord, Rank, Dir),
 // a hand-rolled insertion/shell hybrid: barriers usually carry a handful of
 // sends, and sort.Slice's closure allocates on a path run tens of thousands
-// of times per simulated second.
+// of times per simulated second. The key is total over distinct sends (Ord
+// is unique per source shard; Rank and Dir separate the rest), so the
+// unstable gap passes cannot reorder equals — the drain order of the dirty
+// list never shows through.
 func sortDeferred(d []Deferred) {
 	for gap := len(d) / 2; gap > 0; gap /= 2 {
 		for i := gap; i < len(d); i++ {
@@ -220,52 +369,49 @@ func deferredLess(a, b *Deferred) bool {
 	return a.Dir < b.Dir
 }
 
+// serialPendingMax is the busy-shard queue-depth sum below which a window
+// is run serially even when several shards are busy: with almost nothing
+// queued anywhere, a window can only hold a handful of events and the
+// barrier wake-up costs more than it parallelizes away.
+const serialPendingMax = 16
+
 // runWindow advances every shard to end: shards with pending work in the
-// window run concurrently, idle shards fast-forward inline. Returns the
-// first shard error (ErrStopped propagates).
+// window run concurrently on the persistent workers, idle shards
+// fast-forward inline. A deterministic serial fast path executes the busy
+// shards in shard order on the coordinator when parallelism cannot pay:
+// a single core, a lone busy shard, nearly-empty queues, or a closed
+// fabric. Both paths fire the same events against the same state, so the
+// choice never reaches a determinism surface. Returns the first busy
+// shard's error in shard order (ErrStopped propagates); every busy shard
+// finishes its window either way.
 func (f *Fabric) runWindow(end Time) error {
 	busy := f.busy[:0]
-	for _, sc := range f.shards {
+	pending := 0
+	for i, sc := range f.shards {
 		if at, ok := sc.NextEventAt(); ok && at <= end {
-			busy = append(busy, sc)
+			busy = append(busy, i)
+			pending += sc.Pending()
 		} else {
 			sc.SkipTo(end)
 		}
 	}
 	f.busy = busy // keep the backing array for the next window
 	f.stats.Windows++
-	switch len(busy) {
-	case 0:
+	if len(busy) == 0 {
 		return nil
-	case 1:
-		return busy[0].RunUntil(end)
 	}
-	if cap(f.errs) < len(busy) {
-		f.errs = make([]error, len(busy))
-	}
-	errs := f.errs[:len(busy)]
-	var wg sync.WaitGroup
-	wg.Add(len(busy) - 1)
-	for i := 1; i < len(busy); i++ {
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = busy[i].RunUntil(end)
-		}(i)
-	}
-	errs[0] = busy[0].RunUntil(end)
-	waitStart := time.Now()
-	wg.Wait()
-	waitNS := uint64(time.Since(waitStart))
-	f.stats.BarrierWaitNS += waitNS
-	if f.BarrierObserver != nil {
-		f.BarrierObserver(float64(waitNS))
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	if !f.ForceParallel &&
+		(f.closed || f.maxprocs == 1 || len(busy) == 1 || pending <= serialPendingMax) {
+		f.stats.SerialWindows++
+		var firstErr error
+		for _, i := range busy {
+			if err := f.shards[i].RunUntil(end); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
+		return firstErr
 	}
-	return nil
+	return f.runWindowParallel(busy, end)
 }
 
 // minShardNext reports the earliest pending event across all shards.
@@ -294,8 +440,13 @@ func (f *Fabric) advanceAll(t Time) error {
 }
 
 // RunUntil advances the whole fabric to absolute instant target, windowing
-// shard execution and firing control events at the barriers.
+// shard execution and firing control events at the barriers. A target
+// behind the committed instant is rejected: the fabric cannot rewind, and
+// silently treating it as a no-op would hide driver arithmetic bugs.
 func (f *Fabric) RunUntil(target Time) error {
+	if target < f.now {
+		return fmt.Errorf("sim: fabric RunUntil(%v) behind committed instant %v", target, f.now)
+	}
 	for {
 		e, haveShard := f.minShardNext()
 		tc, haveCtl := f.control.NextEventAt()

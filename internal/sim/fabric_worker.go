@@ -1,0 +1,253 @@
+package sim
+
+// Persistent shard workers and the epoch barrier that drives them.
+//
+// One goroutine per shard is started lazily on the first parallel window
+// and lives until Fabric.Close. A window dispatch is a single epoch-counter
+// store per worker (plus a channel send only if that worker had parked);
+// completion is a single atomic decrement per worker (plus a channel send
+// only if the coordinator had parked). Workers spin briefly before parking
+// so that back-to-back windows — the common case in a converged fabric —
+// never touch the channels at all.
+//
+//	coordinator                         worker w (one per shard)
+//	-----------                         ------------------------
+//	barrier.Store(remaining<<1)         await(last):
+//	epoch++                               spin: epoch.Load() != last? go
+//	for each busy worker w:               park: parked.Store(1)
+//	  w.end, w.quit = end, false                recheck epoch; CAS parked
+//	  w.epoch.Store(epoch)                      1→0 or drain wake; <-wake
+//	  if w.parked.CAS(1,0): w.wake <-   run: err = sc.RunUntil(end)
+//	run busy[0] inline                  done: if barrier.Add(-2) == 1:
+//	awaitWorkers():                             g.done <- struct{}{}
+//	  spin: barrier.Load() == 0? go     loop to await
+//	  park: CAS barrier s→s|1; <-done
+//
+// The barrier word packs the remaining-worker count in the high bits and a
+// coordinator-parked bit in bit 0. A finishing worker decrements by 2 and
+// reads the parked bit out of the same atomic op, so "last worker done"
+// and "coordinator is parked" are decided together — a worker from window
+// N can never leave a stale token in g.done for window N+1's coordinator
+// to consume. Worker epochs are uint64 so a spinning worker can never
+// observe a wrapped-around epoch equal to its last one.
+//
+// The barrier state lives in a workerGroup allocated separately from the
+// Fabric, and worker goroutines reference only the group and their own
+// scheduler — never the Fabric. Goroutine stacks are GC roots, so workers
+// holding the Fabric would pin an abandoned fabric (and the whole System
+// hanging off it) forever; with the group decoupled, a fabric dropped
+// without Close becomes unreachable, its finalizer fires and reaps the
+// workers. Explicit Close remains the deterministic path (System.Stop,
+// benchmarks); the finalizer is the safety net for drivers that just let
+// a sharded system go out of scope.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// workerSpin bounds the epoch-polling iterations (each yielding the
+	// processor) a worker burns before parking on its wake channel.
+	workerSpin = 128
+	// coordSpin bounds the barrier-polling iterations before the
+	// coordinator parks on done.
+	coordSpin = 128
+)
+
+// workerGroup owns the persistent workers and the barrier state they
+// share with the coordinator. It deliberately holds no Fabric reference;
+// see the package comment above.
+type workerGroup struct {
+	workers []*fabricWorker
+	epoch   atomic.Uint64
+	barrier atomic.Int32 // remaining<<1 | coordinator-parked bit
+	done    chan struct{}
+	exited  sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// fabricWorker is the persistent goroutine owning one shard's window
+// execution. end/quit/err are plain fields: end and quit are written by
+// the dispatcher strictly before the epoch store that hands the window
+// over, and err strictly before the barrier decrement that hands it back.
+type fabricWorker struct {
+	g      *workerGroup
+	sc     *Scheduler
+	epoch  atomic.Uint64
+	parked atomic.Uint32
+	wake   chan struct{}
+	end    Time
+	quit   bool
+	err    error
+}
+
+// startWorkers spawns the per-shard workers. Called lazily from the first
+// window that takes the parallel path, so serial-only fabrics (one core,
+// one shard, or closed before converging) never carry idle goroutines.
+// The finalizer covers fabrics abandoned without Close.
+func (f *Fabric) startWorkers() {
+	g := &workerGroup{done: make(chan struct{}, 1)}
+	g.workers = make([]*fabricWorker, len(f.shards))
+	for i, sc := range f.shards {
+		w := &fabricWorker{g: g, sc: sc, wake: make(chan struct{}, 1)}
+		g.workers[i] = w
+		g.exited.Add(1)
+		go w.run()
+	}
+	f.group = g
+	runtime.SetFinalizer(f, (*Fabric).reapWorkers)
+}
+
+// reapWorkers is the GC finalizer installed by startWorkers: a fabric
+// dropped without Close still terminates its workers (which would
+// otherwise park forever, pinning every shard scheduler).
+func (f *Fabric) reapWorkers() {
+	if f.group != nil {
+		f.group.close()
+	}
+}
+
+func (w *fabricWorker) run() {
+	defer w.g.exited.Done()
+	last := uint64(0)
+	for {
+		last = w.await(last)
+		if w.quit {
+			return
+		}
+		w.err = w.sc.RunUntil(w.end)
+		if w.g.barrier.Add(-2) == 1 {
+			w.g.done <- struct{}{}
+		}
+	}
+}
+
+// await blocks until the dispatcher publishes an epoch newer than last and
+// returns it. The parked flag hands the worker between the spin and
+// channel regimes without losing a wake-up: after setting it the worker
+// rechecks the epoch, and if a dispatch already happened it un-parks
+// itself — or, if the dispatcher won the CAS race and committed to a
+// channel send, drains that send so it cannot satisfy a later await.
+func (w *fabricWorker) await(last uint64) uint64 {
+	for i := 0; i < workerSpin; i++ {
+		if e := w.epoch.Load(); e != last {
+			return e
+		}
+		runtime.Gosched()
+	}
+	w.parked.Store(1)
+	if e := w.epoch.Load(); e != last {
+		if !w.parked.CompareAndSwap(1, 0) {
+			<-w.wake
+		}
+		return e
+	}
+	<-w.wake
+	return w.epoch.Load()
+}
+
+// dispatch hands the (end, quit) command to w under the already-advanced
+// group epoch, waking it only if it had parked.
+func (g *workerGroup) dispatch(w *fabricWorker, end Time, quit bool) {
+	w.end, w.quit = end, quit
+	w.epoch.Store(g.epoch.Load())
+	if w.parked.CompareAndSwap(1, 0) {
+		w.wake <- struct{}{}
+	}
+}
+
+// close terminates every worker and waits for them to exit. Idempotent;
+// callable from Fabric.Close and from the finalizer.
+func (g *workerGroup) close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	g.epoch.Add(1)
+	for _, w := range g.workers {
+		g.dispatch(w, 0, true)
+	}
+	g.exited.Wait()
+}
+
+// runWindowParallel executes one window over ≥2 busy shards on the
+// persistent workers: busy[1:] are dispatched, busy[0] runs inline on the
+// coordinator, and the coordinator then waits at the barrier. Errors are
+// reported with the same semantics as the serial path: every busy shard
+// finishes its window, and the first error in busy (shard-index) order is
+// returned.
+func (f *Fabric) runWindowParallel(busy []int, end Time) error {
+	if f.group == nil {
+		f.startWorkers()
+	}
+	g := f.group
+	g.barrier.Store(int32(len(busy)-1) << 1)
+	g.epoch.Add(1)
+	for _, i := range busy[1:] {
+		g.dispatch(g.workers[i], end, false)
+	}
+	err0 := f.shards[busy[0]].RunUntil(end)
+	start := time.Now()
+	g.awaitWorkers()
+	wait := time.Since(start)
+	f.stats.BarrierWaitNS += uint64(wait)
+	if f.BarrierObserver != nil {
+		f.BarrierObserver(float64(wait))
+	}
+	if err0 != nil {
+		return err0
+	}
+	for _, i := range busy[1:] {
+		if err := g.workers[i].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitWorkers blocks until every dispatched worker has decremented the
+// barrier word. Parking is a CAS setting the word's low bit, re-read in
+// the same loop: either the count is already zero (no token was or will
+// be sent for this window) or the CAS publishes the bit and exactly one
+// worker — the last one, which observes it atomically in its decrement —
+// sends the token.
+func (g *workerGroup) awaitWorkers() {
+	for i := 0; i < coordSpin; i++ {
+		if g.barrier.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		s := g.barrier.Load()
+		if s>>1 == 0 {
+			return
+		}
+		if g.barrier.CompareAndSwap(s, s|1) {
+			break
+		}
+	}
+	<-g.done
+}
+
+// Close terminates the persistent workers and pins the fabric to its
+// serial path. The fabric remains fully usable afterwards — RunUntil keeps
+// working, with every window executed inline on the calling goroutine — so
+// drivers may Close as soon as they stop caring about parallelism (end of
+// a benchmark iteration, System.Stop) without ending the simulation.
+// Close is idempotent and must be called from the driving goroutine, never
+// concurrently with RunUntil.
+func (f *Fabric) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	if f.group == nil {
+		return
+	}
+	f.group.close()
+	f.group = nil
+	runtime.SetFinalizer(f, nil)
+}

@@ -1,0 +1,366 @@
+package sim
+
+// Lifecycle and stress tests for the persistent-worker barrier. The stress
+// test is in the -race set (Makefile verify): the epoch hand-off, the
+// park/wake CAS protocol and the dirty-list publication are exactly the
+// kind of lockless code the race detector exists for.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to want (the
+// runtime reaps exited goroutines asynchronously, so a single sample after
+// Close can race the reaper).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d still running, want ≤ %d (worker leak after Close)",
+				runtime.NumGoroutine(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFabricCloseStopsWorkers pins the worker lifecycle: a parallel run
+// spawns one goroutine per shard, Close reaps every one of them, and a
+// second Close is a no-op.
+func TestFabricCloseStopsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+	var recv01, recv10 []Time
+	p01 := &pipe{delay: 30 * time.Microsecond, dst: s1, recv: &recv01}
+	p10 := &pipe{delay: 30 * time.Microsecond, dst: s0, recv: &recv10}
+	for i := 0; i < 50; i++ {
+		at := Time(i * 100_000)
+		i := i
+		s0.At(at, func() { p01.send(s0, i) })
+		s1.At(at.Add(50*time.Microsecond), func() { p10.send(s1, i) })
+	}
+	f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+	f.ForceParallel = true
+	if err := f.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.group == nil {
+		t.Fatal("ForceParallel run never started the persistent workers")
+	}
+	f.Close()
+	if f.group != nil {
+		t.Fatal("Close left worker state behind")
+	}
+	f.Close() // double-Close must be a no-op
+	waitGoroutines(t, base)
+	if len(recv01) != 50 || len(recv10) != 50 {
+		t.Fatalf("deliveries %d/%d, want 50 each", len(recv01), len(recv10))
+	}
+}
+
+// spawnAbandonedFabric runs a sharded workload on the parallel path and
+// drops the fabric without Close, in its own frame so no test local keeps
+// it reachable.
+func spawnAbandonedFabric(t *testing.T) {
+	t.Helper()
+	s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+	var recv01, recv10 []Time
+	p01 := &pipe{delay: 30 * time.Microsecond, dst: s1, recv: &recv01}
+	p10 := &pipe{delay: 30 * time.Microsecond, dst: s0, recv: &recv10}
+	for i := 0; i < 20; i++ {
+		at := Time(i * 100_000)
+		i := i
+		s0.At(at, func() { p01.send(s0, i) })
+		s1.At(at.Add(50*time.Microsecond), func() { p10.send(s1, i) })
+	}
+	f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+	f.ForceParallel = true
+	if err := f.RunFor(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.group == nil {
+		t.Fatal("ForceParallel run never started the persistent workers")
+	}
+}
+
+// TestFabricAbandonedFabricIsReaped pins the finalizer safety net: a fabric
+// dropped without Close must not pin its workers forever. Workers reference
+// only the decoupled workerGroup, so the fabric becomes unreachable, its
+// finalizer fires, and the workers exit. (Registry experiments drop whole
+// Systems without Stop; without this, every sharded sweep point would leak
+// its shard goroutines on a multi-core host.)
+func TestFabricAbandonedFabricIsReaped(t *testing.T) {
+	base := runtime.NumGoroutine()
+	spawnAbandonedFabric(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d still running, want ≤ %d (abandoned fabric pinned its workers)",
+				runtime.NumGoroutine(), base)
+		}
+		// One GC to find the fabric unreachable and queue the finalizer,
+		// further rounds to let the finalizer goroutine run and the workers
+		// exit.
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFabricSerialAfterClose pins post-Close usability: a fabric closed
+// before (or mid-) run keeps simulating on the serial path and produces
+// the same trace as an open one.
+func TestFabricSerialAfterClose(t *testing.T) {
+	run := func(closeFirst bool) ([]Time, []Time, FabricStats) {
+		s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+		var recv01, recv10 []Time
+		p01 := &pipe{delay: 20 * time.Microsecond, dst: s1, recv: &recv01}
+		p10 := &pipe{delay: 20 * time.Microsecond, dst: s0, recv: &recv10}
+		for i := 0; i < 30; i++ {
+			at := Time(i * 70_000)
+			i := i
+			s0.At(at, func() { p01.send(s0, i) })
+			s1.At(at.Add(10*time.Microsecond), func() { p10.send(s1, i) })
+		}
+		f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+		if closeFirst {
+			f.Close()
+		}
+		if err := f.RunFor(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return recv01, recv10, f.Stats()
+	}
+	a01, a10, astats := run(true)
+	b01, b10, _ := run(false)
+	if !reflect.DeepEqual(a01, b01) || !reflect.DeepEqual(a10, b10) {
+		t.Fatal("closed (serial) fabric diverged from open fabric")
+	}
+	if astats.SerialWindows == 0 {
+		t.Fatal("closed fabric reported zero serial windows")
+	}
+}
+
+// TestFabricShardErrorTerminatesWorkers pins error semantics under the
+// worker barrier: a shard stopping mid-window surfaces ErrStopped from
+// RunUntil, every worker still completes its window (no wedged barrier),
+// and Close afterwards reaps all workers promptly.
+func TestFabricShardErrorTerminatesWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+	var recv01, recv10 []Time
+	p01 := &pipe{delay: 30 * time.Microsecond, dst: s1, recv: &recv01}
+	p10 := &pipe{delay: 30 * time.Microsecond, dst: s0, recv: &recv10}
+	for i := 0; i < 20; i++ {
+		at := Time(i * 100_000)
+		i := i
+		s0.At(at, func() { p01.send(s0, i) })
+		s1.At(at.Add(50*time.Microsecond), func() { p10.send(s1, i) })
+	}
+	// Shard 1 stops itself mid-run, inside a window both shards are busy in.
+	s1.At(Time(5*100_000+50_000), func() { s1.Stop() })
+	f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+	f.ForceParallel = true
+	err := f.RunFor(10 * time.Millisecond)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunFor error = %v, want ErrStopped", err)
+	}
+	f.Close()
+	waitGoroutines(t, base)
+}
+
+// TestFabricRunUntilBackwards pins the target validation: a target behind
+// the committed instant is an error, not a silent no-op or a spin.
+func TestFabricRunUntilBackwards(t *testing.T) {
+	s0, control := NewScheduler(), NewScheduler()
+	f := NewFabric([]*Scheduler{s0}, control, nil)
+	if err := f.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunUntil(999); err == nil {
+		t.Fatal("RunUntil behind the committed instant succeeded, want error")
+	}
+	if err := f.RunUntil(1000); err != nil {
+		t.Fatalf("RunUntil(now) must stay valid, got %v", err)
+	}
+}
+
+// TestFabricZeroBoundaryLookahead pins the satellite fix: the zero-boundary
+// fast path must publish its (effectively unbounded) lookahead into stats
+// instead of leaving the previous value behind.
+func TestFabricZeroBoundaryLookahead(t *testing.T) {
+	s0, control := NewScheduler(), NewScheduler()
+	s0.At(10, func() {})
+	f := NewFabric([]*Scheduler{s0}, control, nil)
+	if err := f.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.LookaheadNS != int64(Time(1<<62-1)) {
+		t.Fatalf("zero-boundary LookaheadNS = %d, want %d", st.LookaheadNS, int64(Time(1<<62-1)))
+	}
+	if st.LookaheadRescans != 1 {
+		t.Fatalf("LookaheadRescans = %d, want 1 (cached afterwards)", st.LookaheadRescans)
+	}
+}
+
+// binderPipe is a pipe that implements BoundaryBinder, so it exercises the
+// dirty-list path rather than the legacy always-scan path.
+type binderPipe struct {
+	pipe
+	markDirty  func()
+	invalidate func()
+}
+
+func (p *binderPipe) BindFabric(markDirty, invalidate func()) {
+	p.markDirty = markDirty
+	p.invalidate = invalidate
+}
+
+func (p *binderPipe) send(src *Scheduler, payload any) {
+	if len(p.out) == 0 && p.markDirty != nil {
+		p.markDirty()
+	}
+	p.pipe.send(src, payload)
+}
+
+// TestFabricLookaheadCacheAndDirtyFlush pins the caching machinery end to
+// end: the MinDelay rescan runs once up front and once per invalidation
+// (not per window), flush skips barriers with no captured sends when every
+// boundary is bound, and a delay mutation reported through the hook
+// changes the effective lookahead.
+func TestFabricLookaheadCacheAndDirtyFlush(t *testing.T) {
+	s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+	var recv01, recv10 []Time
+	p01 := &binderPipe{pipe: pipe{delay: 30 * time.Microsecond, dst: s1, recv: &recv01}}
+	p10 := &binderPipe{pipe: pipe{delay: 30 * time.Microsecond, dst: s0, recv: &recv10}}
+	for i := 0; i < 40; i++ {
+		at := Time(i * 100_000)
+		i := i
+		s0.At(at, func() { p01.send(s0, i) })
+		s1.At(at.Add(50*time.Microsecond), func() { p10.send(s1, i) })
+		// Local busywork that defers nothing: barriers after these windows
+		// must hit the flush fast path.
+		s0.At(at.Add(10*time.Microsecond), func() {})
+		s1.At(at.Add(10*time.Microsecond), func() {})
+	}
+	// Halve one pipe's delay mid-run via the control scheduler, reporting
+	// it through the bound invalidation hook — the canonical chaos/WAN
+	// mutation shape.
+	control.At(Time(2_000_000), func() {
+		p01.delay = 15 * time.Microsecond
+		p01.invalidate()
+	})
+	f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+	if err := f.RunFor(6 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st := f.Stats()
+	if p01.markDirty == nil || p10.markDirty == nil {
+		t.Fatal("NewFabric did not bind the BoundaryBinder pipes")
+	}
+	if st.LookaheadRescans != 2 {
+		t.Fatalf("LookaheadRescans = %d, want 2 (initial + one invalidation) over %d windows",
+			st.LookaheadRescans, st.Windows)
+	}
+	if st.LookaheadNS != int64(15*time.Microsecond) {
+		t.Fatalf("post-mutation LookaheadNS = %d, want %d", st.LookaheadNS, int64(15*time.Microsecond))
+	}
+	if st.FlushesSkipped == 0 {
+		t.Fatal("no barrier skipped flushing despite send-free windows")
+	}
+	if len(recv01) != 40 || len(recv10) != 40 {
+		t.Fatalf("deliveries %d/%d, want 40 each", len(recv01), len(recv10))
+	}
+}
+
+// TestFabricBarrierStress drives the worker barrier through thousands of
+// windows with a randomized busy-shard set per window — every subset size
+// from one lone shard to all eight — and checks the delivery traces are
+// bit-identical to a serial twin of the same workload. Run under -race
+// (make verify) this doubles as the memory-model check on the epoch
+// hand-off, the park/wake CAS and the dirty-list publication.
+func TestFabricBarrierStress(t *testing.T) {
+	const (
+		shards  = 8
+		rounds  = 3000
+		spacing = 10_000 // ns between rounds; lookahead is 5µs
+	)
+	build := func() (scheds []*Scheduler, control *Scheduler, bounds []Boundary, traces []*[]Time) {
+		control = NewScheduler()
+		for i := 0; i < shards; i++ {
+			scheds = append(scheds, NewScheduler())
+		}
+		rng := rand.New(rand.NewSource(7))
+		// Ring of binder pipes i -> (i+1)%shards.
+		for i := 0; i < shards; i++ {
+			tr := &[]Time{}
+			traces = append(traces, tr)
+			bounds = append(bounds, &binderPipe{pipe: pipe{
+				delay: 5 * time.Microsecond, dst: scheds[(i+1)%shards], recv: tr,
+			}})
+		}
+		for r := 0; r < rounds; r++ {
+			at := Time(r * spacing)
+			// A random subset of shards is busy this round; busy shards
+			// randomly either send around the ring or just do local work.
+			for i := 0; i < shards; i++ {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				i := i
+				if rng.Intn(2) == 0 {
+					sc, p := scheds[i], bounds[i].(*binderPipe)
+					scheds[i].At(at, func() { p.send(sc, r) })
+				} else {
+					scheds[i].At(at, func() {})
+				}
+			}
+		}
+		return
+	}
+
+	runTrace := func(parallel bool) ([]Time, FabricStats) {
+		scheds, control, bounds, traces := build()
+		f := NewFabric(scheds, control, bounds)
+		if parallel {
+			f.ForceParallel = true
+		} else {
+			f.Close() // pin to the serial path
+		}
+		if err := f.RunFor(time.Duration(rounds*spacing) + time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		var all []Time
+		for _, tr := range traces {
+			all = append(all, *tr...)
+		}
+		return all, f.Stats()
+	}
+
+	serial, sstats := runTrace(false)
+	par, pstats := runTrace(true)
+	if len(serial) == 0 {
+		t.Fatal("stress workload produced no deliveries")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel barrier diverged from serial twin: %d vs %d deliveries",
+			len(par), len(serial))
+	}
+	if sstats.Committed != pstats.Committed {
+		t.Fatalf("committed %d (serial) vs %d (parallel)", sstats.Committed, pstats.Committed)
+	}
+	if pstats.Windows < rounds/2 {
+		t.Fatalf("only %d windows over %d rounds — stress did not exercise the barrier", pstats.Windows, rounds)
+	}
+}
