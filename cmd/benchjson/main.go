@@ -20,22 +20,27 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. GoMaxProcs is populated only when the
+// document mixes lines with differing GOMAXPROCS (e.g. `go test -cpu=1,4`);
+// in the common uniform case the value lives once in the Document header.
 type Result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the emitted file: environment header plus results.
 // GoMaxProcs is recovered from the benchmark-name suffix (the `-N` go test
-// appends); NumCPU is sampled from the machine running benchjson, which
-// `make bench` pipelines on the same host as the benchmarks. Together they
-// make a "this baseline came from a single-core container" caveat visible
-// in the committed data instead of a README footnote.
+// appends) and set here only when every line agrees; a mixed run (`go test
+// -cpu=1,4`) records it per Result instead, so no line's environment is
+// misattributed. NumCPU is sampled from the machine running benchjson,
+// which `make bench` pipelines on the same host as the benchmarks.
+// Together they make a "this baseline came from a single-core container"
+// caveat visible in the committed data instead of a README footnote.
 type Document struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
@@ -93,12 +98,27 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 				// differs from 1, so its absence means exactly 1.
 				procs = 1
 			}
-			doc.GoMaxProcs = procs
+			r.GoMaxProcs = procs
 			doc.Results = append(doc.Results, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// Hoist a uniform GOMAXPROCS into the header; a mixed run (-cpu=1,4)
+	// keeps the per-result values so nothing is misattributed.
+	uniform := len(doc.Results) > 0
+	for _, r := range doc.Results {
+		if r.GoMaxProcs != doc.Results[0].GoMaxProcs {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		doc.GoMaxProcs = doc.Results[0].GoMaxProcs
+		for i := range doc.Results {
+			doc.Results[i].GoMaxProcs = 0
+		}
 	}
 	return doc, nil
 }

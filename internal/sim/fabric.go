@@ -400,8 +400,10 @@ func (f *Fabric) runWindow(end Time) error {
 	if len(busy) == 0 {
 		return nil
 	}
-	if !f.ForceParallel &&
-		(f.closed || f.maxprocs == 1 || len(busy) == 1 || pending <= serialPendingMax) {
+	// closed wins over ForceParallel: Close's contract is that the fabric
+	// simulates serially afterwards, never respawning workers.
+	if f.closed || (!f.ForceParallel &&
+		(f.maxprocs == 1 || len(busy) == 1 || pending <= serialPendingMax)) {
 		f.stats.SerialWindows++
 		var firstErr error
 		for _, i := range busy {

@@ -17,11 +17,12 @@ package sim
 //	for each busy worker w:               park: parked.Store(1)
 //	  w.end, w.quit = end, false                recheck epoch; CAS parked
 //	  w.epoch.Store(epoch)                      1→0 or drain wake; <-wake
-//	  if w.parked.CAS(1,0): w.wake <-   run: err = sc.RunUntil(end)
-//	run busy[0] inline                  done: if barrier.Add(-2) == 1:
-//	awaitWorkers():                             g.done <- struct{}{}
-//	  spin: barrier.Load() == 0? go     loop to await
-//	  park: CAS barrier s→s|1; <-done
+//	  if w.parked.CAS(1,0): w.wake <-           woke with epoch == last?
+//	run busy[0] inline                          stale wake — absorb, re-park
+//	awaitWorkers():                     run: err = sc.RunUntil(end)
+//	  spin: barrier.Load() == 0? go     done: if barrier.Add(-2) == 1:
+//	  park: CAS barrier s→s|1; <-done           g.done <- struct{}{}
+//	                                    loop to await
 //
 // The barrier word packs the remaining-worker count in the high bits and a
 // coordinator-parked bit in bit 0. A finishing worker decrements by 2 and
@@ -131,29 +132,53 @@ func (w *fabricWorker) run() {
 // rechecks the epoch, and if a dispatch already happened it un-parks
 // itself — or, if the dispatcher won the CAS race and committed to a
 // channel send, drains that send so it cannot satisfy a later await.
+//
+// A wake can arrive for an epoch this worker already consumed: if the
+// dispatcher is preempted between its epoch store and its parked CAS, the
+// spinning worker can pick up the epoch, run the whole window, re-enter
+// await and park — and only then does the delayed CAS succeed and send.
+// Such a stale wake leaves epoch == last; await must absorb it and keep
+// waiting, never return it, or run() would re-execute a completed window
+// and decrement the barrier twice.
 func (w *fabricWorker) await(last uint64) uint64 {
-	for i := 0; i < workerSpin; i++ {
+	for {
+		for i := 0; i < workerSpin; i++ {
+			if e := w.epoch.Load(); e != last {
+				return e
+			}
+			runtime.Gosched()
+		}
+		w.parked.Store(1)
+		if e := w.epoch.Load(); e != last {
+			if !w.parked.CompareAndSwap(1, 0) {
+				<-w.wake
+			}
+			return e
+		}
+		<-w.wake
 		if e := w.epoch.Load(); e != last {
 			return e
 		}
-		runtime.Gosched()
+		// Stale wake for an already-consumed epoch; go around and re-park.
 	}
-	w.parked.Store(1)
-	if e := w.epoch.Load(); e != last {
-		if !w.parked.CompareAndSwap(1, 0) {
-			<-w.wake
-		}
-		return e
-	}
-	<-w.wake
-	return w.epoch.Load()
 }
+
+// testDispatchGap, when set, runs between dispatch's epoch publish and
+// its parked CAS. Test-only: it widens the preemption window in which a
+// spinning worker consumes the epoch, finishes the window and re-parks
+// before the CAS lands, so the stale-wake path in await is actually hit.
+// Atomic because dispatch is also reached from finalizer goroutines
+// (reapWorkers → close), which can race a test installing the hook.
+var testDispatchGap atomic.Pointer[func(*fabricWorker)]
 
 // dispatch hands the (end, quit) command to w under the already-advanced
 // group epoch, waking it only if it had parked.
 func (g *workerGroup) dispatch(w *fabricWorker, end Time, quit bool) {
 	w.end, w.quit = end, quit
 	w.epoch.Store(g.epoch.Load())
+	if gap := testDispatchGap.Load(); gap != nil {
+		(*gap)(w)
+	}
 	if w.parked.CompareAndSwap(1, 0) {
 		w.wake <- struct{}{}
 	}

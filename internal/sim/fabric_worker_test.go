@@ -149,6 +149,148 @@ func TestFabricSerialAfterClose(t *testing.T) {
 	}
 }
 
+// TestFabricForceParallelAfterClose pins Close's precedence over
+// ForceParallel: a closed fabric must never take the parallel path, so it
+// cannot respawn workers (or re-register the finalizer) after Close.
+func TestFabricForceParallelAfterClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+	var recv01, recv10 []Time
+	p01 := &pipe{delay: 30 * time.Microsecond, dst: s1, recv: &recv01}
+	p10 := &pipe{delay: 30 * time.Microsecond, dst: s0, recv: &recv10}
+	for i := 0; i < 30; i++ {
+		at := Time(i * 100_000)
+		i := i
+		s0.At(at, func() { p01.send(s0, i) })
+		s1.At(at.Add(50*time.Microsecond), func() { p10.send(s1, i) })
+	}
+	f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+	f.ForceParallel = true
+	f.Close()
+	if err := f.RunFor(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.group != nil {
+		t.Fatal("closed fabric with ForceParallel respawned its workers")
+	}
+	if st := f.Stats(); st.SerialWindows == 0 {
+		t.Fatal("closed fabric reported zero serial windows")
+	}
+	if len(recv01) != 30 || len(recv10) != 30 {
+		t.Fatalf("deliveries %d/%d, want 30 each", len(recv01), len(recv10))
+	}
+	waitGoroutines(t, base)
+}
+
+// TestWorkerAwaitAbsorbsStaleWake hand-drives the dispatcher-preemption
+// interleaving on a bare worker: the worker has already consumed epoch 1
+// via the spin path and re-parked when the dispatcher's delayed parked CAS
+// lands and sends a wake for that same epoch. await must absorb the stale
+// wake and keep waiting — returning it would make run() re-execute the
+// window and decrement the barrier a second time.
+func TestWorkerAwaitAbsorbsStaleWake(t *testing.T) {
+	w := &fabricWorker{g: &workerGroup{}, wake: make(chan struct{}, 1)}
+	w.epoch.Store(1) // epoch 1 already consumed by the spin path
+	res := make(chan uint64, 1)
+	go func() { res <- w.await(1) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.parked.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		runtime.Gosched()
+	}
+	// The dispatcher's delayed CAS for epoch 1 succeeds against the re-park
+	// and commits to a wake — the stale token.
+	if !w.parked.CompareAndSwap(1, 0) {
+		t.Fatal("parked CAS lost despite observed park")
+	}
+	w.wake <- struct{}{}
+	select {
+	case e := <-res:
+		t.Fatalf("await returned %d on a stale wake for an already-consumed epoch", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A real dispatch for epoch 2 (dispatch's own publish-then-CAS order).
+	w.epoch.Store(2)
+	if w.parked.CompareAndSwap(1, 0) {
+		w.wake <- struct{}{}
+	}
+	select {
+	case e := <-res:
+		if e != 2 {
+			t.Fatalf("await = %d, want 2", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("await never observed epoch 2 after absorbing the stale wake")
+	}
+}
+
+// TestFabricDispatchGapStaleWake forces the dispatcher preemption window
+// between dispatch's epoch publish and its parked CAS. The gap hook waits
+// until the dispatched worker has already consumed the epoch by spinning,
+// run the entire window (barrier count back to zero), and parked again —
+// only then does the dispatcher's CAS land and send a wake for an epoch
+// the worker already consumed. await must absorb that stale wake and
+// re-park; before the absorb loop this interleaving re-ran the window,
+// decremented the barrier twice, and either deadlocked the coordinator or
+// raced a still-executing shard. Run under -race via make verify.
+func TestFabricDispatchGapStaleWake(t *testing.T) {
+	const (
+		rounds  = 800
+		spacing = 10_000 // ns between rounds; lookahead is 5µs
+	)
+	runTrace := func(parallel bool) ([]Time, []Time) {
+		s0, s1, control := NewScheduler(), NewScheduler(), NewScheduler()
+		var recv01, recv10 []Time
+		p01 := &pipe{delay: 5 * time.Microsecond, dst: s1, recv: &recv01}
+		p10 := &pipe{delay: 5 * time.Microsecond, dst: s0, recv: &recv10}
+		// Both shards busy every window, so busy[1:] is exactly one worker
+		// and the gap hook's barrier==0 check is unambiguous.
+		for r := 0; r < rounds; r++ {
+			at := Time(r * spacing)
+			r := r
+			s0.At(at, func() { p01.send(s0, r) })
+			s1.At(at, func() { p10.send(s1, r) })
+		}
+		f := NewFabric([]*Scheduler{s0, s1}, control, []Boundary{p01, p10})
+		if parallel {
+			f.ForceParallel = true
+		} else {
+			f.Close() // pin to the serial path
+		}
+		if err := f.RunFor(time.Duration(rounds*spacing) + time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return recv01, recv10
+	}
+
+	serial01, serial10 := runTrace(false)
+	gap := func(w *fabricWorker) {
+		deadline := time.Now().Add(500 * time.Microsecond)
+		for time.Now().Before(deadline) {
+			// Worker done with the window (its decrement brought the count
+			// to zero) and parked again: the CAS after this hook returns
+			// will now send a wake for the consumed epoch.
+			if w.g.barrier.Load()>>1 == 0 && w.parked.Load() == 1 {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	testDispatchGap.Store(&gap)
+	defer testDispatchGap.Store(nil)
+	par01, par10 := runTrace(true)
+	if !reflect.DeepEqual(serial01, par01) || !reflect.DeepEqual(serial10, par10) {
+		t.Fatalf("stale-wake interleaving diverged from serial twin: %d/%d vs %d/%d deliveries",
+			len(par01), len(par10), len(serial01), len(serial10))
+	}
+	if len(serial01) != rounds || len(serial10) != rounds {
+		t.Fatalf("serial twin delivered %d/%d, want %d each", len(serial01), len(serial10), rounds)
+	}
+}
+
 // TestFabricShardErrorTerminatesWorkers pins error semantics under the
 // worker barrier: a shard stopping mid-window surfaces ErrStopped from
 // RunUntil, every worker still completes its window (no wedged barrier),
